@@ -1,0 +1,213 @@
+//! One Criterion group per reproduced paper figure/table, each running a
+//! scaled-down version of the same workload × design code path that the
+//! `repro` binary uses at full size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use subcore_bench::{bench_gpu, run};
+use subcore_power::CostModel;
+use subcore_sched::Design;
+use subcore_workloads::{
+    app_by_name, fma_microbenchmark, fma_unbalanced_scaled, tpch_query, FmaLayout, KernelParams,
+    Mix,
+};
+
+fn fig01_fc_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_fc_speedup");
+    let app = app_by_name("ply-gemm").unwrap();
+    g.bench_function("baseline", |b| b.iter(|| black_box(run(Design::Baseline, &app)).cycles));
+    g.bench_function("fully-connected", |b| {
+        b.iter(|| black_box(run(Design::FullyConnected, &app)).cycles)
+    });
+    g.finish();
+}
+
+fn fig03_fma_hw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_fma_hw");
+    for layout in FmaLayout::ALL {
+        let app = fma_microbenchmark(layout, 2, 256);
+        g.bench_function(layout.label(), |b| {
+            b.iter(|| black_box(run(Design::Baseline, &app)).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn fig08_imbalance_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_imbalance_scaling");
+    let app = fma_unbalanced_scaled(2, 64, 8);
+    for design in [Design::Baseline, Design::Srr, Design::Shuffle] {
+        g.bench_function(design.label(), |b| b.iter(|| black_box(run(design, &app)).cycles));
+    }
+    g.finish();
+}
+
+fn fig09_fig10_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_fig10_designs");
+    let app = app_by_name("rod-srad").unwrap();
+    for design in Design::FIGURE10 {
+        g.bench_function(design.label(), |b| b.iter(|| black_box(run(design, &app)).cycles));
+    }
+    g.finish();
+}
+
+fn fig11_fc_rba(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_fc_rba");
+    let app = app_by_name("pb-mriq").unwrap();
+    for design in [Design::FullyConnected, Design::FcRba] {
+        g.bench_function(design.label(), |b| b.iter(|| black_box(run(design, &app)).cycles));
+    }
+    g.finish();
+}
+
+fn fig12_cu_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_cu_scaling");
+    let app = app_by_name("pb-mrig").unwrap();
+    for cus in [2u32, 4, 8, 16] {
+        g.bench_function(format!("{cus}cu"), |b| {
+            b.iter(|| black_box(run(Design::CuScaling(cus), &app)).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn fig13_area_power(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_area_power");
+    let model = CostModel::calibrated_45nm();
+    g.bench_function("cost-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cus in [2u32, 3, 4, 8, 16] {
+                let c = model.normalized_cost(black_box(cus), 2, false);
+                acc += c.area + c.power;
+            }
+            acc + model.normalized_cost(2, 2, true).area
+        })
+    });
+    g.finish();
+}
+
+fn fig14_rf_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_rf_trace");
+    let app = app_by_name("rod-srad").unwrap();
+    let mut cfg = bench_gpu();
+    cfg.stats.record_rf_trace = true;
+    for design in [Design::Baseline, Design::Rba] {
+        g.bench_function(design.label(), |b| {
+            b.iter(|| {
+                let stats = subcore_engine::simulate_app(
+                    &design.config(&cfg),
+                    &design.policies(),
+                    &app,
+                )
+                .unwrap();
+                black_box(stats.rf_read_trace.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig15_16_tpch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_16_tpch");
+    let uncompressed = tpch_query(8, false);
+    let compressed = tpch_query(8, true);
+    for design in [Design::Baseline, Design::Srr] {
+        g.bench_function(format!("uncompressed/{}", design.label()), |b| {
+            b.iter(|| black_box(run(design, &uncompressed)).cycles)
+        });
+        g.bench_function(format!("compressed/{}", design.label()), |b| {
+            b.iter(|| black_box(run(design, &compressed)).cycles)
+        });
+    }
+    g.finish();
+}
+
+fn fig17_issue_cv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_issue_cv");
+    let app = tpch_query(9, false);
+    for design in [Design::Baseline, Design::Srr, Design::Shuffle] {
+        g.bench_function(design.label(), |b| {
+            b.iter(|| black_box(run(design, &app).issue_cv()))
+        });
+    }
+    g.finish();
+}
+
+fn fig18_sm_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_sm_scaling");
+    let mut p = KernelParams::base("dense");
+    p.blocks = 24;
+    p.warps_per_block = 8;
+    p.mix = Mix::register_bound();
+    p.iters = 16;
+    let app = subcore_workloads::AppParams::single("dense", subcore_isa::Suite::Micro, p).build();
+    for sms in [2u32, 3] {
+        g.bench_function(format!("{sms}sm"), |b| {
+            b.iter(|| {
+                let cfg = subcore_engine::GpuConfig::volta_v100().with_sms(sms);
+                let stats = subcore_engine::simulate_app(
+                    &cfg,
+                    &Design::Baseline.policies(),
+                    &app,
+                )
+                .unwrap();
+                black_box(stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    let app = app_by_name("pb-mriq").unwrap();
+    g.bench_function("score-latency-20", |b| {
+        b.iter(|| black_box(run(Design::RbaLatency(20), &app)).cycles)
+    });
+    g.bench_function("rba-4banks", |b| {
+        b.iter(|| black_box(run(Design::RbaBanks(4), &app)).cycles)
+    });
+    g.bench_function("shuffle-table16", |b| {
+        b.iter(|| black_box(run(Design::ShuffleTable(16), &app)).cycles)
+    });
+    g.finish();
+}
+
+fn table_ii_config(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_ii_config");
+    g.bench_function("validate", |b| {
+        b.iter(|| {
+            let cfg = subcore_engine::GpuConfig::volta_v100();
+            cfg.validate();
+            black_box(cfg.total_banks() + cfg.total_cus())
+        })
+    });
+    g.finish();
+}
+
+fn table_iii_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_iii_registry");
+    g.bench_function("build-112-apps", |b| {
+        b.iter(|| black_box(subcore_workloads::all_apps()).len())
+    });
+    g.finish();
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = figures;
+    config = criterion_config();
+    targets = fig01_fc_speedup, fig03_fma_hw, fig08_imbalance_scaling, fig09_fig10_designs,
+              fig11_fc_rba, fig12_cu_scaling, fig13_area_power, fig14_rf_trace,
+              fig15_16_tpch, fig17_issue_cv, fig18_sm_scaling, ablations,
+              table_ii_config, table_iii_registry
+}
+criterion_main!(figures);

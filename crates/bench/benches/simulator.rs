@@ -1,0 +1,71 @@
+//! End-to-end simulator throughput: simulated cycles per wall-second on
+//! representative workload shapes, the number that bounds every experiment
+//! sweep's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use subcore_bench::{bench_gpu, run};
+use subcore_sched::Design;
+use subcore_workloads::{app_by_name, fma_microbenchmark, FmaLayout};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    let cases = [
+        ("compute-fma", fma_microbenchmark(FmaLayout::Baseline, 4, 512)),
+        ("register-bound", app_by_name("rod-srad").unwrap()),
+        ("memory-streaming", app_by_name("pb-sad").unwrap()),
+        ("irregular", app_by_name("pb-spmv").unwrap()),
+    ];
+    for (name, app) in cases {
+        let cycles = run(Design::Baseline, &app).cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(name, |b| b.iter(|| black_box(run(Design::Baseline, &app)).cycles));
+    }
+    g.finish();
+}
+
+fn sim_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_sm_scaling");
+    let app = fma_microbenchmark(FmaLayout::Baseline, 16, 256);
+    for sms in [1u32, 2, 4] {
+        g.bench_function(format!("{sms}sm"), |b| {
+            let cfg = subcore_engine::GpuConfig::volta_v100().with_sms(sms);
+            b.iter(|| {
+                black_box(
+                    subcore_engine::simulate_app(&cfg, &Design::Baseline.policies(), &app)
+                        .unwrap()
+                        .cycles,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn policy_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_policy_overhead");
+    let app = app_by_name("pb-sgemm").unwrap();
+    for design in [Design::Baseline, Design::Rba, Design::ShuffleRba] {
+        g.bench_function(design.label(), |b| {
+            b.iter(|| black_box(run(design, &app)).cycles)
+        });
+    }
+    // The bench_gpu helper must stay in sync with the engine's defaults.
+    assert_eq!(bench_gpu().num_sms, 1);
+    g.finish();
+}
+
+fn criterion_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = simulator;
+    config = criterion_config();
+    targets = sim_throughput, sim_scaling, policy_overhead
+}
+criterion_main!(simulator);

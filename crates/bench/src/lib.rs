@@ -1,0 +1,23 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Each benchmark group in `benches/figures.rs` exercises the exact code
+//! path that regenerates one of the paper's figures (scaled down so a
+//! Criterion iteration completes in milliseconds); `benches/components.rs`
+//! and `benches/simulator.rs` profile the simulator substrate itself. The
+//! full-size figure regeneration lives in the `subcore-experiments` crate's
+//! `repro` binary.
+
+use subcore_engine::{simulate_app, GpuConfig, RunStats};
+use subcore_isa::App;
+use subcore_sched::Design;
+
+/// A small single-SM configuration so one benchmark iteration is fast.
+pub fn bench_gpu() -> GpuConfig {
+    GpuConfig::volta_v100().with_sms(1)
+}
+
+/// Runs `app` under `design` on the benchmark GPU.
+pub fn run(design: Design, app: &App) -> RunStats {
+    simulate_app(&design.config(&bench_gpu()), &design.policies(), app)
+        .expect("benchmark workloads are schedulable")
+}

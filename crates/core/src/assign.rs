@@ -1,0 +1,363 @@
+//! Hashed sub-core warp assignment (§IV-B of the paper).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use subcore_engine::SubcoreAssigner;
+
+/// Skewed Round Robin (SRR) assignment: `subcore = (W + ⌊W/N⌋) mod N`,
+/// where `W` counts all warps previously allocated to this SM.
+///
+/// SRR keeps per-sub-core warp counts even while rotating the starting
+/// sub-core by one every `N` warps. The paper crafted it for the TPC-H
+/// pattern of one long-running warp every 4 warps: the long warps land on
+/// different sub-cores instead of all on sub-core 0.
+#[derive(Debug, Default)]
+pub struct SkewedRoundRobinAssigner {
+    warps_assigned: u64,
+}
+
+impl SkewedRoundRobinAssigner {
+    /// Creates an SRR assigner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SubcoreAssigner for SkewedRoundRobinAssigner {
+    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+        let n = u64::from(num_subcores);
+        (0..warps_in_block)
+            .map(|_| {
+                let w = self.warps_assigned;
+                self.warps_assigned += 1;
+                ((w + w / n) % n) as u32
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "srr"
+    }
+}
+
+/// How a [`ShuffleAssigner`] draws its permutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleMode {
+    /// A fresh random permutation stream: the hardware hash table is
+    /// re-seeded (e.g. by an LFSR) as each block's warp PCs are loaded, so
+    /// no two blocks repeat an assignment pattern. This is the idealized
+    /// Random Shuffle the paper's evaluation targets.
+    Fresh,
+    /// A fixed `entries`-entry table written once at kernel launch and
+    /// indexed by the SM's running warp counter (the Fig. 7 shift-register/
+    /// counter pair keeps incrementing across thread blocks), wrapping
+    /// after `entries × N` warps. The paper compares 4- vs. 16-entry
+    /// tables (§IV-B3).
+    Table {
+        /// Number of table entries (each covers one group of N warps).
+        entries: u32,
+    },
+}
+
+/// Random Shuffle assignment: distributes incoming warps to sub-cores in
+/// randomly permuted groups of `N`, so per-sub-core counts never differ by
+/// more than one while the warp-id → sub-core mapping is unpredictable.
+///
+/// The hardware realization is the paper's Fig. 7 hash-function table; see
+/// [`ShuffleMode`] for the two table-management variants.
+#[derive(Debug)]
+pub struct ShuffleAssigner {
+    rng: SmallRng,
+    mode: ShuffleMode,
+    /// Pre-drawn permutation table (one permutation per entry), for
+    /// [`ShuffleMode::Table`].
+    table: Vec<Vec<u32>>,
+    /// Running warp counter (Fig. 7's counter), for [`ShuffleMode::Table`].
+    warps_assigned: u64,
+    num_subcores: Option<u32>,
+}
+
+impl ShuffleAssigner {
+    /// Creates a Shuffle assigner, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`ShuffleMode::Table`] has zero entries.
+    pub fn new(mode: ShuffleMode, seed: u64) -> Self {
+        if let ShuffleMode::Table { entries } = mode {
+            assert!(entries > 0, "hash table needs at least one entry");
+        }
+        ShuffleAssigner {
+            rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5bc0),
+            mode,
+            table: Vec::new(),
+            warps_assigned: 0,
+            num_subcores: None,
+        }
+    }
+
+    /// The paper's evaluated design: fresh permutation per warp group.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(ShuffleMode::Fresh, seed)
+    }
+
+    fn fill_table(&mut self, num_subcores: u32, entries: usize) {
+        self.table.clear();
+        for _ in 0..entries {
+            let mut perm: Vec<u32> = (0..num_subcores).collect();
+            perm.shuffle(&mut self.rng);
+            self.table.push(perm);
+        }
+        self.num_subcores = Some(num_subcores);
+    }
+}
+
+impl SubcoreAssigner for ShuffleAssigner {
+    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+        let n = num_subcores as usize;
+        match self.mode {
+            ShuffleMode::Fresh => {
+                // One fresh balanced permutation per group of N warps.
+                let mut out = Vec::with_capacity(warps_in_block as usize);
+                let mut perm: Vec<u32> = (0..num_subcores).collect();
+                for w in 0..warps_in_block {
+                    if (w as usize).is_multiple_of(n) {
+                        perm.shuffle(&mut self.rng);
+                    }
+                    out.push(perm[w as usize % n]);
+                }
+                out
+            }
+            ShuffleMode::Table { entries } => {
+                if self.num_subcores != Some(num_subcores) {
+                    self.fill_table(num_subcores, entries as usize);
+                }
+                // Indexed by the running warp counter, wrapping (Fig. 7).
+                (0..warps_in_block)
+                    .map(|_| {
+                        let w = self.warps_assigned as usize;
+                        self.warps_assigned += 1;
+                        let group = (w / n) % self.table.len();
+                        self.table[group][w % n]
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            ShuffleMode::Fresh => "shuffle",
+            ShuffleMode::Table { .. } => "shuffle-table",
+        }
+    }
+}
+
+/// Direct hardware-table assignment: the Fig. 7 structure taken literally.
+///
+/// Each byte of the 4-entry table encodes the sub-core of 4 consecutive
+/// warps on a 4-sub-core SM: the upper nibble drives select line 0, the
+/// lower nibble select line 1, so warp `k` of the entry goes to sub-core
+/// `(bit k of high nibble) << 1 | (bit k of low nibble)`... i.e. entry byte
+/// `0b1100_1010` maps its 4 warps to sub-cores 3, 2, 1, 0. Useful for
+/// experimenting with hand-crafted assignment patterns.
+#[derive(Debug)]
+pub struct HashTableAssigner {
+    table: [u8; 4],
+    warps_assigned: u64,
+}
+
+impl HashTableAssigner {
+    /// Creates an assigner from a 4-entry byte table.
+    pub fn new(table: [u8; 4]) -> Self {
+        HashTableAssigner { table, warps_assigned: 0 }
+    }
+
+    /// The table encoding plain round robin (warp k → sub-core k mod 4):
+    /// each entry maps its 4 warps to 0, 1, 2, 3.
+    pub fn round_robin() -> Self {
+        // Warp k of an entry: select0 = bit (3-k) of high nibble, select1 =
+        // bit (3-k) of low nibble. 0,1,2,3 → high 0011, low 0101.
+        Self::new([0b0011_0101; 4])
+    }
+
+    fn decode(&self, w: u64) -> u32 {
+        let entry = self.table[((w / 4) % 4) as usize];
+        let k = (w % 4) as u32;
+        let hi = u32::from(entry >> 4);
+        let lo = u32::from(entry & 0xf);
+        let s0 = (hi >> (3 - k)) & 1;
+        let s1 = (lo >> (3 - k)) & 1;
+        (s0 << 1) | s1
+    }
+}
+
+impl SubcoreAssigner for HashTableAssigner {
+    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+        (0..warps_in_block)
+            .map(|_| {
+                let w = self.warps_assigned;
+                self.warps_assigned += 1;
+                self.decode(w) % num_subcores
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-table"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srr_matches_equation_1() {
+        let mut srr = SkewedRoundRobinAssigner::new();
+        // W: 0..16, N = 4 → (W + W/4) mod 4.
+        let got = srr.assign_block(16, 4);
+        let want: Vec<u32> = (0u64..16).map(|w| ((w + w / 4) % 4) as u32).collect();
+        assert_eq!(got, want);
+        // First 8: 0,1,2,3 then shifted by one: 1,2,3,0.
+        assert_eq!(&got[..8], &[0, 1, 2, 3, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn srr_spreads_every_fourth_warp() {
+        // TPC-H pattern: warps 0, 4, 8, 12 are the long ones. Round robin
+        // puts them all on sub-core 0; SRR spreads them across all four.
+        let mut srr = SkewedRoundRobinAssigner::new();
+        let plan = srr.assign_block(16, 4);
+        let long_warps: Vec<u32> = (0..16).step_by(4).map(|w| plan[w]).collect();
+        let mut sorted = long_warps.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "long warps hit distinct sub-cores: {long_warps:?}");
+    }
+
+    #[test]
+    fn srr_counter_carries_across_blocks() {
+        let mut a = SkewedRoundRobinAssigner::new();
+        let mut b = SkewedRoundRobinAssigner::new();
+        let whole = a.assign_block(32, 4);
+        let mut split = b.assign_block(20, 4);
+        split.extend(b.assign_block(12, 4));
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn srr_is_balanced() {
+        let mut srr = SkewedRoundRobinAssigner::new();
+        let plan = srr.assign_block(64, 4);
+        let mut counts = [0u32; 4];
+        for &d in &plan {
+            counts[d as usize] += 1;
+        }
+        assert_eq!(counts, [16; 4]);
+    }
+
+    #[test]
+    fn shuffle_is_balanced_within_one() {
+        for seed in 0..20 {
+            let mut sh = ShuffleAssigner::with_seed(seed);
+            for warps in [3u32, 8, 13, 32, 64] {
+                let plan = sh.assign_block(warps, 4);
+                let mut counts = [0i64; 4];
+                for &d in &plan {
+                    counts[d as usize] += 1;
+                }
+                let max = counts.iter().max().unwrap();
+                let min = counts.iter().min().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "seed {seed}, {warps} warps: counts {counts:?} differ by more than 1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a = ShuffleAssigner::with_seed(7);
+        let mut b = ShuffleAssigner::with_seed(7);
+        assert_eq!(a.assign_block(64, 4), b.assign_block(64, 4));
+        let mut c = ShuffleAssigner::with_seed(8);
+        // Different seeds almost surely differ over 64 warps.
+        let mut d = ShuffleAssigner::with_seed(7);
+        assert_ne!(c.assign_block(64, 4), d.assign_block(64, 4));
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        // Round robin would map warps 0,4,8,12 all to sub-core 0; a random
+        // shuffle should (for most seeds) break that pattern.
+        let mut broken = 0;
+        for seed in 0..10 {
+            let mut sh = ShuffleAssigner::with_seed(seed);
+            let plan = sh.assign_block(16, 4);
+            let landed: Vec<u32> = (0..16).step_by(4).map(|w| plan[w]).collect();
+            if landed.iter().any(|&d| d != landed[0]) {
+                broken += 1;
+            }
+        }
+        assert!(broken >= 8, "shuffle should break the mod-4 pattern for most seeds: {broken}/10");
+    }
+
+    #[test]
+    fn shuffle_table_wraps_and_repeats() {
+        let mut sh = ShuffleAssigner::new(ShuffleMode::Table { entries: 4 }, 3);
+        let plan = sh.assign_block(64, 4);
+        // Entries cover 4 warps each; a 4-entry table covers 16 warps and
+        // then wraps: warps 16..32 replay warps 0..16's pattern.
+        assert_eq!(&plan[..16], &plan[16..32]);
+    }
+
+    #[test]
+    fn sixteen_entry_table_avoids_early_repeat() {
+        let mut sh = ShuffleAssigner::new(ShuffleMode::Table { entries: 16 }, 3);
+        let plan = sh.assign_block(64, 4);
+        // With 16 entries the table spans all 64 warps; the first 16 warps
+        // almost surely differ from the second 16.
+        assert_ne!(&plan[..16], &plan[16..32]);
+    }
+
+    #[test]
+    fn fixed_table_repeats_after_wrap_fresh_does_not() {
+        // A 4-entry table covers 16 warps, so two aligned 16-warp blocks
+        // see the identical pattern.
+        let mut fixed = ShuffleAssigner::new(ShuffleMode::Table { entries: 4 }, 3);
+        let a = fixed.assign_block(16, 4);
+        let b = fixed.assign_block(16, 4);
+        assert_eq!(a, b, "counter indexing wraps back to the same entries");
+        // A 16-entry table spans 64 warps: the second block differs.
+        let mut wide = ShuffleAssigner::new(ShuffleMode::Table { entries: 16 }, 3);
+        let c = wide.assign_block(16, 4);
+        let d = wide.assign_block(16, 4);
+        assert_ne!(c, d, "a 16-entry table does not repeat after 16 warps");
+        let mut fresh = ShuffleAssigner::with_seed(3);
+        let e = fresh.assign_block(16, 4);
+        let f = fresh.assign_block(16, 4);
+        assert_ne!(e, f, "the fresh stream re-randomizes every block");
+    }
+
+    #[test]
+    fn hash_table_round_robin_identity() {
+        let mut h = HashTableAssigner::round_robin();
+        assert_eq!(h.assign_block(8, 4), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hash_table_decodes_nibbles() {
+        // Entry 0b1100_1010: warps → 3, 2, 1, 0 (see type docs).
+        let mut h = HashTableAssigner::new([0b1100_1010; 4]);
+        assert_eq!(h.assign_block(4, 4), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn assigner_names() {
+        assert_eq!(SkewedRoundRobinAssigner::new().name(), "srr");
+        assert_eq!(ShuffleAssigner::with_seed(0).name(), "shuffle");
+        assert_eq!(HashTableAssigner::round_robin().name(), "hash-table");
+    }
+}

@@ -1,0 +1,187 @@
+//! Classic warp schedulers from the literature the paper builds on
+//! (Table I cites \[37\], \[39\], \[42\], \[46\], \[48\], \[49\], \[52\], \[53\]).
+//!
+//! These are not the paper's contribution; they are comparison points that
+//! let the experiments place RBA within the design space of warp
+//! scheduling. All implement [`WarpSelector`] and can be combined with any
+//! sub-core assignment policy.
+
+use subcore_engine::{IssueView, WarpSelector};
+
+/// Two-level warp scheduling (Narasiman et al., MICRO'11): keep a small
+/// *active set* of warps issuing round-robin; when an active warp stalls
+/// long enough to leave the ready pool, rotate a pending warp in.
+///
+/// The intent is to stagger warps so they do not all reach long-latency
+/// operations together; with an active set of the full scheduler width it
+/// degenerates to loose round robin.
+#[derive(Debug)]
+pub struct TwoLevelSelector {
+    active: Vec<u32>,
+    active_size: usize,
+    rr_cursor: usize,
+}
+
+impl TwoLevelSelector {
+    /// Creates a two-level scheduler with the given active-set size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_size` is zero.
+    pub fn new(active_size: usize) -> Self {
+        assert!(active_size > 0, "active set must be nonzero");
+        TwoLevelSelector { active: Vec::with_capacity(active_size), active_size, rr_cursor: 0 }
+    }
+}
+
+impl WarpSelector for TwoLevelSelector {
+    fn select(&mut self, view: &IssueView<'_>) -> Option<usize> {
+        // Drop active warps that are no longer candidates (stalled or done).
+        self.active.retain(|&slot| view.candidates.iter().any(|c| c.warp_slot == slot));
+        // Refill the active set from the oldest pending candidates.
+        while self.active.len() < self.active_size {
+            let next = view
+                .candidates
+                .iter()
+                .filter(|c| !self.active.contains(&c.warp_slot))
+                .min_by_key(|c| c.age);
+            match next {
+                Some(c) => self.active.push(c.warp_slot),
+                None => break,
+            }
+        }
+        if self.active.is_empty() {
+            return None;
+        }
+        // Round-robin within the active set.
+        self.rr_cursor = (self.rr_cursor + 1) % self.active.len();
+        let slot = self.active[self.rr_cursor];
+        view.candidates.iter().position(|c| c.warp_slot == slot)
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+}
+
+/// Criticality-aware scheduling in the spirit of CAWA \[42\]: prioritize the
+/// warp that has issued the *fewest* instructions so far — a proxy for the
+/// lagging (critical) warp whose completion gates its block's resource
+/// release.
+///
+/// The engine does not expose per-warp issue counts to selectors, so this
+/// implementation tracks them locally from its own decisions, which matches
+/// what a hardware criticality predictor could observe at the scheduler.
+#[derive(Debug, Default)]
+pub struct LaggingWarpSelector {
+    issued: std::collections::HashMap<u32, u64>,
+}
+
+impl LaggingWarpSelector {
+    /// Creates a lagging-warp-first selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WarpSelector for LaggingWarpSelector {
+    fn select(&mut self, view: &IssueView<'_>) -> Option<usize> {
+        let i = view
+            .candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (self.issued.get(&c.warp_slot).copied().unwrap_or(0), c.age))
+            .map(|(i, _)| i)?;
+        *self.issued.entry(view.candidates[i].warp_slot).or_insert(0) += 1;
+        Some(i)
+    }
+
+    fn name(&self) -> &'static str {
+        "lagging-first"
+    }
+}
+
+/// A pure oldest-first scheduler (GTO without the greedy hold): useful for
+/// isolating how much of GTO's advantage is greediness.
+#[derive(Debug, Default)]
+pub struct OldestFirstSelector;
+
+impl OldestFirstSelector {
+    /// Creates an oldest-first selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl WarpSelector for OldestFirstSelector {
+    fn select(&mut self, view: &IssueView<'_>) -> Option<usize> {
+        view.candidates.iter().enumerate().min_by_key(|(_, c)| c.age).map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_engine::IssueCandidate;
+    use subcore_isa::Pipeline;
+
+    fn cand(slot: u32, age: u64) -> IssueCandidate {
+        IssueCandidate { warp_slot: slot, age, num_srcs: 0, banks: [0; 3], pipeline: Pipeline::Fma }
+    }
+
+    fn view(c: &[IssueCandidate]) -> IssueView<'_> {
+        IssueView { candidates: c, bank_queue_lens: &[0, 0], last_issued: None }
+    }
+
+    #[test]
+    fn two_level_rotates_within_active_set() {
+        let mut s = TwoLevelSelector::new(2);
+        let c = vec![cand(0, 0), cand(1, 1), cand(2, 2)];
+        // Active set fills with the two oldest (slots 0 and 1) and rotates.
+        let picks: Vec<u32> =
+            (0..4).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
+        assert!(picks.iter().all(|&p| p < 2), "only active warps issue: {picks:?}");
+        assert!(picks.windows(2).all(|w| w[0] != w[1]), "round-robin alternates: {picks:?}");
+    }
+
+    #[test]
+    fn two_level_swaps_in_pending_warp() {
+        let mut s = TwoLevelSelector::new(2);
+        let c = vec![cand(0, 0), cand(1, 1), cand(2, 2)];
+        s.select(&view(&c));
+        // Warp 0 stalls (drops out of the candidate list): warp 2 joins.
+        let c2 = vec![cand(1, 1), cand(2, 2)];
+        let picks: Vec<u32> =
+            (0..2).map(|_| c2[s.select(&view(&c2)).unwrap()].warp_slot).collect();
+        assert!(picks.contains(&2), "pending warp rotates in: {picks:?}");
+    }
+
+    #[test]
+    fn lagging_first_balances_issue_counts() {
+        let mut s = LaggingWarpSelector::new();
+        let c = vec![cand(0, 0), cand(1, 1)];
+        let picks: Vec<u32> =
+            (0..6).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
+        let zeros = picks.iter().filter(|&&p| p == 0).count();
+        assert_eq!(zeros, 3, "issue counts stay balanced: {picks:?}");
+    }
+
+    #[test]
+    fn oldest_first_ignores_greedy() {
+        let mut s = OldestFirstSelector::new();
+        let c = vec![cand(5, 9), cand(7, 2)];
+        let v = IssueView { candidates: &c, bank_queue_lens: &[0, 0], last_issued: Some(5) };
+        assert_eq!(s.select(&v), Some(1), "age 2 wins even though 5 was last issued");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TwoLevelSelector::new(4).name(), "two-level");
+        assert_eq!(LaggingWarpSelector::new().name(), "lagging-first");
+        assert_eq!(OldestFirstSelector::new().name(), "oldest-first");
+    }
+}

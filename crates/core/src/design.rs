@@ -1,0 +1,210 @@
+//! Named design points evaluated in the paper, each mapping to a
+//! `(GpuConfig, Policies)` pair.
+
+use crate::{RbaSelector, ShuffleAssigner, ShuffleMode, SkewedRoundRobinAssigner};
+use subcore_engine::{Connectivity, GpuConfig, GtoSelector, Policies, RoundRobinAssigner};
+
+/// A design point from the paper's evaluation (Figs. 9–18).
+///
+/// Every design is expressed as a transformation of a baseline
+/// [`GpuConfig`] plus a [`Policies`] pair, so experiments sweep designs
+/// uniformly:
+///
+/// ```
+/// use subcore_engine::{simulate_kernel, GpuConfig};
+/// use subcore_isa::fma_kernel;
+/// use subcore_sched::Design;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let base = GpuConfig::volta_v100().with_sms(1);
+/// for design in Design::FIGURE9 {
+///     let stats = simulate_kernel(&design.config(&base), &design.policies(),
+///                                 fma_kernel("k", 4, 8, 32))?;
+///     println!("{:12} {:>8} cycles", design.label(), stats.cycles);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Design {
+    /// GTO warp scheduling + round-robin assignment on the partitioned SM —
+    /// the normalization baseline of every figure.
+    Baseline,
+    /// Register-Bank-Aware warp scheduling (+ round-robin assignment).
+    Rba,
+    /// GTO + Skewed-Round-Robin hashed assignment.
+    Srr,
+    /// GTO + Random-Shuffle hashed assignment (fresh permutation stream).
+    Shuffle,
+    /// GTO + Random-Shuffle through a fixed hash table with the given
+    /// number of entries — the literal Fig. 7 hardware (§IV-B3 compares
+    /// 4 vs. 16 entries).
+    ShuffleTable(u32),
+    /// The combined design: RBA scheduling + Shuffle assignment.
+    ShuffleRba,
+    /// RBA scheduling + SRR assignment.
+    SrrRba,
+    /// The hypothetical fully-connected monolithic SM (Fig. 1).
+    FullyConnected,
+    /// RBA scheduling on top of the fully-connected SM (Fig. 11).
+    FcRba,
+    /// Baseline with `n` collector units per sub-core (Fig. 12 sweeps
+    /// 4/8/16; 2 is the baseline).
+    CuScaling(u32),
+    /// The register bank-stealing baseline of Jing et al. \[36\] (Fig. 10).
+    BankStealing,
+    /// RBA with the given score-update latency in cycles (§VI-B4).
+    RbaLatency(u32),
+    /// RBA with the given number of register banks per sub-core (§VI-B5).
+    RbaBanks(u32),
+    /// GTO baseline with the given number of register banks per sub-core
+    /// (the normalization baseline of the §VI-B5 bank-scaling study).
+    Banks(u32),
+}
+
+impl Design {
+    /// The designs plotted in Fig. 9 (all applications).
+    pub const FIGURE9: [Design; 4] =
+        [Design::Rba, Design::Shuffle, Design::ShuffleRba, Design::FullyConnected];
+
+    /// The designs plotted in Fig. 10 (partitioning-sensitive subset).
+    pub const FIGURE10: [Design; 7] = [
+        Design::Rba,
+        Design::Srr,
+        Design::Shuffle,
+        Design::ShuffleRba,
+        Design::FullyConnected,
+        Design::CuScaling(4),
+        Design::BankStealing,
+    ];
+
+    /// The designs plotted in Figs. 15/16 (TPC-H).
+    pub const TPCH_SET: [Design; 5] =
+        [Design::Rba, Design::Srr, Design::Shuffle, Design::ShuffleRba, Design::FullyConnected];
+
+    /// Derives this design's configuration from a baseline config.
+    pub fn config(&self, base: &GpuConfig) -> GpuConfig {
+        let mut cfg = base.clone();
+        match *self {
+            Design::FullyConnected | Design::FcRba => {
+                cfg.connectivity = Connectivity::FullyConnected;
+            }
+            Design::CuScaling(n) => cfg.cus_per_subcore = n,
+            Design::BankStealing => cfg.bank_stealing = true,
+            Design::RbaLatency(l) => cfg.score_update_latency = l,
+            Design::RbaBanks(b) | Design::Banks(b) => cfg.rf_banks_per_subcore = b,
+            _ => {}
+        }
+        cfg
+    }
+
+    /// Builds this design's scheduling policies.
+    pub fn policies(&self) -> Policies {
+        let rba = matches!(
+            self,
+            Design::Rba
+                | Design::ShuffleRba
+                | Design::SrrRba
+                | Design::FcRba
+                | Design::RbaLatency(_)
+                | Design::RbaBanks(_)
+        );
+        let selector: Box<subcore_engine::SelectorFactory> = if rba {
+            Box::new(|| Box::new(RbaSelector::new()))
+        } else {
+            Box::new(|| Box::new(GtoSelector::new()))
+        };
+        let assigner: Box<subcore_engine::AssignerFactory> = match self {
+            Design::Srr | Design::SrrRba => Box::new(|_| Box::new(SkewedRoundRobinAssigner::new())),
+            Design::Shuffle | Design::ShuffleRba => {
+                Box::new(|sm| Box::new(ShuffleAssigner::with_seed(0xA11CE + u64::from(sm))))
+            }
+            Design::ShuffleTable(entries) => {
+                let entries = *entries;
+                Box::new(move |sm| {
+                    Box::new(ShuffleAssigner::new(
+                        ShuffleMode::Table { entries },
+                        0xA11CE + u64::from(sm),
+                    ))
+                })
+            }
+            _ => Box::new(|_| Box::new(RoundRobinAssigner::new())),
+        };
+        Policies::new(selector, assigner)
+    }
+
+    /// Short label used in report rows (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match *self {
+            Design::Baseline => "baseline".into(),
+            Design::Rba => "rba".into(),
+            Design::Srr => "srr".into(),
+            Design::Shuffle => "shuffle".into(),
+            Design::ShuffleTable(e) => format!("shuffle-table{e}"),
+            Design::ShuffleRba => "shuffle+rba".into(),
+            Design::SrrRba => "srr+rba".into(),
+            Design::FullyConnected => "fully-connected".into(),
+            Design::FcRba => "fc+rba".into(),
+            Design::CuScaling(n) => format!("{n}cu"),
+            Design::BankStealing => "bank-stealing".into(),
+            Design::RbaLatency(l) => format!("rba-lat{l}"),
+            Design::RbaBanks(b) => format!("rba-{b}banks"),
+            Design::Banks(b) => format!("gto-{b}banks"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_transformations() {
+        let base = GpuConfig::volta_v100();
+        assert_eq!(Design::Baseline.config(&base), base);
+        assert_eq!(
+            Design::FullyConnected.config(&base).connectivity,
+            Connectivity::FullyConnected
+        );
+        assert_eq!(Design::CuScaling(8).config(&base).cus_per_subcore, 8);
+        assert!(Design::BankStealing.config(&base).bank_stealing);
+        assert_eq!(Design::RbaLatency(20).config(&base).score_update_latency, 20);
+        assert_eq!(Design::RbaBanks(4).config(&base).rf_banks_per_subcore, 4);
+    }
+
+    #[test]
+    fn policies_pick_the_right_selector() {
+        assert_eq!((Design::Rba.policies().selector)().name(), "rba");
+        assert_eq!((Design::Baseline.policies().selector)().name(), "gto");
+        assert_eq!((Design::ShuffleRba.policies().selector)().name(), "rba");
+        assert_eq!((Design::Shuffle.policies().selector)().name(), "gto");
+        assert_eq!((Design::FcRba.policies().selector)().name(), "rba");
+    }
+
+    #[test]
+    fn policies_pick_the_right_assigner() {
+        assert_eq!((Design::Srr.policies().assigner)(0).name(), "srr");
+        assert_eq!((Design::Shuffle.policies().assigner)(0).name(), "shuffle");
+        assert_eq!((Design::Rba.policies().assigner)(0).name(), "rr");
+        assert_eq!((Design::FullyConnected.policies().assigner)(0).name(), "rr");
+    }
+
+    #[test]
+    fn shuffle_seeds_differ_per_sm() {
+        let p = Design::Shuffle.policies();
+        let mut a = (p.assigner)(0);
+        let mut b = (p.assigner)(1);
+        // Over 64 warps, distinct seeds almost surely produce distinct plans.
+        assert_ne!(a.assign_block(64, 4), b.assign_block(64, 4));
+    }
+
+    #[test]
+    fn labels_are_unique_across_paper_sets() {
+        let mut labels: Vec<String> = Design::FIGURE10.iter().map(|d| d.label()).collect();
+        labels.push(Design::Baseline.label());
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

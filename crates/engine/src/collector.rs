@@ -1,0 +1,256 @@
+//! The operand collector: collector units plus the per-bank arbitration
+//! queues whose lengths drive the RBA score.
+
+use crate::warp::DecodedInstr;
+use std::collections::VecDeque;
+
+/// One collector unit: stages a single warp instruction while its register
+/// source operands are read from the banked register file.
+#[derive(Debug)]
+pub(crate) struct CollectorUnit {
+    /// Holds an instruction.
+    pub busy: bool,
+    /// All operands fetched; awaiting dispatch to an execution unit.
+    pub ready: bool,
+    /// Owning warp slot.
+    pub warp_slot: u32,
+    /// The staged instruction.
+    pub instr: DecodedInstr,
+    /// Source operands still waiting for a bank grant.
+    pub remaining: u8,
+}
+
+impl CollectorUnit {
+    pub(crate) fn empty() -> Self {
+        CollectorUnit {
+            busy: false,
+            ready: false,
+            warp_slot: 0,
+            instr: DecodedInstr {
+                instr: subcore_isa::Instruction::new(subcore_isa::OpClass::Exit, None, &[]),
+                dyn_idx: 0,
+            },
+            remaining: 0,
+        }
+    }
+}
+
+/// The register-file read arbiter for one scheduler domain: a pending
+/// request queue per bank, granting one request per bank per cycle.
+///
+/// The arbiter also maintains the (optionally delayed) per-bank queue-length
+/// view exposed to the warp scheduler — the paper's RBA score input, with
+/// the §VI-B4 score-update latency modeled by a history ring.
+#[derive(Debug)]
+pub(crate) struct Arbiter {
+    /// One FIFO of collector-unit indices per bank (an entry per operand).
+    queues: Vec<VecDeque<u16>>,
+    /// Cumulative enqueued requests per bank. The warp scheduler issued
+    /// these itself, so its score logic sees them with no delay.
+    cum_enqueues: Vec<u64>,
+    /// Cumulative grants per bank.
+    cum_grants: Vec<u64>,
+    /// Ring of historical `cum_grants` snapshots (newest at back); length
+    /// `delay + 1`. Grant notifications travel from the register file to
+    /// the scheduler, so a nonzero score-update latency makes the scheduler
+    /// see *old* grant counts — it overestimates queues it recently fed,
+    /// which is the conservative direction (§VI-B4).
+    grant_history: VecDeque<Vec<u64>>,
+    delay: usize,
+    /// Scratch for the scheduler-visible queue lengths.
+    visible: Vec<u16>,
+    /// Requests that were enqueued behind at least one other request
+    /// (bank-conflict indicator).
+    conflict_enqueues: u64,
+    /// Total grants (each grant = one warp-wide 128 B register read).
+    grants: u64,
+}
+
+impl Arbiter {
+    pub(crate) fn new(num_banks: u32, delay: u32) -> Self {
+        let banks = num_banks as usize;
+        let delay = delay as usize;
+        let mut grant_history = VecDeque::with_capacity(delay + 1);
+        grant_history.push_back(vec![0u64; banks]);
+        Arbiter {
+            queues: (0..banks).map(|_| VecDeque::new()).collect(),
+            cum_enqueues: vec![0; banks],
+            cum_grants: vec![0; banks],
+            grant_history,
+            delay,
+            visible: vec![0; banks],
+            conflict_enqueues: 0,
+            grants: 0,
+        }
+    }
+
+    /// Number of banks this arbiter serves.
+    #[allow(dead_code)]
+    pub(crate) fn num_banks(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues a read request from collector unit `cu` for an operand in
+    /// `bank`.
+    pub(crate) fn enqueue(&mut self, bank: usize, cu: u16) {
+        if !self.queues[bank].is_empty() {
+            self.conflict_enqueues += 1;
+        }
+        self.cum_enqueues[bank] += 1;
+        self.queues[bank].push_back(cu);
+    }
+
+    /// True if `bank` has no pending requests (bank-stealing probe).
+    pub(crate) fn bank_idle(&self, bank: usize) -> bool {
+        self.queues[bank].is_empty()
+    }
+
+    /// Grants one request per bank, decrementing each granted unit's
+    /// `remaining` count and marking fully collected units ready. Returns
+    /// the number of grants (register-file reads) this cycle.
+    #[cfg(test)]
+    pub(crate) fn grant(&mut self, cus: &mut [CollectorUnit]) -> u32 {
+        self.grant_masked(cus, 0)
+    }
+
+    /// Like [`Arbiter::grant`], but banks whose bit is set in
+    /// `blocked_banks` grant nothing this cycle (their port is consumed by
+    /// a result writeback when write-port contention is modeled).
+    pub(crate) fn grant_masked(&mut self, cus: &mut [CollectorUnit], blocked_banks: u32) -> u32 {
+        let mut granted = 0;
+        for (b, q) in self.queues.iter_mut().enumerate() {
+            if blocked_banks & (1 << b) != 0 {
+                continue;
+            }
+            if let Some(cu) = q.pop_front() {
+                let unit = &mut cus[cu as usize];
+                debug_assert!(unit.busy && unit.remaining > 0);
+                unit.remaining -= 1;
+                if unit.remaining == 0 {
+                    unit.ready = true;
+                }
+                self.cum_grants[b] += 1;
+                granted += 1;
+            }
+        }
+        self.grants += u64::from(granted);
+        granted
+    }
+
+    /// Records the current cumulative grant counts into the history ring.
+    /// Call once per cycle, before issue.
+    pub(crate) fn snapshot(&mut self) {
+        self.grant_history.push_back(self.cum_grants.clone());
+        while self.grant_history.len() > self.delay + 1 {
+            self.grant_history.pop_front();
+        }
+    }
+
+    /// The per-bank queue lengths as the scheduler's score logic sees them:
+    /// its own enqueues immediately, grants `delay` cycles late.
+    pub(crate) fn delayed_lens(&mut self) -> &[u16] {
+        let old_grants = self.grant_history.front().expect("history is never empty");
+        for (b, v) in self.visible.iter_mut().enumerate() {
+            *v = (self.cum_enqueues[b] - old_grants[b]).min(u64::from(u16::MAX)) as u16;
+        }
+        &self.visible
+    }
+
+    /// Immediate queue lengths (for the operand-collector side, which is
+    /// co-located with the banks).
+    #[allow(dead_code)]
+    pub(crate) fn current_len(&self, bank: usize) -> usize {
+        self.queues[bank].len()
+    }
+
+    /// (grants, conflict-enqueues) since construction.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.grants, self.conflict_enqueues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_isa::{Instruction, OpClass, Reg};
+
+    fn cu_with(remaining: u8) -> CollectorUnit {
+        let mut cu = CollectorUnit::empty();
+        cu.busy = true;
+        cu.ready = false;
+        cu.remaining = remaining;
+        cu.instr = DecodedInstr {
+            instr: Instruction::new(OpClass::FmaF32, Some(Reg(0)), &[Reg(1), Reg(2), Reg(3)]),
+            dyn_idx: 0,
+        };
+        cu
+    }
+
+    #[test]
+    fn one_grant_per_bank_per_cycle() {
+        let mut a = Arbiter::new(2, 0);
+        let mut cus = vec![cu_with(3), cu_with(1)];
+        // CU0 has two operands in bank 0 and one in bank 1; CU1 one in bank 0.
+        a.enqueue(0, 0);
+        a.enqueue(0, 0);
+        a.enqueue(1, 0);
+        a.enqueue(0, 1);
+        // Cycle 1: bank0 grants CU0's first op, bank1 grants CU0's bank-1 op.
+        assert_eq!(a.grant(&mut cus), 2);
+        assert_eq!(cus[0].remaining, 1);
+        // Cycle 2: bank0 grants CU0's second op → CU0 ready.
+        assert_eq!(a.grant(&mut cus), 1);
+        assert!(cus[0].ready);
+        // Cycle 3: bank0 grants CU1 → ready.
+        assert_eq!(a.grant(&mut cus), 1);
+        assert!(cus[1].ready);
+        assert_eq!(a.grant(&mut cus), 0);
+        assert_eq!(a.stats().0, 4);
+    }
+
+    #[test]
+    fn conflicts_counted_on_enqueue_behind() {
+        let mut a = Arbiter::new(2, 0);
+        a.enqueue(0, 0);
+        a.enqueue(0, 1); // behind → conflict
+        a.enqueue(1, 1); // empty bank → no conflict
+        assert_eq!(a.stats().1, 1);
+    }
+
+    #[test]
+    fn delayed_view_sees_own_enqueues_but_stale_grants() {
+        let mut a = Arbiter::new(1, 2);
+        let mut cus = vec![cu_with(3)];
+        // The scheduler's own enqueues are visible immediately.
+        a.enqueue(0, 0);
+        a.enqueue(0, 0);
+        assert_eq!(a.delayed_lens(), &[2]);
+        // A grant drains the real queue at once…
+        a.snapshot();
+        a.grant(&mut cus);
+        assert_eq!(a.current_len(0), 1);
+        // …but the scheduler's view only learns of it `delay` cycles later,
+        // so it conservatively overestimates the queue.
+        a.snapshot();
+        assert_eq!(a.delayed_lens(), &[2]);
+        a.snapshot();
+        a.snapshot();
+        assert_eq!(a.delayed_lens(), &[1]);
+    }
+
+    #[test]
+    fn zero_delay_sees_latest_snapshot() {
+        let mut a = Arbiter::new(1, 0);
+        a.enqueue(0, 0);
+        a.snapshot();
+        assert_eq!(a.delayed_lens(), &[1]);
+    }
+
+    #[test]
+    fn bank_idle_probe() {
+        let mut a = Arbiter::new(2, 0);
+        a.enqueue(1, 0);
+        assert!(a.bank_idle(0));
+        assert!(!a.bank_idle(1));
+    }
+}

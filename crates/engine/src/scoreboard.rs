@@ -1,0 +1,103 @@
+//! Per-warp register scoreboard: tracks in-flight destination registers.
+
+use subcore_isa::Reg;
+
+/// A 256-register pending-write bitset, one per warp.
+///
+/// An instruction may issue only if none of its source registers (RAW) and
+/// its destination register (WAW) have a write in flight. Writeback clears
+/// the destination's bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Scoreboard {
+    bits: [u64; 4],
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn word_bit(reg: Reg) -> (usize, u64) {
+        (reg.index() >> 6, 1u64 << (reg.index() & 63))
+    }
+
+    /// Marks `reg` as having a pending write.
+    #[inline]
+    pub fn set(&mut self, reg: Reg) {
+        let (w, b) = Self::word_bit(reg);
+        self.bits[w] |= b;
+    }
+
+    /// Clears the pending write on `reg`.
+    #[inline]
+    pub fn clear(&mut self, reg: Reg) {
+        let (w, b) = Self::word_bit(reg);
+        self.bits[w] &= !b;
+    }
+
+    /// True if `reg` has a pending write.
+    #[inline]
+    pub fn pending(&self, reg: Reg) -> bool {
+        let (w, b) = Self::word_bit(reg);
+        self.bits[w] & b != 0
+    }
+
+    /// True if the instruction with the given destination and sources is
+    /// free of RAW and WAW hazards.
+    #[inline]
+    pub fn clear_of_hazards(&self, dst: Option<Reg>, srcs: &[Option<Reg>; 3]) -> bool {
+        if let Some(d) = dst {
+            if self.pending(d) {
+                return false;
+            }
+        }
+        srcs.iter().flatten().all(|&s| !self.pending(s))
+    }
+
+    /// True if no writes are pending at all.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut sb = Scoreboard::new();
+        assert!(sb.is_empty());
+        sb.set(Reg(0));
+        sb.set(Reg(63));
+        sb.set(Reg(64));
+        sb.set(Reg(255));
+        assert!(sb.pending(Reg(0)) && sb.pending(Reg(63)));
+        assert!(sb.pending(Reg(64)) && sb.pending(Reg(255)));
+        assert!(!sb.pending(Reg(1)));
+        sb.clear(Reg(63));
+        assert!(!sb.pending(Reg(63)));
+        sb.clear(Reg(0));
+        sb.clear(Reg(64));
+        sb.clear(Reg(255));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn raw_hazard_blocks() {
+        let mut sb = Scoreboard::new();
+        sb.set(Reg(5));
+        assert!(!sb.clear_of_hazards(Some(Reg(9)), &[Some(Reg(5)), None, None]));
+        assert!(sb.clear_of_hazards(Some(Reg(9)), &[Some(Reg(6)), None, None]));
+    }
+
+    #[test]
+    fn waw_hazard_blocks() {
+        let mut sb = Scoreboard::new();
+        sb.set(Reg(7));
+        assert!(!sb.clear_of_hazards(Some(Reg(7)), &[None, None, None]));
+        assert!(sb.clear_of_hazards(None, &[None, None, None]));
+    }
+}

@@ -1,0 +1,764 @@
+//! The streaming multiprocessor model: scheduler domains (sub-cores or one
+//! fully-connected pool), operand collection, execution, and the
+//! block-granularity resource lifecycle.
+
+use crate::collector::{Arbiter, CollectorUnit};
+use crate::config::{Connectivity, GpuConfig};
+use crate::exec::ExecPools;
+use crate::policy::{IssueCandidate, IssueView, Policies, SubcoreAssigner, WarpSelector};
+use crate::stats::StallBreakdown;
+use crate::warp::{DecodedInstr, WarpContext, WarpRun};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use subcore_isa::{Kernel, MemPattern, OpClass, Pipeline, Reg};
+use subcore_mem::{coalesce, MemSystem, StreamCtx};
+
+/// One scheduler domain: a sub-core in partitioned mode, or the whole SM in
+/// fully-connected mode.
+#[derive(Debug)]
+struct Domain {
+    selector: Box<dyn WarpSelector>,
+    /// Warp slots pinned to this domain (insertion order).
+    warps: Vec<u32>,
+    cus: Vec<CollectorUnit>,
+    arbiter: Arbiter,
+    exec: ExecPools,
+    num_banks: u32,
+    issue_width: u32,
+    warp_capacity: u32,
+    /// Register capacity in per-thread registers (512 = 64 KB / 32 lanes / 4 B).
+    regs_capacity: u32,
+    regs_used: u32,
+    issued: u64,
+    last_issued: Option<u32>,
+    stalls: StallBreakdown,
+    candidates: Vec<IssueCandidate>,
+}
+
+impl Domain {
+    /// Register → bank swizzle: `(reg + 3·local_warp_index) % banks`, the
+    /// GPGPU-Sim/Volta-style warp-staggered mapping. The ×3 stagger (co-prime
+    /// with every bank count used here) spreads *consecutively allocated*
+    /// warps across distinct bank windows; for the 2-bank sub-core it
+    /// reduces to plain parity staggering (3·l ≡ l mod 2).
+    #[inline]
+    fn bank_of(&self, reg: Reg, local_warp_index: u32) -> u8 {
+        ((reg.index() as u32 + 3 * local_warp_index) % self.num_banks) as u8
+    }
+
+    fn free_cu(&self) -> Option<usize> {
+        self.cus.iter().position(|c| !c.busy)
+    }
+}
+
+/// A resident thread block.
+#[derive(Debug)]
+struct BlockState {
+    live_warps: u32,
+    at_barrier: u32,
+    shared_mem: u32,
+    /// Per-thread registers each of its warps holds in its domain.
+    regs_per_warp: u32,
+    warp_slots: Vec<u32>,
+}
+
+/// Completion event: (cycle, warp slot, optional destination register).
+type Completion = Reverse<(u64, u32, Option<Reg>)>;
+
+/// The SM model.
+#[derive(Debug)]
+pub(crate) struct SmCore {
+    id: usize,
+    domains: Vec<Domain>,
+    warps: Vec<Option<WarpContext>>,
+    blocks: Vec<Option<BlockState>>,
+    resident_blocks: u32,
+    shared_used: u32,
+    shared_capacity: u32,
+    ibuffer_depth: usize,
+    bank_stealing: bool,
+    line_bytes: u32,
+    assigner: Box<dyn SubcoreAssigner>,
+    pending_plan: Option<Vec<u32>>,
+    age_counter: u64,
+    completions: BinaryHeap<Completion>,
+    txn_scratch: Vec<u64>,
+    finalize_scratch: Vec<usize>,
+    rf_trace: Option<Vec<u16>>,
+    grants_this_cycle: u32,
+    issued_total: u64,
+    warp_level_dealloc: bool,
+    work_stealing: bool,
+    rf_write_port_contention: bool,
+    /// Per-domain bitmask of banks consumed by writebacks this cycle.
+    write_masks: Vec<u32>,
+    /// Live (non-exited) resident warps, for occupancy statistics.
+    live_warps: u32,
+    /// Sum over cycles of live resident warps.
+    warp_cycles: u64,
+}
+
+impl SmCore {
+    pub(crate) fn new(cfg: &GpuConfig, id: usize, policies: &Policies) -> Self {
+        let (num_domains, banks, cus, exec_scale, issue_width, warp_cap, regs_cap) =
+            match cfg.connectivity {
+                Connectivity::Partitioned => (
+                    cfg.subcores_per_sm,
+                    cfg.rf_banks_per_subcore,
+                    cfg.cus_per_subcore,
+                    1,
+                    cfg.issue_width,
+                    cfg.warp_slots_per_scheduler(),
+                    cfg.rf_regs_per_subcore,
+                ),
+                Connectivity::FullyConnected => (
+                    1,
+                    cfg.rf_banks_per_subcore * cfg.subcores_per_sm,
+                    cfg.cus_per_subcore * cfg.subcores_per_sm,
+                    cfg.subcores_per_sm,
+                    cfg.subcores_per_sm * cfg.issue_width,
+                    cfg.max_warps_per_sm,
+                    cfg.rf_regs_per_subcore * cfg.subcores_per_sm,
+                ),
+            };
+        let domains = (0..num_domains)
+            .map(|_| Domain {
+                selector: (policies.selector)(),
+                warps: Vec::new(),
+                cus: (0..cus).map(|_| CollectorUnit::empty()).collect(),
+                arbiter: Arbiter::new(banks, cfg.score_update_latency),
+                exec: ExecPools::new(&cfg.exec, exec_scale),
+                num_banks: banks,
+                issue_width,
+                warp_capacity: warp_cap,
+                regs_capacity: regs_cap,
+                regs_used: 0,
+                issued: 0,
+                last_issued: None,
+                stalls: StallBreakdown::default(),
+                candidates: Vec::new(),
+            })
+            .collect();
+        let rf_trace =
+            (cfg.stats.record_rf_trace && cfg.stats.trace_sm == id).then(Vec::new);
+        SmCore {
+            id,
+            domains,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            blocks: (0..cfg.max_blocks_per_sm).map(|_| None).collect(),
+            resident_blocks: 0,
+            shared_used: 0,
+            shared_capacity: cfg.shared_mem_per_sm,
+            ibuffer_depth: cfg.ibuffer_depth as usize,
+            bank_stealing: cfg.bank_stealing,
+            line_bytes: cfg.mem.line_bytes,
+            assigner: (policies.assigner)(id as u32),
+            pending_plan: None,
+            age_counter: 0,
+            completions: BinaryHeap::new(),
+            txn_scratch: Vec::new(),
+            finalize_scratch: Vec::new(),
+            rf_trace,
+            grants_this_cycle: 0,
+            issued_total: 0,
+            warp_level_dealloc: cfg.warp_level_dealloc,
+            work_stealing: cfg.work_stealing,
+            rf_write_port_contention: cfg.rf_write_port_contention,
+            write_masks: vec![0; num_domains as usize],
+            live_warps: 0,
+            warp_cycles: 0,
+        }
+    }
+
+    /// True when nothing is resident or in flight.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.resident_blocks == 0 && self.completions.is_empty()
+    }
+
+    /// Attempts to schedule one block of `kernel` on this SM. `block_uid` is
+    /// a globally unique block number used to derive memory stream ids.
+    pub(crate) fn try_accept(&mut self, kernel: &Kernel, block_uid: u64) -> bool {
+        let warps = kernel.warps_per_block();
+        let regs_per_warp = u32::from(kernel.regs_per_thread());
+        let Some(block_slot) = self.blocks.iter().position(Option::is_none) else {
+            return false;
+        };
+        if self.shared_used + kernel.shared_mem_bytes() > self.shared_capacity {
+            return false;
+        }
+        // Plan (or re-use a stashed plan for) the warp → sub-core assignment.
+        let plan = self
+            .pending_plan
+            .take()
+            .unwrap_or_else(|| self.assigner.assign_block(warps, self.domains.len() as u32));
+        debug_assert_eq!(plan.len(), warps as usize);
+        let mut demand = vec![0u32; self.domains.len()];
+        for &d in &plan {
+            demand[d as usize] += 1;
+        }
+        let feasible = self.domains.iter().zip(&demand).all(|(d, &n)| {
+            d.warps.len() as u32 + n <= d.warp_capacity
+                && d.regs_used + n * regs_per_warp <= d.regs_capacity
+        });
+        if !feasible {
+            // Keep the plan: the assigner's warp counter must stay
+            // consistent with what will eventually be placed.
+            self.pending_plan = Some(plan);
+            return false;
+        }
+
+        let mut slots = Vec::with_capacity(warps as usize);
+        let mut free_iter = 0usize;
+        for (w, &dom) in plan.iter().enumerate() {
+            while self.warps[free_iter].is_some() {
+                free_iter += 1;
+            }
+            let slot = free_iter as u32;
+            let program = kernel.program(w as u32);
+            let local_index = self.domains[dom as usize].warps.len() as u32;
+            let ctx = WarpContext {
+                slot,
+                stream_id: block_uid * 64 + w as u64,
+                block_slot,
+                warp_in_block: w as u32,
+                domain: dom,
+                local_index,
+                age: self.age_counter,
+                cursor: program.cursor(),
+                ibuffer: std::collections::VecDeque::with_capacity(self.ibuffer_depth),
+                scoreboard: crate::scoreboard::Scoreboard::new(),
+                run: WarpRun::Ready,
+                outstanding: 0,
+                stall_until: 0,
+                issued: 0,
+            };
+            self.age_counter += 1;
+            self.warps[slot as usize] = Some(ctx);
+            let d = &mut self.domains[dom as usize];
+            d.warps.push(slot);
+            d.regs_used += regs_per_warp;
+            slots.push(slot);
+            free_iter += 1;
+        }
+        self.blocks[block_slot] = Some(BlockState {
+            live_warps: warps,
+            at_barrier: 0,
+            shared_mem: kernel.shared_mem_bytes(),
+            regs_per_warp,
+            warp_slots: slots,
+        });
+        self.shared_used += kernel.shared_mem_bytes();
+        self.resident_blocks += 1;
+        self.live_warps += warps;
+        true
+    }
+
+    /// Advances the SM by one cycle.
+    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+        if self.is_idle() {
+            if let Some(trace) = &mut self.rf_trace {
+                trace.push(0);
+            }
+            return;
+        }
+        self.grants_this_cycle = 0;
+        self.warp_cycles += u64::from(self.live_warps);
+        self.write_masks.iter_mut().for_each(|m| *m = 0);
+        self.writeback(now);
+        // Operand collection: snapshot queue lengths (the scheduler's view),
+        // then grant one request per bank (skipping banks whose port a
+        // writeback consumed, when write contention is modeled).
+        for di in 0..self.domains.len() {
+            let mask = self.write_masks[di];
+            let d = &mut self.domains[di];
+            d.arbiter.snapshot();
+            self.grants_this_cycle += d.arbiter.grant_masked(&mut d.cus, mask);
+        }
+        if self.work_stealing {
+            self.steal_warps(now);
+        }
+        self.dispatch(now, mem);
+        let mut finalize = std::mem::take(&mut self.finalize_scratch);
+        finalize.clear();
+        for di in 0..self.domains.len() {
+            self.issue_domain(di, now, &mut finalize);
+        }
+        if self.bank_stealing {
+            for di in 0..self.domains.len() {
+                self.steal_banks(di, now);
+            }
+        }
+        for bs in finalize.drain(..) {
+            self.free_block(bs);
+        }
+        self.finalize_scratch = finalize;
+        self.fetch();
+        if let Some(trace) = &mut self.rf_trace {
+            trace.push(self.grants_this_cycle.min(u32::from(u16::MAX)) as u16);
+        }
+    }
+
+    fn writeback(&mut self, now: u64) {
+        while let Some(&Reverse((cycle, slot, dst))) = self.completions.peek() {
+            if cycle > now {
+                break;
+            }
+            self.completions.pop();
+            let w = self.warps[slot as usize]
+                .as_mut()
+                .expect("completions never outlive their warp's block");
+            w.outstanding -= 1;
+            if let Some(d) = dst {
+                w.scoreboard.clear(d);
+                if self.rf_write_port_contention {
+                    let dom = w.domain as usize;
+                    let bank = self.domains[dom].bank_of(d, w.local_index);
+                    self.write_masks[dom] |= 1 << bank;
+                }
+            }
+        }
+    }
+
+    /// Idealized work stealing: a sub-core with no *runnable* warps (all
+    /// exited or parked at a barrier) pulls the youngest runnable warp from
+    /// the most-loaded sub-core, paying a register-copy penalty.
+    fn steal_warps(&mut self, now: u64) {
+        let runnable = |warps: &[Option<WarpContext>], s: u32| {
+            warps[s as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready)
+        };
+        for di in 0..self.domains.len() {
+            let recipient_ready = self
+                .domains[di]
+                .warps
+                .iter()
+                .filter(|&&s| runnable(&self.warps, s))
+                .count();
+            if recipient_ready > 0 {
+                continue;
+            }
+            // Donor: the domain with the most runnable warps (needs ≥ 2).
+            let Some((donor, donor_ready)) = (0..self.domains.len())
+                .filter(|&dj| dj != di)
+                .map(|dj| {
+                    let ready = self.domains[dj]
+                        .warps
+                        .iter()
+                        .filter(|&&s| runnable(&self.warps, s))
+                        .count();
+                    (dj, ready)
+                })
+                .max_by_key(|&(_, ready)| ready)
+            else {
+                continue;
+            };
+            if donor_ready < 2 {
+                continue;
+            }
+            // Steal the donor's youngest runnable warp.
+            let Some(&slot) = self
+                .domains[donor]
+                .warps
+                .iter()
+                .rev()
+                .find(|&&s| runnable(&self.warps, s))
+            else {
+                continue;
+            };
+            let regs = {
+                let w = self.warps[slot as usize].as_ref().expect("live warp resident");
+                self.blocks[w.block_slot].as_ref().expect("block resident").regs_per_warp
+            };
+            // Idealized: the stolen warp squats on an extra scheduler-table
+            // entry (real hardware could not), but register capacity is
+            // physical and still binds.
+            if self.domains[di].regs_used + regs > self.domains[di].regs_capacity {
+                continue;
+            }
+            let pos = self.domains[donor]
+                .warps
+                .iter()
+                .position(|&s| s == slot)
+                .expect("slot in donor");
+            self.domains[donor].warps.remove(pos);
+            self.domains[donor].regs_used -= regs;
+            let new_local = self.domains[di].warps.len() as u32;
+            self.domains[di].warps.push(slot);
+            self.domains[di].regs_used += regs;
+            let w = self.warps[slot as usize].as_mut().expect("live warp resident");
+            w.domain = di as u32;
+            w.local_index = new_local;
+            // Register-file copy penalty: regs/2 cycles (two banks move one
+            // 128 B register each per cycle).
+            w.stall_until = now + u64::from(regs / 2);
+        }
+    }
+
+    /// Moves fully collected collector units into execution pipelines.
+    fn dispatch(&mut self, now: u64, mem: &mut MemSystem) {
+        let Self { domains, warps, completions, txn_scratch, id, line_bytes, .. } = self;
+        for d in domains.iter_mut() {
+            for cu in d.cus.iter_mut() {
+                if !(cu.busy && cu.ready) {
+                    continue;
+                }
+                let instr = cu.instr;
+                let op = instr.instr.op;
+                let pipeline = op.pipeline();
+                let slot = cu.warp_slot;
+                let done_at = if let Some(pattern) = instr.instr.mem {
+                    let w = warps[slot as usize].as_ref().expect("warp resident");
+                    match pattern {
+                        MemPattern::SharedConflict { degree } => {
+                            if d.exec.pool_mut(Pipeline::Lsu).try_dispatch(now, 1).is_none() {
+                                continue;
+                            }
+                            mem.access_shared(*id, now, degree)
+                        }
+                        _ => {
+                            txn_scratch.clear();
+                            let ctx = StreamCtx {
+                                stream_id: w.stream_id,
+                                dynamic_index: instr.dyn_idx,
+                            };
+                            let n = coalesce(pattern, ctx, *line_bytes, txn_scratch);
+                            if d.exec
+                                .pool_mut(Pipeline::Lsu)
+                                .try_dispatch(now, n as u64)
+                                .is_none()
+                            {
+                                continue;
+                            }
+                            mem.access_global(*id, now, txn_scratch, !op.is_load())
+                        }
+                    }
+                } else {
+                    match d.exec.pool_mut(pipeline).try_dispatch(now, 1) {
+                        Some(latency) => now + latency,
+                        None => continue,
+                    }
+                };
+                completions.push(Reverse((done_at.max(now + 1), slot, instr.instr.dst)));
+                cu.busy = false;
+                cu.ready = false;
+            }
+        }
+    }
+
+    fn issue_domain(&mut self, di: usize, now: u64, finalize: &mut Vec<usize>) {
+        let Self { domains, warps, blocks, issued_total, live_warps, warp_level_dealloc, .. } =
+            self;
+        let d = &mut domains[di];
+        let mut free_cus = d.cus.iter().filter(|c| !c.busy).count();
+
+        let mut saw_live = false;
+        let mut saw_barrier = false;
+        let mut blocked_scoreboard = 0u32;
+        let mut blocked_no_cu = 0u32;
+
+        let mut candidates = std::mem::take(&mut d.candidates);
+        candidates.clear();
+        for &slot in &d.warps {
+            let w = warps[slot as usize].as_ref().expect("domain warps are resident");
+            match w.run {
+                WarpRun::Exited => continue,
+                WarpRun::AtBarrier => {
+                    saw_barrier = true;
+                    continue;
+                }
+                WarpRun::Ready => saw_live = true,
+            }
+            if now < w.stall_until {
+                continue;
+            }
+            let Some(head) = w.ibuffer.front() else {
+                continue;
+            };
+            let i = head.instr;
+            if i.op == OpClass::Exit && w.outstanding > 0 {
+                blocked_scoreboard += 1;
+                continue;
+            }
+            if !w.scoreboard.clear_of_hazards(i.dst, &i.srcs) {
+                blocked_scoreboard += 1;
+                continue;
+            }
+            if !i.op.is_control() && free_cus == 0 {
+                blocked_no_cu += 1;
+                continue;
+            }
+            let mut banks = [0u8; 3];
+            let mut num_srcs = 0u8;
+            for src in i.sources() {
+                banks[num_srcs as usize] = d.bank_of(src, w.local_index);
+                num_srcs += 1;
+            }
+            candidates.push(IssueCandidate {
+                warp_slot: slot,
+                age: w.age,
+                num_srcs,
+                banks,
+                pipeline: i.op.pipeline(),
+            });
+        }
+
+        let mut issued_any = false;
+        for _ in 0..d.issue_width {
+            if candidates.is_empty() {
+                break;
+            }
+            let view = IssueView {
+                candidates: &candidates,
+                bank_queue_lens: d.arbiter.delayed_lens(),
+                last_issued: d.last_issued,
+            };
+            let Some(ci) = d.selector.select(&view) else {
+                break;
+            };
+            let cand = candidates.swap_remove(ci);
+            let slot = cand.warp_slot;
+            let (decoded, block_slot) = {
+                let w = warps[slot as usize].as_mut().expect("candidate warp resident");
+                let decoded =
+                    w.ibuffer.pop_front().expect("candidate had an ibuffer head");
+                w.issued += 1;
+                (decoded, w.block_slot)
+            };
+            let i = decoded.instr;
+            match i.op {
+                OpClass::Barrier => {
+                    warps[slot as usize].as_mut().expect("resident").run = WarpRun::AtBarrier;
+                    let block =
+                        blocks[block_slot].as_mut().expect("warp's block resident");
+                    block.at_barrier += 1;
+                    if block.at_barrier == block.live_warps {
+                        release_barrier(block, block_slot, warps);
+                    }
+                }
+                OpClass::Exit => {
+                    warps[slot as usize].as_mut().expect("resident").run = WarpRun::Exited;
+                    *live_warps -= 1;
+                    let block =
+                        blocks[block_slot].as_mut().expect("warp's block resident");
+                    block.live_warps -= 1;
+                    if block.live_warps == 0 {
+                        finalize.push(block_slot);
+                    } else if block.at_barrier == block.live_warps && block.at_barrier > 0 {
+                        release_barrier(block, block_slot, warps);
+                    }
+                    if *warp_level_dealloc {
+                        // Xiang et al. [58]: the warp's slot and registers
+                        // free immediately (shared memory and the block
+                        // entry itself still wait for the whole block).
+                        let pos = d
+                            .warps
+                            .iter()
+                            .position(|&s| s == slot)
+                            .expect("warp in its domain");
+                        d.warps.remove(pos);
+                        d.regs_used -= block.regs_per_warp;
+                        warps[slot as usize] = None;
+                    }
+                }
+                _ => {
+                    let cu_idx = d.free_cu().expect("gated on free_cus above");
+                    let cu = &mut d.cus[cu_idx];
+                    cu.busy = true;
+                    cu.ready = cand.num_srcs == 0;
+                    cu.warp_slot = slot;
+                    cu.instr = decoded;
+                    cu.remaining = cand.num_srcs;
+                    for k in 0..cand.num_srcs as usize {
+                        d.arbiter.enqueue(cand.banks[k] as usize, cu_idx as u16);
+                    }
+                    let w = warps[slot as usize].as_mut().expect("resident");
+                    if let Some(dst) = i.dst {
+                        w.scoreboard.set(dst);
+                    }
+                    w.outstanding += 1;
+                    free_cus -= 1;
+                }
+            }
+            d.issued += 1;
+            *issued_total += 1;
+            d.last_issued = Some(slot);
+            issued_any = true;
+            if free_cus == 0 {
+                candidates.retain(|c| c.pipeline == Pipeline::Control);
+            }
+        }
+        d.candidates = candidates;
+
+        if !issued_any {
+            if !saw_live && !saw_barrier {
+                d.stalls.idle += 1;
+            } else if blocked_scoreboard > 0 {
+                d.stalls.scoreboard += 1;
+            } else if blocked_no_cu > 0 {
+                d.stalls.no_collector_unit += 1;
+            } else if saw_barrier && !saw_live {
+                d.stalls.barrier += 1;
+            } else {
+                d.stalls.empty_ibuffer += 1;
+            }
+        }
+    }
+
+    /// The register bank-stealing baseline \[36\]: when a bank's request queue
+    /// is idle and a collector unit is free, pre-allocate the oldest ready
+    /// warp whose operands touch that idle bank, ahead of normal issue.
+    fn steal_banks(&mut self, di: usize, now: u64) {
+        let Self { domains, warps, issued_total, .. } = self;
+        let d = &mut domains[di];
+        for bank in 0..d.num_banks as usize {
+            if !d.arbiter.bank_idle(bank) {
+                continue;
+            }
+            let Some(cu_idx) = d.free_cu() else {
+                return;
+            };
+            // Oldest issuable warp whose head instruction reads this bank.
+            let mut best: Option<(u64, u32)> = None;
+            for &slot in &d.warps {
+                let w = warps[slot as usize].as_ref().expect("resident");
+                if !w.issuable(now) {
+                    continue;
+                }
+                let head = w.ibuffer.front().expect("issuable implies head");
+                let i = head.instr;
+                if i.op.is_control()
+                    || !w.scoreboard.clear_of_hazards(i.dst, &i.srcs)
+                    || !i.sources().any(|s| d.bank_of(s, w.local_index) as usize == bank)
+                {
+                    continue;
+                }
+                if best.is_none_or(|(age, _)| w.age < age) {
+                    best = Some((w.age, slot));
+                }
+            }
+            let Some((_, slot)) = best else {
+                continue;
+            };
+            let w = warps[slot as usize].as_mut().expect("resident");
+            let decoded = w.ibuffer.pop_front().expect("head");
+            let i = decoded.instr;
+            let mut src_banks = [0u8; 3];
+            let mut num_srcs = 0usize;
+            for src in i.sources() {
+                src_banks[num_srcs] = d.bank_of(src, w.local_index);
+                num_srcs += 1;
+            }
+            let cu = &mut d.cus[cu_idx];
+            cu.busy = true;
+            cu.warp_slot = slot;
+            cu.instr = decoded;
+            cu.remaining = num_srcs as u8;
+            cu.ready = num_srcs == 0;
+            for &b in &src_banks[..num_srcs] {
+                d.arbiter.enqueue(b as usize, cu_idx as u16);
+            }
+            if let Some(dst) = i.dst {
+                w.scoreboard.set(dst);
+            }
+            w.outstanding += 1;
+            w.issued += 1;
+            d.issued += 1;
+            *issued_total += 1;
+        }
+    }
+
+    fn free_block(&mut self, block_slot: usize) {
+        let block = self.blocks[block_slot].take().expect("finalized block resident");
+        for &slot in &block.warp_slots {
+            // Under warp-level deallocation the warp may already be gone —
+            // and its slot may even host a *different* block's warp by now,
+            // so only reclaim warps that still belong to this block.
+            if self.warps[slot as usize]
+                .as_ref()
+                .is_none_or(|w| w.block_slot != block_slot)
+            {
+                continue;
+            }
+            let w = self.warps[slot as usize].take().expect("checked above");
+            debug_assert_eq!(w.run, WarpRun::Exited);
+            debug_assert_eq!(w.outstanding, 0);
+            let d = &mut self.domains[w.domain as usize];
+            d.regs_used -= block.regs_per_warp;
+            let pos = d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
+            d.warps.remove(pos);
+        }
+        self.shared_used -= block.shared_mem;
+        self.resident_blocks -= 1;
+    }
+
+    fn fetch(&mut self) {
+        for w in self.warps.iter_mut().flatten() {
+            if w.run != WarpRun::Ready || w.ibuffer.len() >= self.ibuffer_depth {
+                continue;
+            }
+            if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
+                w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+            }
+        }
+    }
+
+    // ---- statistics accessors -------------------------------------------
+
+    pub(crate) fn issued_per_scheduler(&self) -> Vec<u64> {
+        self.domains.iter().map(|d| d.issued).collect()
+    }
+
+    pub(crate) fn issued_total(&self) -> u64 {
+        self.issued_total
+    }
+
+    pub(crate) fn rf_stats(&self) -> (u64, u64) {
+        let mut grants = 0;
+        let mut conflicts = 0;
+        for d in &self.domains {
+            let (g, c) = d.arbiter.stats();
+            grants += g;
+            conflicts += c;
+        }
+        (grants, conflicts)
+    }
+
+    pub(crate) fn stalls(&self) -> StallBreakdown {
+        let mut s = StallBreakdown::default();
+        for d in &self.domains {
+            s.add(&d.stalls);
+        }
+        s
+    }
+
+    pub(crate) fn take_rf_trace(&mut self) -> Vec<u16> {
+        self.rf_trace.take().unwrap_or_default()
+    }
+
+    pub(crate) fn pipe_dispatched(&self) -> [u64; 6] {
+        let mut total = [0u64; 6];
+        for d in &self.domains {
+            for (t, v) in total.iter_mut().zip(d.exec.dispatched_by_class()) {
+                *t += v;
+            }
+        }
+        total
+    }
+
+    pub(crate) fn warp_cycles(&self) -> u64 {
+        self.warp_cycles
+    }
+}
+
+/// Wakes every warp of the block in `block_slot` waiting at the barrier.
+/// Slots freed by warp-level deallocation (possibly reused by another
+/// block's warps) are skipped via the block-identity check.
+fn release_barrier(block: &mut BlockState, block_slot: usize, warps: &mut [Option<WarpContext>]) {
+    for &slot in &block.warp_slots {
+        if let Some(w) = warps[slot as usize].as_mut() {
+            if w.block_slot == block_slot && w.run == WarpRun::AtBarrier {
+                w.run = WarpRun::Ready;
+            }
+        }
+    }
+    block.at_barrier = 0;
+}

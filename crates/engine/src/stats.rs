@@ -1,0 +1,222 @@
+//! Simulation statistics.
+
+use subcore_mem::MemStats;
+
+/// Why a scheduler slot failed to issue in a given cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// No resident live warps at all.
+    pub idle: u64,
+    /// All live warps waiting at a block barrier.
+    pub barrier: u64,
+    /// Ready instructions existed but every collector unit was busy.
+    pub no_collector_unit: u64,
+    /// Warps had instructions but all were scoreboard-blocked.
+    pub scoreboard: u64,
+    /// Warps were runnable but instruction buffers were empty (fetch
+    /// shadow or drained program).
+    pub empty_ibuffer: u64,
+}
+
+impl StallBreakdown {
+    /// Total stalled scheduler-cycles.
+    pub fn total(&self) -> u64 {
+        self.idle + self.barrier + self.no_collector_unit + self.scoreboard + self.empty_ibuffer
+    }
+
+    pub(crate) fn add(&mut self, other: &StallBreakdown) {
+        self.idle += other.idle;
+        self.barrier += other.barrier;
+        self.no_collector_unit += other.no_collector_unit;
+        self.scoreboard += other.scoreboard;
+        self.empty_ibuffer += other.empty_ibuffer;
+    }
+}
+
+/// Results of simulating an application (or single kernel) to completion.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total warp instructions issued.
+    pub instructions: u64,
+    /// Instructions issued per `[sm][scheduler]` — the input to the paper's
+    /// Fig. 17 coefficient-of-variation metric.
+    pub issued_per_scheduler: Vec<Vec<u64>>,
+    /// Register-file read grants (each is a warp-wide, 32-lane read).
+    pub rf_reads: u64,
+    /// Register reads whose request queued behind another request for the
+    /// same bank.
+    pub rf_conflict_enqueues: u64,
+    /// Optional per-cycle read-grant trace of the traced SM (Fig. 14);
+    /// empty unless [`crate::StatsConfig::record_rf_trace`] was set.
+    pub rf_read_trace: Vec<u16>,
+    /// Scheduler stall attribution.
+    pub stalls: StallBreakdown,
+    /// Memory system counters.
+    pub mem: MemStats,
+    /// Cycle at which each kernel of the app finished draining.
+    pub kernel_end_cycles: Vec<u64>,
+    /// Instructions dispatched per execution pipeline class, in
+    /// [`subcore_isa::Pipeline`] dense-index order (fma, alu, fp64, sfu,
+    /// tensor, lsu).
+    pub pipe_dispatched: [u64; 6],
+    /// Sum over cycles of live resident warps (all SMs) — divide by
+    /// `cycles × SMs` for average occupancy.
+    pub warp_cycles: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean, over SMs that issued anything, of the coefficient of variation
+    /// of per-scheduler issued-instruction counts — the paper's Fig. 17
+    /// balance metric (`c_v = σ / μ`, population σ).
+    ///
+    /// Returns `None` for fully-connected runs (a single scheduler domain
+    /// has no variation to measure) or if nothing was issued.
+    pub fn issue_cv(&self) -> Option<f64> {
+        let mut cvs = Vec::new();
+        for sm in &self.issued_per_scheduler {
+            if sm.len() < 2 {
+                return None;
+            }
+            let total: u64 = sm.iter().sum();
+            if total == 0 {
+                continue;
+            }
+            let n = sm.len() as f64;
+            let mean = total as f64 / n;
+            let var = sm.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+            cvs.push(var.sqrt() / mean);
+        }
+        if cvs.is_empty() {
+            None
+        } else {
+            Some(cvs.iter().sum::<f64>() / cvs.len() as f64)
+        }
+    }
+
+    /// Average register-file read grants per cycle (multiply by 32 for the
+    /// paper's "reads per cycle" units, which count per-thread 4 B reads).
+    pub fn rf_reads_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rf_reads as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average register-file read grants per cycle *per SM* (the paper's
+    /// Fig. 14 axis is per-SM, with a peak of 8 grants = 256 per-thread
+    /// reads on the V100 model).
+    pub fn rf_reads_per_cycle_per_sm(&self) -> f64 {
+        let sms = self.issued_per_scheduler.len().max(1);
+        self.rf_reads_per_cycle() / sms as f64
+    }
+
+    /// Average live warps resident per SM (occupancy; 64 is the V100 max).
+    pub fn avg_occupancy(&self) -> f64 {
+        let sms = self.issued_per_scheduler.len().max(1);
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.warp_cycles as f64 / self.cycles as f64 / sms as f64
+        }
+    }
+}
+
+/// Errors produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configured cycle limit was reached before the workload drained —
+    /// almost always a deadlocked workload (e.g. a barrier no warp can
+    /// reach) or a pathologically undersized limit.
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A kernel requires more resources than one SM provides (it could
+    /// never be scheduled).
+    KernelUnschedulable {
+        /// Name of the offending kernel.
+        kernel: String,
+        /// Human-readable description of the resource that does not fit.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the {limit}-cycle safety limit")
+            }
+            SimError::KernelUnschedulable { kernel, reason } => {
+                write!(f, "kernel `{kernel}` can never be scheduled: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let s = RunStats::default();
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn cv_balanced_is_zero() {
+        let s = RunStats {
+            issued_per_scheduler: vec![vec![100, 100, 100, 100]],
+            ..Default::default()
+        };
+        assert_eq!(s.issue_cv(), Some(0.0));
+    }
+
+    #[test]
+    fn cv_pathological_imbalance() {
+        let s = RunStats {
+            issued_per_scheduler: vec![vec![400, 0, 0, 0]],
+            ..Default::default()
+        };
+        // σ of [400,0,0,0] is 173.2, μ = 100 → cv = √3 ≈ 1.732.
+        let cv = s.issue_cv().unwrap();
+        assert!((cv - 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_none_for_fully_connected() {
+        let s = RunStats { issued_per_scheduler: vec![vec![100]], ..Default::default() };
+        assert_eq!(s.issue_cv(), None);
+    }
+
+    #[test]
+    fn stall_totals_add_up() {
+        let mut a = StallBreakdown { idle: 1, barrier: 2, ..Default::default() };
+        let b = StallBreakdown { scoreboard: 3, ..Default::default() };
+        a.add(&b);
+        assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SimError::CycleLimitExceeded { limit: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = SimError::KernelUnschedulable { kernel: "k".into(), reason: "too fat".into() };
+        assert!(e.to_string().contains("too fat"));
+    }
+}

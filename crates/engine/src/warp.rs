@@ -1,0 +1,74 @@
+//! Per-warp execution state.
+
+use crate::scoreboard::Scoreboard;
+use std::collections::VecDeque;
+use subcore_isa::{Cursor, Instruction};
+
+/// A decoded instruction waiting in a warp's instruction buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DecodedInstr {
+    pub instr: Instruction,
+    /// Dynamic index within the warp's program (drives streaming memory
+    /// patterns).
+    pub dyn_idx: u64,
+}
+
+/// Lifecycle state of a resident warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WarpRun {
+    /// Eligible to fetch and issue.
+    Ready,
+    /// Issued a barrier and waiting for the rest of its block.
+    AtBarrier,
+    /// Issued `exit`. The warp keeps its slot and registers until its whole
+    /// block completes — the block-granularity deallocation that produces
+    /// the paper's sub-core imbalance stalls.
+    Exited,
+}
+
+/// All state for one warp resident on an SM.
+#[derive(Debug)]
+pub(crate) struct WarpContext {
+    /// SM-wide warp slot.
+    #[allow(dead_code)]
+    pub slot: u32,
+    /// Globally unique id used to derive independent memory streams.
+    pub stream_id: u64,
+    /// Index into the SM's resident-block table.
+    pub block_slot: usize,
+    /// Warp id within its block (`threadIdx / 32`).
+    #[allow(dead_code)]
+    pub warp_in_block: u32,
+    /// Scheduler domain (sub-core) the warp is pinned to.
+    pub domain: u32,
+    /// Index within the sub-core's scheduler table at assignment time; the
+    /// register-file bank swizzle is derived from this (register banks are
+    /// sub-core-local structures).
+    pub local_index: u32,
+    /// Allocation age: smaller = assigned earlier (GTO "oldest").
+    pub age: u64,
+    /// Position in the warp's trace.
+    pub cursor: Cursor,
+    /// Decoded instructions awaiting issue.
+    pub ibuffer: VecDeque<DecodedInstr>,
+    /// Pending register writes.
+    pub scoreboard: Scoreboard,
+    /// Lifecycle state.
+    pub run: WarpRun,
+    /// Instructions issued but not yet completed (exit waits for zero so no
+    /// completion can outlive the warp's block).
+    pub outstanding: u32,
+    /// The warp may not issue before this cycle (used by the idealized
+    /// work-stealing option to charge a register-migration penalty).
+    pub stall_until: u64,
+    /// Dynamic instructions issued by this warp (stat).
+    pub issued: u64,
+}
+
+impl WarpContext {
+    /// True if the warp can appear in the issue-candidate list at `now`.
+    #[inline]
+    pub fn issuable(&self, now: u64) -> bool {
+        self.run == WarpRun::Ready && !self.ibuffer.is_empty() && now >= self.stall_until
+    }
+}

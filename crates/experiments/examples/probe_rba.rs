@@ -1,0 +1,46 @@
+//! Diagnostic probe: per-app RBA / CU-scaling / fully-connected comparison
+//! with stall attribution — the tool used to calibrate the register-bound
+//! workload classes against the paper's §VI-B results.
+//!
+//! ```text
+//! cargo run --release -p subcore-experiments --example probe_rba [app]...
+//! ```
+
+use subcore_experiments::{run_design, speedup, suite_base};
+use subcore_sched::Design;
+use subcore_workloads::app_by_name;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        vec!["pb-mriq", "rod-srad", "cg-pgrnk", "ply-2Dcon"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in names {
+        let Some(app) = app_by_name(name) else {
+            eprintln!("unknown app `{name}` (see subcore_workloads::all_apps)");
+            continue;
+        };
+        let base = run_design(&suite_base(), Design::Baseline, &app);
+        println!(
+            "{name}: base cycles={} ipc={:.2} conflicts/instr={:.2} \
+             stalls: nocu={} sb={} bar={}",
+            base.cycles,
+            base.ipc(),
+            base.rf_conflict_enqueues as f64 / base.instructions as f64,
+            base.stalls.no_collector_unit,
+            base.stalls.scoreboard,
+            base.stalls.barrier,
+        );
+        for d in [Design::Rba, Design::CuScaling(4), Design::FullyConnected] {
+            let s = run_design(&suite_base(), d, &app);
+            println!(
+                "   {:16} {:+6.1}%  ({:.2} reads/cyc/SM)",
+                d.label(),
+                100.0 * (speedup(&base, &s) - 1.0),
+                32.0 * s.rf_reads_per_cycle_per_sm(),
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Diagnostic probe: SRR speedup and baseline issue-CV for all 22 TPC-H
+//! queries — the tool used to calibrate the per-query shape table against
+//! the paper's Figs. 15–17.
+//!
+//! ```text
+//! cargo run --release -p subcore-experiments --example probe_tpch_all [c]
+//! ```
+//!
+//! Pass `c` to probe the compressed variant.
+
+use subcore_experiments::{run_design, speedup, tpch_base};
+use subcore_sched::Design;
+use subcore_workloads::tpch_query;
+
+fn main() {
+    let compressed = std::env::args().nth(1).as_deref() == Some("c");
+    let mut sp_sum = 0.0;
+    let mut cv_sum = 0.0;
+    for q in 1..=22u32 {
+        let app = tpch_query(q, compressed);
+        let base = run_design(&tpch_base(), Design::Baseline, &app);
+        let srr = run_design(&tpch_base(), Design::Srr, &app);
+        let sp = 100.0 * (speedup(&base, &srr) - 1.0);
+        let cv = base.issue_cv().unwrap_or(f64::NAN);
+        sp_sum += sp;
+        cv_sum += cv;
+        println!("q{q:<2} srr {sp:+6.1}%  cv={cv:.2}");
+    }
+    println!("MEAN srr {:+.1}%  cv={:.2}", sp_sum / 22.0, cv_sum / 22.0);
+}

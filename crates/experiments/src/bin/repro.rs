@@ -1,0 +1,113 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment>... | all [--out DIR]
+//!
+//! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
+//!              fig16 fig17 fig18 latency banks hashtable contribution
+//! ```
+//!
+//! Each experiment prints its table(s) and writes `<out>/<name>.csv`
+//! (default `results/`). Pass `--bars` to also render each table's first
+//! column as an ASCII bar chart.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use subcore_experiments::figs;
+use subcore_experiments::Table;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "latency", "banks", "hashtable", "contribution",
+    "ext-imbalance", "ext-dual-issue", "ext-memory", "ext-schedulers", "characterize",
+    "topdown",
+];
+
+fn run_one(name: &str) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig1" => vec![figs::fig01::run()],
+        "fig3" => vec![figs::fig03::run()],
+        "fig8" => vec![figs::fig08::run()],
+        "fig9" => vec![figs::fig09::run()],
+        "fig10" => vec![figs::fig10::run()],
+        "fig11" => vec![figs::fig11::run()],
+        "fig12" => vec![figs::fig12::run()],
+        "fig13" => vec![figs::fig13::run()],
+        "fig14" => {
+            let mut ts = vec![figs::fig14::run()];
+            ts.extend(figs::fig14::traces(256));
+            ts
+        }
+        "fig15" => vec![figs::fig15_16::run(true)],
+        "fig16" => vec![figs::fig15_16::run(false)],
+        "fig17" => vec![figs::fig17::run()],
+        "fig18" => vec![figs::fig18::run()],
+        "latency" => vec![figs::ablations::score_latency()],
+        "banks" => vec![figs::ablations::bank_scaling()],
+        "hashtable" => vec![figs::ablations::hash_table_size()],
+        "contribution" => vec![figs::ablations::contribution()],
+        "ext-imbalance" => vec![figs::extensions::imbalance_mechanisms()],
+        "ext-dual-issue" => vec![figs::extensions::dual_issue()],
+        "ext-memory" => vec![figs::extensions::memory_model_robustness()],
+        "ext-schedulers" => vec![figs::extensions::scheduler_comparison()],
+        "characterize" => vec![figs::characterization::run()],
+        "topdown" => figs::topdown::run(),
+        _ => return None,
+    };
+    Some(tables)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results");
+    let bars = if let Some(i) = args.iter().position(|a| a == "--bars") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if i + 1 >= args.len() {
+            eprintln!("--out needs a directory argument");
+            return ExitCode::FAILURE;
+        }
+        out_dir = PathBuf::from(args.remove(i + 1));
+        args.remove(i);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars]");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    if args.iter().any(|a| a == "summary") {
+        print!("{}", subcore_experiments::summary::render(&out_dir));
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in &selected {
+        let start = Instant::now();
+        let Some(tables) = run_one(name) else {
+            eprintln!("unknown experiment `{name}`; known: {}", EXPERIMENTS.join(" "));
+            return ExitCode::FAILURE;
+        };
+        for table in &tables {
+            println!("{}", table.render());
+            if bars && !table.columns.is_empty() {
+                println!("{}", table.render_bars(0));
+            }
+            if let Err(e) = table.save_csv(&out_dir) {
+                eprintln!("failed to write {}: {e}", out_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("[{name}] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
+    }
+    ExitCode::SUCCESS
+}

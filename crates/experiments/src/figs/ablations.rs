@@ -1,0 +1,114 @@
+//! The paper's ablation studies: RBA score-update latency (§VI-B4), RBA
+//! bank scaling (§VI-B5), and Shuffle hash-table sizing (§IV-B3).
+
+use crate::report::Table;
+use crate::runner::{mean, parallel_map, run_design, speedup, suite_base};
+use crate::sweep::append_summaries;
+use subcore_sched::Design;
+use subcore_workloads::{apps_in_suite, rf_sensitive_apps, sensitive_apps};
+use subcore_isa::Suite;
+
+/// §VI-B4: RBA with score-update latencies 0–20 cycles on the RF-sensitive
+/// apps. Paper: < 0.1 % average degradation; worst case (ply-2Dcon) drops
+/// from +24.2 % to +19.2 % at 20 cycles.
+pub fn score_latency() -> Table {
+    let latencies = [0u32, 2, 5, 10, 20];
+    let mut table = Table::new(
+        "abl_score_latency",
+        "RBA speedup vs. score-update latency (RF-sensitive apps)",
+        latencies.iter().map(|l| format!("lat{l}")).collect(),
+    );
+    let rows = parallel_map(rf_sensitive_apps(), |app| {
+        let base = run_design(&suite_base(), Design::Baseline, app);
+        let sp: Vec<f64> = latencies
+            .iter()
+            .map(|&l| speedup(&base, &run_design(&suite_base(), Design::RbaLatency(l), app)))
+            .collect();
+        (app.name().to_owned(), sp)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    append_summaries(&mut table);
+    table
+}
+
+/// §VI-B5: RBA effectiveness with 2 vs. 4 banks per sub-core. Each column
+/// is RBA's speedup over the *same-bank-count* GTO baseline. Paper: 19.3 %
+/// at 2 banks drops to 15.4 % at 4 banks (a wider read stage leaves RBA
+/// less to recover).
+pub fn bank_scaling() -> Table {
+    let banks = [2u32, 4];
+    let mut table = Table::new(
+        "abl_bank_scaling",
+        "RBA speedup over same-bank GTO baseline (sensitive apps)",
+        banks.iter().map(|b| format!("{b}banks")).collect(),
+    );
+    let rows = parallel_map(rf_sensitive_apps(), |app| {
+        let sp: Vec<f64> = banks
+            .iter()
+            .map(|&b| {
+                let base = run_design(&suite_base(), Design::Banks(b), app);
+                let rba = run_design(&suite_base(), Design::RbaBanks(b), app);
+                speedup(&base, &rba)
+            })
+            .collect();
+        (app.name().to_owned(), sp)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    append_summaries(&mut table);
+    table
+}
+
+/// §IV-B3: Shuffle with the 4-entry vs. full 16-entry hash table, per
+/// suite. Paper: within 2 % of each other across all suites.
+pub fn hash_table_size() -> Table {
+    let mut table = Table::new(
+        "abl_hash_table",
+        "Shuffle speedup over GTO+RR: 4-entry vs. 16-entry table (suite means)",
+        vec!["table4".into(), "table16".into(), "fresh".into()],
+    );
+    let suites = [
+        Suite::TpchUncompressed,
+        Suite::TpchCompressed,
+        Suite::Parboil,
+        Suite::Rodinia,
+        Suite::CuGraph,
+        Suite::Polybench,
+        Suite::Deepbench,
+        Suite::Cutlass,
+    ];
+    let rows = parallel_map(suites.to_vec(), |&suite| {
+        let apps = apps_in_suite(suite);
+        let mut s4 = Vec::new();
+        let mut s16 = Vec::new();
+        let mut fresh = Vec::new();
+        for app in &apps {
+            let base = run_design(&suite_base(), Design::Baseline, app);
+            s4.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(4), app)));
+            s16.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(16), app)));
+            fresh.push(speedup(&base, &run_design(&suite_base(), Design::Shuffle, app)));
+        }
+        (suite.prefix().to_owned(), vec![mean(&s4), mean(&s16), mean(&fresh)])
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}
+
+/// Extra ablation (beyond the paper): how much each half of the combined
+/// design contributes, on the sensitive subset.
+pub fn contribution() -> Table {
+    let designs =
+        [Design::Rba, Design::Srr, Design::Shuffle, Design::SrrRba, Design::ShuffleRba];
+    crate::sweep::speedup_table(
+        "abl_contribution",
+        "Mechanism contribution on sensitive apps",
+        &suite_base(),
+        &sensitive_apps(),
+        &designs,
+    )
+}

@@ -1,0 +1,64 @@
+//! Workload characterization (an extended Table III): static statistics of
+//! every registry application, computed with `subcore-isa`'s analysis
+//! tools.
+
+use crate::report::Table;
+use crate::runner::parallel_map;
+use subcore_isa::KernelProfile;
+use subcore_workloads::all_apps;
+
+/// Builds the characterization table: dynamic instructions, average
+/// register source operands per instruction, memory-instruction fraction,
+/// and the worst per-block inter-warp imbalance ratio across the app's
+/// kernels.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "workload_characterization",
+        "Static characterization of the 112-app registry",
+        vec![
+            "kinsts".into(),
+            "ops/inst".into(),
+            "mem-frac".into(),
+            "imbalance".into(),
+        ],
+    );
+    let rows = parallel_map(all_apps(), |app| {
+        let profiles: Vec<KernelProfile> = app.kernels().iter().map(KernelProfile::of).collect();
+        let insts: u64 = app.total_dynamic_instructions();
+        let total_block: u64 = profiles.iter().map(|p| p.block_profile.instructions).sum();
+        let ops: u64 = profiles.iter().map(|p| p.block_profile.source_operands).sum();
+        let mem: u64 = profiles.iter().map(|p| p.block_profile.memory_instructions).sum();
+        let imbalance =
+            profiles.iter().map(|p| p.imbalance_ratio()).fold(1.0f64, f64::max);
+        (
+            app.name().to_owned(),
+            vec![
+                insts as f64 / 1000.0,
+                ops as f64 / total_block.max(1) as f64,
+                mem as f64 / total_block.max(1) as f64,
+                imbalance,
+            ],
+        )
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn characterization_covers_registry() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 112);
+        // TPC-H q8's join kernel is the most imbalanced uncompressed query.
+        let q8 = t.get("tpcU-q8", "imbalance").unwrap();
+        let q6 = t.get("tpcU-q6", "imbalance").unwrap();
+        assert!(q8 > q6, "q8 ({q8:.2}) more imbalanced than q6 ({q6:.2})");
+        // Register-bound apps average more than 2 source operands.
+        assert!(t.get("pb-mriq", "ops/inst").unwrap() > 2.0);
+        // Streaming apps have a visible memory fraction.
+        assert!(t.get("pb-sad", "mem-frac").unwrap() > 0.2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 1: speedup of a hypothetical fully-connected SM over the 4-way
+//! partitioned Volta SM, across all 112 applications.
+//!
+//! Paper headline: 13.2 % average speedup, i.e. the performance left on the
+//! table by sub-core partitioning.
+
+use crate::report::Table;
+use crate::runner::suite_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::all_apps;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    speedup_table(
+        "fig01_fc_speedup",
+        "Fully-connected SM speedup over 4-way partitioned (112 apps)",
+        &suite_base(),
+        &all_apps(),
+        &[Design::FullyConnected],
+    )
+}

@@ -1,0 +1,64 @@
+//! Fig. 8: simulated performance of the unbalanced FMA microbenchmark as
+//! the amount of inter-warp divergence scales, under each sub-core
+//! assignment design.
+//!
+//! The unbalanced FMA app has one long warp every 4 warps, the exact
+//! pattern SRR was crafted for, so SRR is optimal at every scale; Shuffle
+//! eliminates the pathological all-on-one-sub-core placement but is
+//! increasingly below SRR as imbalance grows; round-robin (baseline)
+//! degrades steeply.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_design, speedup, suite_base};
+use subcore_sched::Design;
+use subcore_workloads::fma_unbalanced_scaled;
+
+/// Imbalance multipliers swept (long warps run `scale`× the short warps).
+pub const SCALES: [u32; 6] = [1, 2, 4, 8, 16, 32];
+/// Base FMAs per short warp.
+const BASE_FMAS: u32 = 96;
+/// Thread blocks.
+const BLOCKS: u32 = 8;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    let designs = [Design::Srr, Design::Shuffle];
+    let mut table = Table::new(
+        "fig08_imbalance_scaling",
+        "Unbalanced FMA: speedup over round-robin as imbalance scales",
+        designs.iter().map(Design::label).collect(),
+    );
+    let rows = parallel_map(SCALES.to_vec(), |&scale| {
+        let app = fma_unbalanced_scaled(BLOCKS, BASE_FMAS, scale);
+        let base = run_design(&suite_base(), Design::Baseline, &app);
+        let speedups = designs
+            .iter()
+            .map(|&d| speedup(&base, &run_design(&suite_base(), d, &app)))
+            .collect();
+        (format!("imbalance-x{scale}"), speedups)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srr_dominates_and_gains_grow() {
+        let t = run();
+        let srr_small = t.get("imbalance-x2", "srr").unwrap();
+        let srr_big = t.get("imbalance-x16", "srr").unwrap();
+        assert!(srr_big > srr_small, "SRR gains grow with imbalance");
+        assert!(srr_big > 1.5, "large imbalance leaves lots to recover, got {srr_big:.2}");
+        // SRR >= Shuffle at high imbalance (SRR matches the pattern exactly).
+        let sh_big = t.get("imbalance-x16", "shuffle").unwrap();
+        assert!(srr_big >= sh_big * 0.98, "srr {srr_big:.2} vs shuffle {sh_big:.2}");
+        // Both are ≈ neutral when there is no imbalance.
+        let srr_one = t.get("imbalance-x1", "srr").unwrap();
+        assert!((srr_one - 1.0).abs() < 0.15);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fig. 9: design performance on all 112 applications — speedup normalized
+//! to the GTO warp scheduler + round-robin sub-core scheduler baseline.
+//!
+//! Paper headlines: Shuffle+RBA averages +10.6 %, 2.6 points below the
+//! fully-connected SM's +13.2 %; RBA beats fully-connected on some apps.
+
+use crate::report::Table;
+use crate::runner::suite_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::all_apps;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    speedup_table(
+        "fig09_all_apps",
+        "Design speedup over GTO+RR on all 112 applications",
+        &suite_base(),
+        &all_apps(),
+        &Design::FIGURE9,
+    )
+}

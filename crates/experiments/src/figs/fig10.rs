@@ -1,0 +1,23 @@
+//! Fig. 10: summary design performance on the applications sensitive to SM
+//! subdivision (Table III subset), including the CU-scaling and register
+//! bank-stealing comparison points.
+//!
+//! Paper headlines: RBA +11.1 % (vs. +4.1 % for doubling CUs and <1 % for
+//! bank stealing); SRR/Shuffle recover the TPC-H imbalance.
+
+use crate::report::Table;
+use crate::runner::suite_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::sensitive_apps;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    speedup_table(
+        "fig10_sensitive",
+        "Design speedup over GTO+RR on partitioning-sensitive applications",
+        &suite_base(),
+        &sensitive_apps(),
+        &Design::FIGURE10,
+    )
+}

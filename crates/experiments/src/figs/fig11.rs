@@ -1,0 +1,23 @@
+//! Fig. 11: RBA improves the *fully-connected* SM too, in register-file
+//! sensitive applications.
+//!
+//! Paper headline: on apps where RBA beats fully-connected, adding RBA on
+//! top of the fully-connected SM lifts its geomean speedup from 6.1 % to
+//! 19.6 % — bank-aware issue helps even with 8 visible banks.
+
+use crate::report::Table;
+use crate::runner::suite_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::rf_sensitive_apps;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    speedup_table(
+        "fig11_fc_rba",
+        "Fully-connected SM with and without RBA on RF-sensitive apps",
+        &suite_base(),
+        &rf_sensitive_apps(),
+        &[Design::Rba, Design::FullyConnected, Design::FcRba],
+    )
+}

@@ -1,0 +1,30 @@
+//! Fig. 12: collector-unit scaling speedup, normalized to 2 CUs/sub-core
+//! (banks held constant at 2), compared against RBA and the
+//! fully-connected SM.
+//!
+//! Paper headlines: 4/8/16 CUs → +4.1 / +7.1 / +9.6 % with clearly
+//! diminishing returns; RBA (+11.9 % on this subset) outperforms all of
+//! them at ~1 % of the cost.
+
+use crate::report::Table;
+use crate::runner::suite_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::sensitive_apps;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    speedup_table(
+        "fig12_cu_scaling",
+        "CU scaling vs. RBA vs. fully-connected (speedup over 2 CUs/sub-core)",
+        &suite_base(),
+        &sensitive_apps(),
+        &[
+            Design::CuScaling(4),
+            Design::CuScaling(8),
+            Design::CuScaling(16),
+            Design::Rba,
+            Design::FullyConnected,
+        ],
+    )
+}

@@ -1,0 +1,40 @@
+//! Fig. 13: area and power cost of scaling collector units versus the RBA
+//! design, normalized to the 2-CU baseline. All designs include the warp
+//! issue scheduler, operand collector, and two register-file banks.
+//!
+//! Paper headlines (45 nm Genus + OpenRAM): 4 CUs → +27 % area / +60 %
+//! power; RBA → ≈ +1 % of each.
+
+use crate::report::Table;
+use subcore_power::CostModel;
+
+/// Runs the (analytic) experiment.
+pub fn run() -> Table {
+    let model = CostModel::calibrated_45nm();
+    let mut table = Table::new(
+        "fig13_area_power",
+        "Sub-core issue/operand-read path cost, normalized to 2 CUs",
+        vec!["area".into(), "power".into()],
+    );
+    for cus in [2u32, 3, 4, 8, 16] {
+        let c = model.normalized_cost(cus, 2, false);
+        table.push_row(format!("{cus}cu"), vec![c.area, c.power]);
+    }
+    let rba = model.normalized_cost(2, 2, true);
+    table.push_row("rba", vec![rba.area, rba.power]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn headline_numbers() {
+        let t = super::run();
+        let area4 = t.get("4cu", "area").unwrap();
+        let power4 = t.get("4cu", "power").unwrap();
+        assert!((area4 - 1.27).abs() < 0.04, "{area4}");
+        assert!((power4 - 1.60).abs() < 0.06, "{power4}");
+        assert!(t.get("rba", "area").unwrap() < 1.02);
+        assert!(t.get("rba", "power").unwrap() < 1.02);
+    }
+}

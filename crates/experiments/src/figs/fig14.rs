@@ -1,0 +1,109 @@
+//! Fig. 14: register-file read throughput over time for pb-mriq and
+//! rod-srad, under baseline, RBA, and fully-connected designs.
+//!
+//! The paper plots 4-byte reads per cycle across one SM's execution (max
+//! 256 = 8 banks × 32 lanes) and the whole-run average in red. The table
+//! reports the averages (paper, rod-srad: 22.2 / 27.1 / 23.4 reads per
+//! cycle for baseline / RBA / fully-connected — RBA lifts *average*
+//! utilization above fully-connected); the per-cycle traces are saved as
+//! companion tables by the binary.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_design, suite_base};
+use subcore_engine::RunStats;
+use subcore_sched::Design;
+use subcore_workloads::app_by_name;
+
+/// The two applications plotted in the paper.
+pub const APPS: [&str; 2] = ["pb-mriq", "rod-srad"];
+/// The designs compared.
+pub const DESIGNS: [Design; 3] = [Design::Baseline, Design::Rba, Design::FullyConnected];
+
+fn traced(design: Design, app_name: &str) -> RunStats {
+    let mut cfg = suite_base();
+    cfg.stats.record_rf_trace = true;
+    cfg.stats.trace_sm = 0;
+    let app = app_by_name(app_name).expect("registry app");
+    run_design(&cfg, design, &app)
+}
+
+/// Runs the experiment: average 4-byte reads per cycle (grants × 32 lanes).
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "fig14_rf_reads",
+        "Average RF reads/cycle per SM (4-byte reads; max 256)",
+        DESIGNS.iter().map(Design::label).collect(),
+    );
+    let rows = parallel_map(APPS.to_vec(), |&name| {
+        let avgs: Vec<f64> = DESIGNS
+            .iter()
+            .map(|&d| {
+                let stats = traced(d, name);
+                // Reads of the traced SM only, in the paper's per-thread
+                // 4-byte units.
+                let trace = &stats.rf_read_trace;
+                let grants: u64 = trace.iter().map(|&g| u64::from(g)).sum();
+                32.0 * grants as f64 / trace.len().max(1) as f64
+            })
+            .collect();
+        (name.to_owned(), avgs)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}
+
+/// Produces the per-cycle read traces (downsampled by averaging over
+/// `stride`-cycle windows) as one table per app, for plotting.
+pub fn traces(stride: usize) -> Vec<Table> {
+    APPS.iter()
+        .map(|&name| {
+            let traces: Vec<Vec<u16>> =
+                DESIGNS.iter().map(|&d| traced(d, name).rf_read_trace).collect();
+            let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
+            let mut t = Table::new(
+                format!("fig14_trace_{}", name.replace('-', "_")),
+                format!("RF reads/cycle trace for {name} (window {stride})"),
+                DESIGNS.iter().map(Design::label).collect(),
+            );
+            let mut w = 0;
+            while w * stride < longest {
+                let lo = w * stride;
+                let values: Vec<f64> = traces
+                    .iter()
+                    .map(|tr| {
+                        if lo >= tr.len() {
+                            return f64::NAN;
+                        }
+                        let hi = (lo + stride).min(tr.len());
+                        let sum: u64 = tr[lo..hi].iter().map(|&g| u64::from(g)).sum();
+                        32.0 * sum as f64 / (hi - lo) as f64
+                    })
+                    .collect();
+                t.push_row(format!("{lo}"), values);
+                w += 1;
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rba_lifts_average_utilization() {
+        let t = run();
+        for app in APPS {
+            let base = t.get(app, "baseline").unwrap();
+            let rba = t.get(app, "rba").unwrap();
+            assert!(base > 0.0 && base <= 256.0);
+            assert!(
+                rba > base,
+                "{app}: RBA should lift average reads/cycle ({rba:.1} vs {base:.1})"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Figs. 15 & 16: per-query TPC-H speedups (compressed and uncompressed
+//! databases), normalized to GTO + round-robin.
+//!
+//! Paper headlines: SRR / Shuffle average +33.1 % / +27.4 % on the
+//! compressed suite (the snappy decompression kernel is extremely
+//! warp-specialized) and +17.5 % / +13.9 % uncompressed; SRR wins every
+//! query because its hash matches the 1-long-warp-in-4 pattern, with
+//! Shuffle within a few percent.
+
+use crate::report::Table;
+use crate::runner::tpch_base;
+use crate::sweep::speedup_table;
+use subcore_sched::Design;
+use subcore_workloads::tpch_suite;
+
+/// Runs one variant (Fig. 15 = compressed, Fig. 16 = uncompressed).
+pub fn run(compressed: bool) -> Table {
+    let (name, title) = if compressed {
+        ("fig15_tpch_compressed", "Compressed TPC-H speedup over GTO+RR")
+    } else {
+        ("fig16_tpch_uncompressed", "Uncompressed TPC-H speedup over GTO+RR")
+    };
+    speedup_table(name, title, &tpch_base(), &tpch_suite(compressed), &Design::TPCH_SET)
+}

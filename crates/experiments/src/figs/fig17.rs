@@ -1,0 +1,37 @@
+//! Fig. 17: coefficient of variation of total instructions issued from each
+//! sub-core scheduler, uncompressed TPC-H.
+//!
+//! Paper headlines: round-robin averages cv ≈ 0.80 (worst: q8 at 1.01);
+//! SRR reduces it to ≈ 0.11; Shuffle lands close to SRR.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_design, tpch_base};
+use crate::sweep::append_summaries;
+use subcore_sched::Design;
+use subcore_workloads::tpch_suite;
+
+/// The assignment designs compared.
+pub const DESIGNS: [Design; 3] = [Design::Baseline, Design::Srr, Design::Shuffle];
+
+/// Runs the experiment: per-query issue CV under each assignment design.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "fig17_issue_cv",
+        "Uncompressed TPC-H: cv of per-scheduler issued instructions",
+        DESIGNS.iter().map(Design::label).collect(),
+    );
+    let rows = parallel_map(tpch_suite(false), |app| {
+        let cvs: Vec<f64> = DESIGNS
+            .iter()
+            .map(|&d| {
+                run_design(&tpch_base(), d, app).issue_cv().expect("partitioned run has CV")
+            })
+            .collect();
+        (app.name().to_owned(), cvs)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    append_summaries(&mut table);
+    table
+}

@@ -1,0 +1,87 @@
+//! Fig. 18: SM-count sensitivity — how many *partitioned* SMs match the
+//! performance of a fully-connected GPU, for compute-bound applications
+//! that benefit from SM scaling.
+//!
+//! Paper headline (at V100 scale): 100 partitioned SMs ≈ 80 fully-connected
+//! SMs; with Shuffle+RBA only 84 partitioned SMs are needed. We run the
+//! same sweep at 1/10 scale (8 fully-connected SMs as the reference,
+//! partitioned counts 8–12) with proportionally sized grids, which
+//! preserves the crossover ratios.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_design, speedup};
+use subcore_engine::GpuConfig;
+use subcore_isa::App;
+use subcore_sched::Design;
+use subcore_workloads::{KernelParams, Mix};
+use subcore_isa::Suite;
+
+/// Reference GPU size (the paper's 80 SMs, scaled by 1/10).
+pub const REFERENCE_SMS: u32 = 8;
+/// Partitioned SM counts swept (the paper sweeps 80–112).
+pub const SM_COUNTS: [u32; 5] = [8, 9, 10, 11, 12];
+
+fn compute_bound_apps() -> Vec<App> {
+    // Dense many-wave grids (≥ 25 blocks per SM at every swept size) so
+    // the sweep measures throughput scaling rather than wave quantization.
+    // The three mixes cover the compute-bound shapes that benefit from SM
+    // scaling in the paper's Fig. 18.
+    let mut apps = Vec::new();
+    for (name, mix, span) in [
+        ("dense-regbound", Mix::register_bound(), 10u8),
+        ("dense-compute", Mix::compute(), 16),
+        ("dense-tiled", Mix::shared_tiled(), 12),
+    ] {
+        let mut p = KernelParams::base(name);
+        p.blocks = 320;
+        p.warps_per_block = 8;
+        p.mix = mix;
+        p.reg_span = span;
+        p.body_len = 16;
+        p.structured_banks = true;
+        p.iters = 12;
+        if matches!(p.mix, m if m.load_shared > 0) {
+            p.shared_mem_bytes = 8 * 1024;
+        }
+        apps.push(subcore_isa::App::new(name, Suite::Micro, vec![p.build()]));
+    }
+    apps
+}
+
+fn cfg_with(sms: u32) -> GpuConfig {
+    let mut cfg = GpuConfig::volta_v100().with_sms(sms);
+    cfg.max_cycles = 80_000_000;
+    cfg
+}
+
+/// Runs the experiment. Values are geomean speedups over the
+/// fully-connected reference GPU (value 1.0 = matches 8 FC SMs).
+pub fn run() -> Table {
+    let apps = compute_bound_apps();
+    let mut table = Table::new(
+        "fig18_sm_scaling",
+        "Partitioned SM scaling vs. 8-SM fully-connected reference (geomean)",
+        vec!["baseline".into(), "shuffle+rba".into()],
+    );
+    // Reference: fully connected at REFERENCE_SMS.
+    let refs: Vec<_> = parallel_map(apps.clone(), |app| {
+        run_design(&cfg_with(REFERENCE_SMS), Design::FullyConnected, app)
+    });
+    let rows = parallel_map(SM_COUNTS.to_vec(), |&sms| {
+        let cfg = cfg_with(sms);
+        let mut base_sp = Vec::new();
+        let mut ours_sp = Vec::new();
+        for (app, r) in apps.iter().zip(&refs) {
+            base_sp.push(speedup(r, &run_design(&cfg, Design::Baseline, app)));
+            ours_sp.push(speedup(r, &run_design(&cfg, Design::ShuffleRba, app)));
+        }
+        (
+            format!("{sms}sm"),
+            vec![crate::runner::geomean(&base_sp), crate::runner::geomean(&ours_sp)],
+        )
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}

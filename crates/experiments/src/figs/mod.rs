@@ -1,0 +1,18 @@
+//! One module per reproduced figure/table of the paper.
+
+pub mod ablations;
+pub mod characterization;
+pub mod topdown;
+pub mod extensions;
+pub mod fig01;
+pub mod fig03;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15_16;
+pub mod fig17;
+pub mod fig18;

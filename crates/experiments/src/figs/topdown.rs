@@ -1,0 +1,121 @@
+//! Top-down analysis: where do scheduler slots go, per workload class?
+//!
+//! Not a paper figure, but the analysis that *explains* the figures: each
+//! app's scheduler-cycles are attributed to issue vs. the engine's stall
+//! taxonomy, alongside occupancy and register-file utilization, under the
+//! baseline and under the combined Shuffle+RBA design. Reading this table
+//! tells you which paper mechanism an app can respond to before running
+//! the design sweeps.
+
+use crate::report::Table;
+use crate::runner::{parallel_map, run_design, suite_base, tpch_base};
+use subcore_engine::RunStats;
+use subcore_isa::App;
+use subcore_sched::Design;
+use subcore_workloads::{app_by_name, tpch_query};
+
+/// Fraction columns produced per run.
+fn breakdown(stats: &RunStats) -> Vec<f64> {
+    // Total scheduler slots = schedulers × cycles (per SM count embedded in
+    // issued_per_scheduler layout).
+    let schedulers: u64 = stats.issued_per_scheduler.iter().map(|sm| sm.len() as u64).sum();
+    let slots = (schedulers * stats.cycles).max(1) as f64;
+    let s = &stats.stalls;
+    vec![
+        stats.instructions as f64 / slots,
+        s.no_collector_unit as f64 / slots,
+        s.scoreboard as f64 / slots,
+        s.barrier as f64 / slots,
+        s.idle as f64 / slots,
+        stats.avg_occupancy(),
+        32.0 * stats.rf_reads_per_cycle_per_sm(),
+    ]
+}
+
+/// Representative apps, one per behaviour class.
+fn representatives() -> Vec<App> {
+    let mut apps: Vec<App> = [
+        "rod-srad",   // read-operand bound
+        "cg-pgrnk",   // register reuse + gathers
+        "pb-sad",     // streaming
+        "pb-spmv",    // irregular
+        "cutlass-4096", // tensor tiled
+        "ply-gemm",   // dense compute
+    ]
+    .iter()
+    .map(|n| app_by_name(n).expect("registry app"))
+    .collect();
+    apps.push(tpch_query(8, false)); // warp-specialized
+    apps
+}
+
+/// Runs the analysis under one design.
+fn table_for(design: Design, name: &str, title: &str) -> Table {
+    let mut table = Table::new(
+        name,
+        title,
+        vec![
+            "issue".into(),
+            "no-cu".into(),
+            "scoreboard".into(),
+            "barrier".into(),
+            "idle".into(),
+            "occupancy".into(),
+            "rf-reads".into(),
+        ],
+    );
+    let rows = parallel_map(representatives(), |app| {
+        let cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+        let stats = run_design(&cfg, design, app);
+        (app.name().to_owned(), breakdown(&stats))
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    table
+}
+
+/// Runs the top-down analysis: baseline and the combined design.
+pub fn run() -> Vec<Table> {
+    vec![
+        table_for(
+            Design::Baseline,
+            "topdown_baseline",
+            "Scheduler-slot breakdown under GTO+RR (fractions; occupancy in warps; rf-reads of 256)",
+        ),
+        table_for(
+            Design::ShuffleRba,
+            "topdown_shuffle_rba",
+            "Scheduler-slot breakdown under Shuffle+RBA",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_are_sane() {
+        let tables = run();
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            for (label, values) in &t.rows {
+                let issue = values[0];
+                assert!(issue > 0.0 && issue <= 1.0, "{label}: issue fraction {issue}");
+                // Attributed stalls never exceed the non-issuing slots.
+                let stalls: f64 = values[1..5].iter().sum();
+                assert!(
+                    stalls <= 1.0 - issue + 1e-9,
+                    "{label}: stalls {stalls:.3} vs issue {issue:.3}"
+                );
+                let occ = values[5];
+                assert!(occ > 0.0 && occ <= 64.0, "{label}: occupancy {occ}");
+            }
+        }
+        // The combined design issues more per slot on the read-bound app.
+        let base = tables[0].get("rod-srad", "issue").unwrap();
+        let ours = tables[1].get("rod-srad", "issue").unwrap();
+        assert!(ours > base, "Shuffle+RBA lifts issue fraction: {base:.3} → {ours:.3}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared experiment infrastructure: design execution, parallel sweeps, and
+//! speedup arithmetic.
+
+use subcore_engine::{simulate_app, GpuConfig, RunStats};
+use subcore_isa::App;
+use subcore_sched::Design;
+
+/// Baseline configuration used for the general application suites: the
+/// paper's Table II V100, scaled from 80 to 4 SMs so the 112-app sweeps
+/// finish in minutes. Relative speedups are insensitive to the SM count
+/// because the mechanisms under study are SM-internal; Fig. 18 sweeps SM
+/// counts explicitly.
+pub fn suite_base() -> GpuConfig {
+    let mut cfg = GpuConfig::volta_v100().with_sms(4);
+    cfg.max_cycles = 80_000_000;
+    cfg
+}
+
+/// Baseline configuration for TPC-H (the paper limits TPC-H to 20 SMs to
+/// model heavy per-SM load; we scale to 8 SMs with proportionally fewer
+/// blocks, keeping ≈ 3 resident blocks per SM).
+pub fn tpch_base() -> GpuConfig {
+    let mut cfg = GpuConfig::volta_v100().with_sms(8);
+    cfg.max_cycles = 80_000_000;
+    cfg
+}
+
+/// Runs `app` under `design` (applied to the baseline `base` config) and
+/// returns its statistics.
+///
+/// # Panics
+///
+/// Panics if the simulation errors (the registry workloads are all
+/// schedulable; an error here is a harness bug).
+pub fn run_design(base: &GpuConfig, design: Design, app: &App) -> RunStats {
+    let cfg = design.config(base);
+    let policies = design.policies();
+    simulate_app(&cfg, &policies, app)
+        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", app.name(), design))
+}
+
+/// Speedup of `x` over `baseline` (>1 means `x` is faster).
+pub fn speedup(baseline: &RunStats, x: &RunStats) -> f64 {
+    baseline.cycles as f64 / x.cycles as f64
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean (the paper's preferred average for speedups).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Maps `f` over `items` on a pool of worker threads, preserving order.
+///
+/// Simulation is CPU-bound and embarrassingly parallel across (app, design)
+/// pairs; this is the only concurrency in the harness.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    let items_ref = &items;
+    let f_ref = &f;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                tx.send((i, r)).expect("collector alive");
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    })
+    .expect("worker panicked");
+    results.into_iter().map(|r| r.expect("all items processed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_isa::fma_kernel;
+    use subcore_isa::Suite;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn run_design_and_speedup() {
+        let app = subcore_isa::App::new("t", Suite::Micro, vec![fma_kernel("k", 4, 8, 64)]);
+        let base = run_design(&suite_base(), Design::Baseline, &app);
+        let fc = run_design(&suite_base(), Design::FullyConnected, &app);
+        assert!(speedup(&base, &fc) > 0.5);
+        // Determinism: running the same design twice gives identical cycles.
+        let again = run_design(&suite_base(), Design::Baseline, &app);
+        assert_eq!(base.cycles, again.cycles);
+    }
+}

@@ -1,0 +1,82 @@
+//! The common experiment shape: a (apps × designs) speedup sweep.
+
+use crate::report::Table;
+use crate::runner::{geomean, mean, parallel_map, run_design, speedup};
+use subcore_engine::GpuConfig;
+use subcore_isa::App;
+use subcore_sched::Design;
+
+/// Runs every app under the baseline and each design, producing a table of
+/// speedups (design cycles vs. GTO + round-robin baseline cycles).
+///
+/// Appends `MEAN` and `GEOMEAN` summary rows.
+pub fn speedup_table(
+    name: &str,
+    title: &str,
+    base: &GpuConfig,
+    apps: &[App],
+    designs: &[Design],
+) -> Table {
+    let columns = designs.iter().map(Design::label).collect();
+    let mut table = Table::new(name, title, columns);
+    let jobs: Vec<App> = apps.to_vec();
+    let rows = parallel_map(jobs, |app| {
+        let baseline = run_design(base, Design::Baseline, app);
+        let speedups: Vec<f64> = designs
+            .iter()
+            .map(|&d| speedup(&baseline, &run_design(base, d, app)))
+            .collect();
+        (app.name().to_owned(), speedups)
+    });
+    for (label, values) in rows {
+        table.push_row(label, values);
+    }
+    append_summaries(&mut table);
+    table
+}
+
+/// Appends `MEAN` / `GEOMEAN` rows over the current data rows.
+pub fn append_summaries(table: &mut Table) {
+    let cols = table.columns.len();
+    let mut means = Vec::with_capacity(cols);
+    let mut gmeans = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let vals: Vec<f64> =
+            table.rows.iter().map(|(_, v)| v[c]).filter(|v| !v.is_nan()).collect();
+        means.push(mean(&vals));
+        gmeans.push(geomean(&vals));
+    }
+    table.push_row("MEAN", means);
+    table.push_row("GEOMEAN", gmeans);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::suite_base;
+    use subcore_isa::{fma_kernel, Suite};
+
+    #[test]
+    fn speedup_table_has_summary_rows() {
+        let apps = vec![
+            App::new("a", Suite::Micro, vec![fma_kernel("k", 4, 8, 32)]),
+            App::new("b", Suite::Micro, vec![fma_kernel("k", 2, 16, 32)]),
+        ];
+        let t = speedup_table(
+            "t",
+            "test",
+            &suite_base(),
+            &apps,
+            &[Design::Rba, Design::FullyConnected],
+        );
+        assert_eq!(t.rows.len(), 4); // 2 apps + MEAN + GEOMEAN
+        assert_eq!(t.rows[2].0, "MEAN");
+        assert_eq!(t.rows[3].0, "GEOMEAN");
+        // Speedups are positive and sane.
+        for (_, vals) in &t.rows {
+            for v in vals {
+                assert!(*v > 0.3 && *v < 5.0, "implausible speedup {v}");
+            }
+        }
+    }
+}

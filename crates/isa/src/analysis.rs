@@ -1,0 +1,210 @@
+//! Static analysis of warp programs and kernels: instruction histograms,
+//! operand statistics, and the per-block imbalance profile — the numbers a
+//! workload characterization section reports.
+
+use crate::{Instruction, Kernel, Pipeline, WarpProgram};
+use std::sync::Arc;
+
+/// Static instruction statistics of one warp program.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProgramProfile {
+    /// Dynamic instructions (including barrier/exit).
+    pub instructions: u64,
+    /// Dynamic instruction count per pipeline (dense [`Pipeline`] index
+    /// order: fma, alu, fp64, sfu, tensor, lsu, control).
+    pub per_pipeline: [u64; 7],
+    /// Total register source operands read.
+    pub source_operands: u64,
+    /// Dynamic memory instructions.
+    pub memory_instructions: u64,
+}
+
+impl ProgramProfile {
+    /// Profiles a program by walking its segments (O(static size), not
+    /// O(dynamic length)).
+    pub fn of(program: &Arc<WarpProgram>) -> Self {
+        let mut p = ProgramProfile::default();
+        for seg in program.segments() {
+            let repeat = u64::from(seg.repeat);
+            for instr in seg.body.iter() {
+                p.accumulate(instr, repeat);
+            }
+        }
+        p
+    }
+
+    fn accumulate(&mut self, instr: &Instruction, times: u64) {
+        self.instructions += times;
+        self.per_pipeline[instr.op.pipeline().index()] += times;
+        self.source_operands += instr.num_sources() as u64 * times;
+        if instr.op.is_mem() {
+            self.memory_instructions += times;
+        }
+    }
+
+    /// Average register source operands per instruction.
+    pub fn operands_per_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.source_operands as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions that touch memory.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.memory_instructions as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Per-kernel workload characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Aggregate over all warps of one block.
+    pub block_profile: ProgramProfile,
+    /// Dynamic instructions of the longest warp in a block.
+    pub longest_warp: u64,
+    /// Dynamic instructions of the shortest warp in a block.
+    pub shortest_warp: u64,
+    /// Per-warp dynamic lengths (one block's worth).
+    pub warp_lengths: Vec<u64>,
+}
+
+impl KernelProfile {
+    /// Profiles one block of `kernel`.
+    pub fn of(kernel: &Kernel) -> Self {
+        let mut block_profile = ProgramProfile::default();
+        let mut warp_lengths = Vec::with_capacity(kernel.warps_per_block() as usize);
+        for w in 0..kernel.warps_per_block() {
+            let p = ProgramProfile::of(kernel.program(w));
+            block_profile.instructions += p.instructions;
+            for (acc, v) in block_profile.per_pipeline.iter_mut().zip(p.per_pipeline) {
+                *acc += v;
+            }
+            block_profile.source_operands += p.source_operands;
+            block_profile.memory_instructions += p.memory_instructions;
+            warp_lengths.push(p.instructions);
+        }
+        KernelProfile {
+            block_profile,
+            longest_warp: warp_lengths.iter().copied().max().unwrap_or(0),
+            shortest_warp: warp_lengths.iter().copied().min().unwrap_or(0),
+            warp_lengths,
+        }
+    }
+
+    /// The paper's inter-warp-divergence measure for one block: longest
+    /// warp over mean warp length (1.0 = perfectly balanced).
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.warp_lengths.is_empty() {
+            return 1.0;
+        }
+        let mean = self.block_profile.instructions as f64 / self.warp_lengths.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.longest_warp as f64 / mean
+        }
+    }
+
+    /// Per-pipeline fraction of the block's dynamic instructions.
+    pub fn pipeline_fraction(&self, p: Pipeline) -> f64 {
+        if self.block_profile.instructions == 0 {
+            0.0
+        } else {
+            self.block_profile.per_pipeline[p.index()] as f64
+                / self.block_profile.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KernelBuilder, OpClass, ProgramBuilder, Reg};
+
+    fn fma_heavy(n: u32) -> Arc<WarpProgram> {
+        ProgramBuilder::new()
+            .repeat(n, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+                b.load_global(Reg(3), Reg(4), 0, 128);
+            })
+            .barrier()
+            .build()
+    }
+
+    #[test]
+    fn profile_counts_match_cursor_replay() {
+        let p = fma_heavy(50);
+        let profile = ProgramProfile::of(&p);
+        assert_eq!(profile.instructions, p.dynamic_len());
+        // Cross-check by replaying.
+        let mut cursor = p.cursor();
+        let mut mem = 0;
+        let mut srcs = 0;
+        while let Some((i, _)) = cursor.next_instruction() {
+            if i.op.is_mem() {
+                mem += 1;
+            }
+            srcs += i.num_sources() as u64;
+        }
+        assert_eq!(profile.memory_instructions, mem);
+        assert_eq!(profile.source_operands, srcs);
+    }
+
+    #[test]
+    fn pipeline_histogram() {
+        let p = fma_heavy(10);
+        let profile = ProgramProfile::of(&p);
+        assert_eq!(profile.per_pipeline[Pipeline::Fma.index()], 10);
+        assert_eq!(profile.per_pipeline[Pipeline::Lsu.index()], 10);
+        assert_eq!(profile.per_pipeline[Pipeline::Control.index()], 2);
+        assert!((profile.memory_fraction() - 10.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_imbalance_ratio() {
+        let long = fma_heavy(100);
+        let short = ProgramBuilder::new().barrier().build();
+        let k = KernelBuilder::new("imb")
+            .blocks(1)
+            .regs_per_thread(8)
+            .per_warp_programs(vec![long, short.clone(), short.clone(), short])
+            .build();
+        let profile = KernelProfile::of(&k);
+        assert_eq!(profile.warp_lengths.len(), 4);
+        assert_eq!(profile.shortest_warp, 2);
+        assert!(profile.imbalance_ratio() > 3.0, "one long warp of four");
+        assert!(profile.pipeline_fraction(Pipeline::Fma) > 0.4);
+    }
+
+    #[test]
+    fn balanced_kernel_has_unit_ratio() {
+        let p = fma_heavy(16);
+        let k = KernelBuilder::new("bal")
+            .blocks(1)
+            .warps_per_block(8)
+            .regs_per_thread(8)
+            .uniform_program(p)
+            .build();
+        let profile = KernelProfile::of(&k);
+        assert!((profile.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let p = ProgramProfile::default();
+        assert_eq!(p.operands_per_instruction(), 0.0);
+        assert_eq!(p.memory_fraction(), 0.0);
+        // Exit-only program: control instructions only.
+        let exit_only = ProgramBuilder::new().build();
+        let profile = ProgramProfile::of(&exit_only);
+        assert_eq!(profile.instructions, 1);
+        assert_eq!(profile.per_pipeline[6], 1);
+        assert_eq!(profile.per_pipeline[OpClass::FmaF32.pipeline().index()], 0);
+    }
+}

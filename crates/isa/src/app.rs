@@ -1,0 +1,152 @@
+//! Applications: named sequences of kernels grouped into benchmark suites.
+
+use crate::Kernel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The benchmark suite an application belongs to, mirroring Table III of the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// TPC-H SQL queries on an uncompressed parquet database.
+    TpchUncompressed,
+    /// TPC-H SQL queries on a snappy-compressed parquet database.
+    TpchCompressed,
+    /// Parboil throughput-computing suite.
+    Parboil,
+    /// CUTLASS GEMM/convolution suite.
+    Cutlass,
+    /// Rodinia heterogeneous-computing suite.
+    Rodinia,
+    /// cuGraph graph analytics.
+    CuGraph,
+    /// Polybench static-control-flow kernels.
+    Polybench,
+    /// DeepBench CNN/RNN training and inference.
+    Deepbench,
+    /// Hand-written microbenchmarks (Figs. 3, 4, 8 of the paper).
+    Micro,
+}
+
+impl Suite {
+    /// All real-application suites (everything except [`Suite::Micro`]), in
+    /// the order the paper lists them.
+    pub const ALL: [Suite; 8] = [
+        Suite::TpchUncompressed,
+        Suite::TpchCompressed,
+        Suite::Parboil,
+        Suite::Cutlass,
+        Suite::Rodinia,
+        Suite::CuGraph,
+        Suite::Polybench,
+        Suite::Deepbench,
+    ];
+
+    /// Short prefix used in application abbreviations (Table III).
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Suite::TpchUncompressed => "tpcU",
+            Suite::TpchCompressed => "tpcC",
+            Suite::Parboil => "pb",
+            Suite::Cutlass => "cutlass",
+            Suite::Rodinia => "rod",
+            Suite::CuGraph => "cg",
+            Suite::Polybench => "ply",
+            Suite::Deepbench => "db",
+            Suite::Micro => "micro",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Suite::TpchUncompressed => "TPC-H (uncompressed)",
+            Suite::TpchCompressed => "TPC-H (compressed)",
+            Suite::Parboil => "Parboil",
+            Suite::Cutlass => "Cutlass",
+            Suite::Rodinia => "Rodinia",
+            Suite::CuGraph => "cuGraph",
+            Suite::Polybench => "Polybench",
+            Suite::Deepbench => "DeepBench",
+            Suite::Micro => "Microbenchmarks",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An application: one or more kernels launched back-to-back on the GPU.
+///
+/// Kernels within an app run sequentially (kernel N+1 launches when kernel N
+/// drains), matching how the paper's workloads (e.g. a multi-kernel SQL
+/// query plan) execute.
+#[derive(Debug, Clone)]
+pub struct App {
+    name: String,
+    suite: Suite,
+    kernels: Vec<Kernel>,
+}
+
+impl App {
+    /// Creates an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(name: impl Into<String>, suite: Suite, kernels: Vec<Kernel>) -> Self {
+        assert!(!kernels.is_empty(), "applications need at least one kernel");
+        App { name: name.into(), suite, kernels }
+    }
+
+    /// Application abbreviation, e.g. `tpcU-q8`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite this app belongs to.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The kernels launched by this app, in order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Total dynamic instructions across all kernels.
+    pub fn total_dynamic_instructions(&self) -> u64 {
+        self.kernels.iter().map(Kernel::total_dynamic_instructions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::fma_kernel;
+
+    #[test]
+    fn app_aggregates_kernels() {
+        let app = App::new(
+            "micro-two",
+            Suite::Micro,
+            vec![fma_kernel("a", 1, 2, 10), fma_kernel("b", 2, 2, 5)],
+        );
+        assert_eq!(app.kernels().len(), 2);
+        assert_eq!(app.total_dynamic_instructions(), 2 * 12 + 2 * 2 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_app_rejected() {
+        let _ = App::new("none", Suite::Micro, vec![]);
+    }
+
+    #[test]
+    fn suite_prefixes_match_table_iii() {
+        assert_eq!(Suite::TpchUncompressed.prefix(), "tpcU");
+        assert_eq!(Suite::Parboil.prefix(), "pb");
+        assert_eq!(Suite::CuGraph.prefix(), "cg");
+        assert_eq!(Suite::Polybench.prefix(), "ply");
+        assert_eq!(Suite::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,193 @@
+//! Decoded instructions and memory access shapes.
+
+use crate::{OpClass, Reg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which address space a memory instruction touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Device (global) memory, backed by the L1/L2/DRAM hierarchy.
+    Global,
+    /// The on-chip shared-memory scratchpad (banked, SM-local).
+    Shared,
+}
+
+/// The *shape* of a warp-wide memory access.
+///
+/// Trace-driven simulators carry per-thread addresses; we carry the access
+/// pattern instead and let the coalescer expand it deterministically. The
+/// pattern captures everything the memory system's timing depends on: how
+/// many 128-byte transactions a warp access splits into, whether those
+/// transactions hit in cache (via the region/stride stream), and the
+/// shared-memory bank conflict degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemPattern {
+    /// All 32 threads access consecutive 4-byte words: one 128 B transaction
+    /// per access, streaming through `region` with the given element stride
+    /// between *iterations*.
+    Coalesced {
+        /// Memory region identifier; distinct regions never alias.
+        region: u16,
+        /// Bytes advanced per dynamic execution of this instruction.
+        step: u32,
+    },
+    /// Threads access words `stride` elements apart, producing
+    /// `min(32, stride)` transactions per access (strided column access).
+    Strided {
+        /// Memory region identifier.
+        region: u16,
+        /// Element stride between consecutive threads (1 = coalesced).
+        stride: u16,
+    },
+    /// Pseudo-random addresses within a region of `span_lines` cache lines:
+    /// graph-workload-style irregular gathers. Reuse is controlled by the
+    /// span: small spans hit in L1, large spans stream from DRAM.
+    Irregular {
+        /// Memory region identifier.
+        region: u16,
+        /// Number of distinct 128 B lines the accesses spread over.
+        span_lines: u32,
+    },
+    /// Shared-memory access with a fixed bank-conflict degree
+    /// (1 = conflict-free, 32 = fully serialized).
+    SharedConflict {
+        /// Number of threads mapping to the same bank.
+        degree: u8,
+    },
+}
+
+impl MemPattern {
+    /// The address space this pattern lives in.
+    #[inline]
+    pub fn space(self) -> MemSpace {
+        match self {
+            MemPattern::SharedConflict { .. } => MemSpace::Shared,
+            _ => MemSpace::Global,
+        }
+    }
+}
+
+/// A single decoded warp instruction.
+///
+/// `srcs` are *register* source operands — the inputs the operand collector
+/// must fetch from the banked register file. Immediate/constant operands are
+/// not represented because they do not contend for register banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation class (pipeline, latency class, memory behaviour).
+    pub op: OpClass,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// Up to three register source operands, packed left-to-right.
+    pub srcs: [Option<Reg>; 3],
+    /// Memory access shape for loads/stores.
+    pub mem: Option<MemPattern>,
+}
+
+impl Instruction {
+    /// Creates a non-memory instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is a memory class (use [`Instruction::mem`] instead).
+    pub fn new(op: OpClass, dst: Option<Reg>, srcs: &[Reg]) -> Self {
+        assert!(!op.is_mem(), "memory ops require a MemPattern; use Instruction::mem");
+        Self::build(op, dst, srcs, None)
+    }
+
+    /// Creates a memory instruction with the given access pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a memory class, or if the pattern's address
+    /// space disagrees with the op (e.g. `LoadShared` with a global pattern).
+    pub fn mem(op: OpClass, dst: Option<Reg>, srcs: &[Reg], pattern: MemPattern) -> Self {
+        assert!(op.is_mem(), "{op} is not a memory op");
+        let shared_op = matches!(op, OpClass::LoadShared | OpClass::StoreShared);
+        let shared_pat = pattern.space() == MemSpace::Shared;
+        assert_eq!(shared_op, shared_pat, "op {op} and pattern {pattern:?} address-space mismatch");
+        Self::build(op, dst, srcs, Some(pattern))
+    }
+
+    fn build(op: OpClass, dst: Option<Reg>, srcs: &[Reg], mem: Option<MemPattern>) -> Self {
+        assert!(srcs.len() <= 3, "at most 3 register sources");
+        let mut packed = [None; 3];
+        for (slot, &r) in packed.iter_mut().zip(srcs) {
+            *slot = Some(r);
+        }
+        Instruction { op, dst, srcs: packed, mem }
+    }
+
+    /// Iterates over the register source operands.
+    #[inline]
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Number of register source operands.
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        for s in self.sources() {
+            write!(f, ", {s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_has_three_sources() {
+        let i = Instruction::new(OpClass::FmaF32, Some(Reg(0)), &[Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(i.num_sources(), 3);
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![Reg(1), Reg(2), Reg(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory ops require a MemPattern")]
+    fn new_rejects_memory_op() {
+        let _ = Instruction::new(OpClass::LoadGlobal, Some(Reg(0)), &[Reg(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "address-space mismatch")]
+    fn mem_rejects_space_mismatch() {
+        let _ = Instruction::mem(
+            OpClass::LoadShared,
+            Some(Reg(0)),
+            &[Reg(1)],
+            MemPattern::Coalesced { region: 0, step: 128 },
+        );
+    }
+
+    #[test]
+    fn shared_pattern_space() {
+        assert_eq!(MemPattern::SharedConflict { degree: 2 }.space(), MemSpace::Shared);
+        assert_eq!(MemPattern::Irregular { region: 1, span_lines: 64 }.space(), MemSpace::Global);
+    }
+
+    #[test]
+    fn display_reads_like_sass() {
+        let i = Instruction::new(OpClass::FmaF32, Some(Reg(4)), &[Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(i.to_string(), "ffma r4, r1, r2, r3");
+    }
+
+    #[test]
+    fn sources_pack_left_to_right() {
+        let i = Instruction::new(OpClass::ArithF32, Some(Reg(0)), &[Reg(9)]);
+        assert_eq!(i.srcs, [Some(Reg(9)), None, None]);
+    }
+}

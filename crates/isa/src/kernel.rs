@@ -1,0 +1,270 @@
+//! Kernels: launch dimensions, per-warp programs, and resource demands.
+
+use crate::{ProgramBuilder, Reg, WarpProgram, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Grid/block launch dimensions, flattened to 1-D (the simulator does not
+/// care about multi-dimensional indexing, only about counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchDims {
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Number of warps per thread block (threads / 32).
+    pub warps_per_block: u32,
+}
+
+/// A kernel: launch dimensions, per-warp-slot programs, and the static
+/// resources every thread block claims on an SM.
+///
+/// Warp specialization is expressed by assigning different programs to
+/// different warp slots within the block; the slot index is exactly the
+/// `warpID = threadID / 32` of the paper's Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    name: String,
+    dims: LaunchDims,
+    regs_per_thread: u16,
+    shared_mem_bytes: u32,
+    /// `programs[w]` is the program run by warp slot `w` of every block.
+    programs: Vec<Arc<WarpProgram>>,
+}
+
+impl Kernel {
+    /// The kernel name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Launch dimensions.
+    pub fn dims(&self) -> LaunchDims {
+        self.dims
+    }
+
+    /// Number of thread blocks in the grid.
+    pub fn blocks(&self) -> u32 {
+        self.dims.blocks
+    }
+
+    /// Warps per thread block.
+    pub fn warps_per_block(&self) -> u32 {
+        self.dims.warps_per_block
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.dims.warps_per_block * WARP_SIZE
+    }
+
+    /// Architectural registers used per thread.
+    pub fn regs_per_thread(&self) -> u16 {
+        self.regs_per_thread
+    }
+
+    /// Registers a single warp occupies in a sub-core register file
+    /// (32 threads × regs/thread).
+    pub fn regs_per_warp(&self) -> u32 {
+        u32::from(self.regs_per_thread) * WARP_SIZE
+    }
+
+    /// Shared-memory bytes claimed per block.
+    pub fn shared_mem_bytes(&self) -> u32 {
+        self.shared_mem_bytes
+    }
+
+    /// The program run by warp slot `warp_in_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warp_in_block >= warps_per_block()`.
+    pub fn program(&self, warp_in_block: u32) -> &Arc<WarpProgram> {
+        &self.programs[warp_in_block as usize]
+    }
+
+    /// Total dynamic instructions across the whole grid.
+    pub fn total_dynamic_instructions(&self) -> u64 {
+        let per_block: u64 = self.programs.iter().map(|p| p.dynamic_len()).sum();
+        per_block * u64::from(self.dims.blocks)
+    }
+}
+
+/// Builder for [`Kernel`]s.
+///
+/// # Example
+///
+/// ```
+/// use subcore_isa::{KernelBuilder, ProgramBuilder, Reg};
+///
+/// let p = ProgramBuilder::new()
+///     .repeat(16, |b| { b.fma(Reg(0), Reg(0), Reg(1), Reg(2)); })
+///     .build();
+/// let k = KernelBuilder::new("demo")
+///     .blocks(4)
+///     .warps_per_block(8)
+///     .regs_per_thread(16)
+///     .uniform_program(p)
+///     .build();
+/// assert_eq!(k.total_dynamic_instructions(), 4 * 8 * 17);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    blocks: u32,
+    warps_per_block: u32,
+    regs_per_thread: u16,
+    shared_mem_bytes: u32,
+    programs: Option<Vec<Arc<WarpProgram>>>,
+}
+
+impl KernelBuilder {
+    /// Starts a builder for a kernel called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            blocks: 1,
+            warps_per_block: 1,
+            regs_per_thread: 32,
+            shared_mem_bytes: 0,
+            programs: None,
+        }
+    }
+
+    /// Sets the number of thread blocks (default 1).
+    pub fn blocks(mut self, blocks: u32) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets warps per block (default 1, max 64).
+    pub fn warps_per_block(mut self, warps: u32) -> Self {
+        self.warps_per_block = warps;
+        self
+    }
+
+    /// Sets registers per thread (default 32, max 256).
+    pub fn regs_per_thread(mut self, regs: u16) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    /// Sets shared memory bytes per block (default 0).
+    pub fn shared_mem_bytes(mut self, bytes: u32) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Every warp slot runs the same program.
+    pub fn uniform_program(mut self, program: Arc<WarpProgram>) -> Self {
+        self.programs = Some(vec![program; self.warps_per_block as usize]);
+        self
+    }
+
+    /// Warp slot `w` runs `programs[w]`; the length fixes `warps_per_block`.
+    pub fn per_warp_programs(mut self, programs: Vec<Arc<WarpProgram>>) -> Self {
+        self.warps_per_block = programs.len() as u32;
+        self.programs = Some(programs);
+        self
+    }
+
+    /// Finishes the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program was supplied, if dimensions are zero, if
+    /// `warps_per_block > 64`, or if `regs_per_thread` exceeds
+    /// [`Reg::MAX_REGS`].
+    pub fn build(self) -> Kernel {
+        let programs = self.programs.expect("kernel needs a program");
+        assert!(self.blocks > 0, "kernel needs at least one block");
+        assert!(
+            (1..=64).contains(&self.warps_per_block),
+            "warps per block must be in 1..=64"
+        );
+        assert_eq!(programs.len() as u32, self.warps_per_block);
+        assert!(
+            (self.regs_per_thread as usize) <= Reg::MAX_REGS,
+            "regs per thread exceeds the 256-register limit"
+        );
+        assert!(self.regs_per_thread >= 1, "kernels use at least one register");
+        Kernel {
+            name: self.name,
+            dims: LaunchDims { blocks: self.blocks, warps_per_block: self.warps_per_block },
+            regs_per_thread: self.regs_per_thread,
+            shared_mem_bytes: self.shared_mem_bytes,
+            programs,
+        }
+    }
+}
+
+/// Convenience: a kernel in which every warp runs `body_len` FMAs — the
+/// paper's baseline microbenchmark shape.
+pub fn fma_kernel(name: &str, blocks: u32, warps_per_block: u32, fmas: u32) -> Kernel {
+    let program = ProgramBuilder::new()
+        .repeat(fmas, |b| {
+            b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+        })
+        .barrier()
+        .build();
+    KernelBuilder::new(name)
+        .blocks(blocks)
+        .warps_per_block(warps_per_block)
+        .regs_per_thread(8)
+        .uniform_program(program)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let p = ProgramBuilder::new().barrier().build();
+        let k = KernelBuilder::new("k")
+            .blocks(10)
+            .warps_per_block(4)
+            .regs_per_thread(40)
+            .shared_mem_bytes(2048)
+            .uniform_program(p)
+            .build();
+        assert_eq!(k.name(), "k");
+        assert_eq!(k.blocks(), 10);
+        assert_eq!(k.threads_per_block(), 128);
+        assert_eq!(k.regs_per_warp(), 40 * 32);
+        assert_eq!(k.shared_mem_bytes(), 2048);
+    }
+
+    #[test]
+    fn per_warp_programs_fix_block_width() {
+        let a = ProgramBuilder::new().barrier().build();
+        let b = ProgramBuilder::new()
+            .repeat(10, |x| {
+                x.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+            })
+            .barrier()
+            .build();
+        let k = KernelBuilder::new("spec").per_warp_programs(vec![b, a.clone(), a.clone(), a]).build();
+        assert_eq!(k.warps_per_block(), 4);
+        assert!(k.program(0).dynamic_len() > k.program(1).dynamic_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a program")]
+    fn build_requires_program() {
+        let _ = KernelBuilder::new("empty").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "warps per block")]
+    fn build_rejects_oversized_blocks() {
+        let p = ProgramBuilder::new().barrier().build();
+        let _ = KernelBuilder::new("big").warps_per_block(65).uniform_program(p).build();
+    }
+
+    #[test]
+    fn fma_kernel_counts() {
+        let k = fma_kernel("fma", 2, 8, 100);
+        // per warp: 100 fma + barrier + exit = 102
+        assert_eq!(k.total_dynamic_instructions(), 2 * 8 * 102);
+    }
+}

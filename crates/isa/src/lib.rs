@@ -1,0 +1,66 @@
+//! SASS-like instruction, warp-trace, kernel, and application representation
+//! for the `subcore` GPU simulator.
+//!
+//! The simulator is *trace driven*: instead of functionally executing CUDA
+//! code, every warp carries a compact program of decoded instructions
+//! ([`WarpProgram`]) that the cycle-level engine replays. Programs are built
+//! from repeated [`Segment`]s so that a 4096-iteration FMA loop costs memory
+//! proportional to the loop body, not the dynamic instruction count.
+//!
+//! The representation intentionally preserves exactly the information the
+//! paper's mechanisms are sensitive to:
+//!
+//! * **register operands** ([`Reg`]) — the register-file *bank* an operand
+//!   lands in is derived from the register id by the engine, so compiler
+//!   register allocation pressure is visible to the Register-Bank-Aware
+//!   scheduler;
+//! * **op classes** ([`OpClass`]) — which execution pipeline an instruction
+//!   occupies and for how long;
+//! * **per-warp dynamic instruction counts** — warp specialization
+//!   (inter-warp divergence) is expressed by giving different warps of the
+//!   same thread block different programs;
+//! * **memory access shapes** ([`MemPattern`]) — coalescing behaviour and
+//!   shared-memory bank conflicts.
+//!
+//! # Example
+//!
+//! ```
+//! use subcore_isa::{KernelBuilder, ProgramBuilder, Reg};
+//!
+//! // 8 warps per block, every warp runs 128 FMAs on r0..r3 then exits.
+//! let fma = ProgramBuilder::new()
+//!     .repeat(128, |b| {
+//!         b.fma(Reg(0), Reg(1), Reg(2), Reg(3));
+//!     })
+//!     .barrier()
+//!     .build();
+//! let kernel = KernelBuilder::new("quickstart")
+//!     .blocks(16)
+//!     .warps_per_block(8)
+//!     .regs_per_thread(8)
+//!     .uniform_program(fma)
+//!     .build();
+//! assert_eq!(kernel.warps_per_block(), 8);
+//! ```
+
+mod analysis;
+mod app;
+mod instr;
+mod kernel;
+mod op;
+mod program;
+mod reg;
+mod text;
+
+pub use analysis::{KernelProfile, ProgramProfile};
+pub use app::{App, Suite};
+pub use instr::{Instruction, MemPattern, MemSpace};
+pub use kernel::{fma_kernel, Kernel, KernelBuilder, LaunchDims};
+pub use op::{OpClass, Pipeline};
+pub use program::{Cursor, ProgramBuilder, Segment, WarpProgram};
+pub use reg::Reg;
+pub use text::{disassemble_kernel, parse_program, write_program, ParseError};
+
+/// Number of threads in a warp. Fixed at 32 to match every NVIDIA
+/// architecture the paper discusses.
+pub const WARP_SIZE: u32 = 32;

@@ -1,0 +1,206 @@
+//! Instruction operation classes and the execution pipelines they occupy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The execution pipeline an instruction is dispatched to after its operands
+/// have been collected.
+///
+/// Each sub-core owns one instance of each pipeline (in the fully-connected
+/// configuration the SM owns a shared pool with the same aggregate
+/// capacity). Pipelines are occupied for an *initiation interval* per
+/// instruction — e.g. a 32-thread FMA over 16 FP32 lanes occupies the FMA
+/// pipeline for 2 cycles — which is what turns issue imbalance into
+/// execution-unit underutilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Pipeline {
+    /// FP32 fused multiply-add / general FP32 arithmetic.
+    Fma,
+    /// Integer / logic / address arithmetic.
+    Alu,
+    /// Double-precision floating point.
+    Fp64,
+    /// Special function unit (transcendentals).
+    Sfu,
+    /// Tensor core (matrix-multiply-accumulate).
+    Tensor,
+    /// Load/store unit: global, local and shared memory accesses.
+    Lsu,
+    /// Control: barriers and exit; consumes no collector unit or pipeline.
+    Control,
+}
+
+impl Pipeline {
+    /// All pipelines that occupy execution resources (i.e. everything except
+    /// [`Pipeline::Control`]).
+    pub const EXEC: [Pipeline; 6] = [
+        Pipeline::Fma,
+        Pipeline::Alu,
+        Pipeline::Fp64,
+        Pipeline::Sfu,
+        Pipeline::Tensor,
+        Pipeline::Lsu,
+    ];
+
+    /// Dense index for per-pipeline bookkeeping tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Pipeline::Fma => 0,
+            Pipeline::Alu => 1,
+            Pipeline::Fp64 => 2,
+            Pipeline::Sfu => 3,
+            Pipeline::Tensor => 4,
+            Pipeline::Lsu => 5,
+            Pipeline::Control => 6,
+        }
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Pipeline::Fma => "fma",
+            Pipeline::Alu => "alu",
+            Pipeline::Fp64 => "fp64",
+            Pipeline::Sfu => "sfu",
+            Pipeline::Tensor => "tensor",
+            Pipeline::Lsu => "lsu",
+            Pipeline::Control => "control",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Decoded operation class of an instruction.
+///
+/// The class determines the pipeline, the default execution latency, and
+/// whether the instruction interacts with the memory system, a barrier, or
+/// terminates the warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// FP32 fused multiply-add (`d = a * b + c`), 3 source operands.
+    FmaF32,
+    /// FP32 add/mul, 2 source operands.
+    ArithF32,
+    /// Integer arithmetic / logic.
+    ArithI32,
+    /// Double-precision arithmetic.
+    ArithF64,
+    /// Transcendental on the SFU (rsqrt, sin, exp, …).
+    Special,
+    /// Tensor-core matrix fragment operation.
+    TensorOp,
+    /// Load from global memory.
+    LoadGlobal,
+    /// Store to global memory.
+    StoreGlobal,
+    /// Load from the shared-memory scratchpad.
+    LoadShared,
+    /// Store to the shared-memory scratchpad.
+    StoreShared,
+    /// Thread-block-wide barrier (`bar.sync`).
+    Barrier,
+    /// Warp termination.
+    Exit,
+}
+
+impl OpClass {
+    /// The pipeline this op occupies.
+    #[inline]
+    pub fn pipeline(self) -> Pipeline {
+        match self {
+            OpClass::FmaF32 | OpClass::ArithF32 => Pipeline::Fma,
+            OpClass::ArithI32 => Pipeline::Alu,
+            OpClass::ArithF64 => Pipeline::Fp64,
+            OpClass::Special => Pipeline::Sfu,
+            OpClass::TensorOp => Pipeline::Tensor,
+            OpClass::LoadGlobal
+            | OpClass::StoreGlobal
+            | OpClass::LoadShared
+            | OpClass::StoreShared => Pipeline::Lsu,
+            OpClass::Barrier | OpClass::Exit => Pipeline::Control,
+        }
+    }
+
+    /// True for loads and stores (instructions that produce memory traffic).
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            OpClass::LoadGlobal | OpClass::StoreGlobal | OpClass::LoadShared | OpClass::StoreShared
+        )
+    }
+
+    /// True for loads (instructions whose destination is written by the
+    /// memory system at completion time).
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, OpClass::LoadGlobal | OpClass::LoadShared)
+    }
+
+    /// True for control ops that never allocate a collector unit.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self, OpClass::Barrier | OpClass::Exit)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpClass::FmaF32 => "ffma",
+            OpClass::ArithF32 => "fadd",
+            OpClass::ArithI32 => "iadd",
+            OpClass::ArithF64 => "dadd",
+            OpClass::Special => "mufu",
+            OpClass::TensorOp => "hmma",
+            OpClass::LoadGlobal => "ldg",
+            OpClass::StoreGlobal => "stg",
+            OpClass::LoadShared => "lds",
+            OpClass::StoreShared => "sts",
+            OpClass::Barrier => "bar.sync",
+            OpClass::Exit => "exit",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_are_dense_and_unique() {
+        let mut seen = [false; 7];
+        for p in Pipeline::EXEC {
+            assert!(!seen[p.index()], "duplicate index for {p}");
+            seen[p.index()] = true;
+        }
+        assert_eq!(Pipeline::Control.index(), 6);
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(OpClass::LoadGlobal.is_mem());
+        assert!(OpClass::StoreShared.is_mem());
+        assert!(!OpClass::FmaF32.is_mem());
+        assert!(OpClass::LoadShared.is_load());
+        assert!(!OpClass::StoreGlobal.is_load());
+    }
+
+    #[test]
+    fn control_ops_use_control_pipeline() {
+        assert!(OpClass::Barrier.is_control());
+        assert!(OpClass::Exit.is_control());
+        assert_eq!(OpClass::Barrier.pipeline(), Pipeline::Control);
+        assert_eq!(OpClass::Exit.pipeline(), Pipeline::Control);
+    }
+
+    #[test]
+    fn fma_uses_fma_pipeline() {
+        assert_eq!(OpClass::FmaF32.pipeline(), Pipeline::Fma);
+        assert_eq!(OpClass::Special.pipeline(), Pipeline::Sfu);
+        assert_eq!(OpClass::LoadGlobal.pipeline(), Pipeline::Lsu);
+    }
+}

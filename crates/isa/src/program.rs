@@ -1,0 +1,379 @@
+//! Compact looped warp programs and cursors that replay them.
+
+use crate::{Instruction, MemPattern, OpClass, Reg};
+use std::sync::Arc;
+
+/// A run of instructions repeated a number of times.
+///
+/// Sharing the body through an [`Arc`] keeps a 4096-iteration FMA loop at
+/// O(body) memory while the cursor replays all dynamic instructions.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The loop body.
+    pub body: Arc<[Instruction]>,
+    /// How many times the body executes (0 is allowed and skips the segment).
+    pub repeat: u32,
+}
+
+impl Segment {
+    /// Dynamic instruction count contributed by this segment.
+    pub fn dynamic_len(&self) -> u64 {
+        self.body.len() as u64 * u64::from(self.repeat)
+    }
+}
+
+/// The full program replayed by one warp: a list of repeated segments.
+///
+/// Every well-formed program ends with [`OpClass::Exit`]; [`ProgramBuilder`]
+/// appends it automatically.
+#[derive(Debug, Clone)]
+pub struct WarpProgram {
+    segments: Vec<Segment>,
+}
+
+impl WarpProgram {
+    /// Creates a program from raw segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the final dynamic instruction is not [`OpClass::Exit`].
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        let last = segments
+            .iter()
+            .rev()
+            .find(|s| s.repeat > 0 && !s.body.is_empty())
+            .and_then(|s| s.body.last());
+        assert!(
+            matches!(last, Some(i) if i.op == OpClass::Exit),
+            "warp programs must end with exit"
+        );
+        WarpProgram { segments }
+    }
+
+    /// The program's segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total dynamic instruction count.
+    pub fn dynamic_len(&self) -> u64 {
+        self.segments.iter().map(Segment::dynamic_len).sum()
+    }
+
+    /// Creates a cursor positioned at the first instruction.
+    pub fn cursor(self: &Arc<Self>) -> Cursor {
+        Cursor::new(Arc::clone(self))
+    }
+}
+
+/// Replays a [`WarpProgram`] one instruction at a time.
+///
+/// The cursor also tracks the dynamic instruction index, which memory
+/// patterns use to derive streaming addresses.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    program: Arc<WarpProgram>,
+    seg: usize,
+    iter: u32,
+    pos: usize,
+    dynamic_index: u64,
+}
+
+impl Cursor {
+    fn new(program: Arc<WarpProgram>) -> Self {
+        let mut c = Cursor { program, seg: 0, iter: 0, pos: 0, dynamic_index: 0 };
+        c.skip_empty();
+        c
+    }
+
+    fn skip_empty(&mut self) {
+        while let Some(s) = self.program.segments.get(self.seg) {
+            if s.repeat == 0 || s.body.is_empty() {
+                self.seg += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next instruction without advancing, or `None` at end of program.
+    pub fn peek(&self) -> Option<Instruction> {
+        self.program.segments.get(self.seg).map(|s| s.body[self.pos])
+    }
+
+    /// Dynamic index of the instruction `peek` would return.
+    pub fn dynamic_index(&self) -> u64 {
+        self.dynamic_index
+    }
+
+    /// True once every instruction has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.seg >= self.program.segments.len()
+    }
+
+    /// Returns the next instruction (with its dynamic index) and advances.
+    pub fn next_instruction(&mut self) -> Option<(Instruction, u64)> {
+        let seg = self.program.segments.get(self.seg)?;
+        let instr = seg.body[self.pos];
+        let idx = self.dynamic_index;
+        self.dynamic_index += 1;
+        self.pos += 1;
+        if self.pos == seg.body.len() {
+            self.pos = 0;
+            self.iter += 1;
+            if self.iter == seg.repeat {
+                self.iter = 0;
+                self.seg += 1;
+                self.skip_empty();
+            }
+        }
+        Some((instr, idx))
+    }
+}
+
+/// Fluent builder for [`WarpProgram`]s.
+///
+/// # Example
+///
+/// ```
+/// use subcore_isa::{ProgramBuilder, Reg, OpClass};
+///
+/// let p = ProgramBuilder::new()
+///     .repeat(64, |b| {
+///         b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+///         b.load_global(Reg(3), Reg(4), 0, 128);
+///     })
+///     .barrier()
+///     .build();
+/// assert_eq!(p.dynamic_len(), 64 * 2 + 2); // + barrier + exit
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    segments: Vec<Segment>,
+    current: Vec<Instruction>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flush(&mut self) {
+        if !self.current.is_empty() {
+            let body = std::mem::take(&mut self.current);
+            self.segments.push(Segment { body: body.into(), repeat: 1 });
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.current.push(instr);
+        self
+    }
+
+    /// Appends `FFMA dst, a, b, c`.
+    pub fn fma(&mut self, dst: Reg, a: Reg, b: Reg, c: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::FmaF32, Some(dst), &[a, b, c]))
+    }
+
+    /// Appends a 2-source FP32 arithmetic op.
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::ArithF32, Some(dst), &[a, b]))
+    }
+
+    /// Appends a 2-source integer op.
+    pub fn iadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::ArithI32, Some(dst), &[a, b]))
+    }
+
+    /// Appends a 2-source FP64 op.
+    pub fn dadd(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::ArithF64, Some(dst), &[a, b]))
+    }
+
+    /// Appends an SFU transcendental.
+    pub fn mufu(&mut self, dst: Reg, a: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::Special, Some(dst), &[a]))
+    }
+
+    /// Appends a tensor-core fragment op.
+    pub fn hmma(&mut self, dst: Reg, a: Reg, b: Reg, c: Reg) -> &mut Self {
+        self.push(Instruction::new(OpClass::TensorOp, Some(dst), &[a, b, c]))
+    }
+
+    /// Appends a coalesced global load streaming through `region`.
+    pub fn load_global(&mut self, dst: Reg, addr: Reg, region: u16, step: u32) -> &mut Self {
+        self.push(Instruction::mem(
+            OpClass::LoadGlobal,
+            Some(dst),
+            &[addr],
+            MemPattern::Coalesced { region, step },
+        ))
+    }
+
+    /// Appends a global load with an explicit pattern.
+    pub fn load_global_pattern(&mut self, dst: Reg, addr: Reg, pattern: MemPattern) -> &mut Self {
+        self.push(Instruction::mem(OpClass::LoadGlobal, Some(dst), &[addr], pattern))
+    }
+
+    /// Appends a coalesced global store.
+    pub fn store_global(&mut self, data: Reg, addr: Reg, region: u16, step: u32) -> &mut Self {
+        self.push(Instruction::mem(
+            OpClass::StoreGlobal,
+            None,
+            &[data, addr],
+            MemPattern::Coalesced { region, step },
+        ))
+    }
+
+    /// Appends a shared-memory load with the given bank-conflict degree.
+    pub fn load_shared(&mut self, dst: Reg, addr: Reg, conflict_degree: u8) -> &mut Self {
+        self.push(Instruction::mem(
+            OpClass::LoadShared,
+            Some(dst),
+            &[addr],
+            MemPattern::SharedConflict { degree: conflict_degree },
+        ))
+    }
+
+    /// Appends a shared-memory store with the given bank-conflict degree.
+    pub fn store_shared(&mut self, data: Reg, addr: Reg, conflict_degree: u8) -> &mut Self {
+        self.push(Instruction::mem(
+            OpClass::StoreShared,
+            None,
+            &[data, addr],
+            MemPattern::SharedConflict { degree: conflict_degree },
+        ))
+    }
+
+    /// Appends a block-wide barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.push(Instruction::new(OpClass::Barrier, None, &[]))
+    }
+
+    /// Repeats the instructions recorded by `f` `count` times as a compact
+    /// segment.
+    pub fn repeat(&mut self, count: u32, f: impl FnOnce(&mut ProgramBuilder)) -> &mut Self {
+        self.flush();
+        let mut inner = ProgramBuilder::new();
+        f(&mut inner);
+        inner.flush();
+        assert!(
+            inner.segments.len() <= 1,
+            "nested repeat inside repeat is not supported; build segments separately"
+        );
+        if let Some(seg) = inner.segments.pop() {
+            self.segments.push(Segment { body: seg.body, repeat: count });
+        }
+        self
+    }
+
+    /// Finishes the program, appending the implicit `exit`.
+    pub fn build(&mut self) -> Arc<WarpProgram> {
+        self.push(Instruction::new(OpClass::Exit, None, &[]));
+        self.flush();
+        Arc::new(WarpProgram::from_segments(std::mem::take(&mut self.segments)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fma_loop(n: u32) -> Arc<WarpProgram> {
+        ProgramBuilder::new()
+            .repeat(n, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+            })
+            .build()
+    }
+
+    #[test]
+    fn dynamic_len_counts_repeats() {
+        let p = fma_loop(100);
+        assert_eq!(p.dynamic_len(), 101); // 100 FMAs + exit
+    }
+
+    #[test]
+    fn cursor_replays_every_instruction() {
+        let p = fma_loop(5);
+        let mut c = p.cursor();
+        let mut count = 0;
+        while let Some((instr, idx)) = c.next_instruction() {
+            assert_eq!(idx, count);
+            count += 1;
+            if count <= 5 {
+                assert_eq!(instr.op, OpClass::FmaF32);
+            } else {
+                assert_eq!(instr.op, OpClass::Exit);
+            }
+        }
+        assert_eq!(count, 6);
+        assert!(c.at_end());
+        assert!(c.peek().is_none());
+    }
+
+    #[test]
+    fn cursor_peek_matches_next() {
+        let p = ProgramBuilder::new()
+            .fadd(Reg(1), Reg(2), Reg(3))
+            .barrier()
+            .build();
+        let mut c = p.cursor();
+        while let Some(peeked) = c.peek() {
+            let (taken, _) = c.next_instruction().unwrap();
+            assert_eq!(peeked, taken);
+        }
+    }
+
+    #[test]
+    fn zero_repeat_segments_are_skipped() {
+        let body: Arc<[Instruction]> =
+            vec![Instruction::new(OpClass::ArithI32, Some(Reg(0)), &[Reg(1), Reg(1)])].into();
+        let exit: Arc<[Instruction]> = vec![Instruction::new(OpClass::Exit, None, &[])].into();
+        let p = Arc::new(WarpProgram::from_segments(vec![
+            Segment { body: Arc::clone(&body), repeat: 0 },
+            Segment { body, repeat: 2 },
+            Segment { body: exit, repeat: 1 },
+        ]));
+        assert_eq!(p.dynamic_len(), 3);
+        let mut c = p.cursor();
+        let mut n = 0;
+        while c.next_instruction().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must end with exit")]
+    fn programs_must_end_with_exit() {
+        let body: Arc<[Instruction]> =
+            vec![Instruction::new(OpClass::ArithI32, Some(Reg(0)), &[Reg(1), Reg(1)])].into();
+        let _ = WarpProgram::from_segments(vec![Segment { body, repeat: 1 }]);
+    }
+
+    #[test]
+    fn builder_mixes_straightline_and_loops() {
+        let p = ProgramBuilder::new()
+            .iadd(Reg(4), Reg(5), Reg(6))
+            .repeat(3, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+                b.mufu(Reg(3), Reg(0));
+            })
+            .barrier()
+            .build();
+        // 1 iadd + 3*(fma+mufu) + barrier + exit
+        assert_eq!(p.dynamic_len(), 1 + 6 + 1 + 1);
+        let mut ops = Vec::new();
+        let mut c = p.cursor();
+        while let Some((i, _)) = c.next_instruction() {
+            ops.push(i.op);
+        }
+        assert_eq!(ops[0], OpClass::ArithI32);
+        assert_eq!(ops[1], OpClass::FmaF32);
+        assert_eq!(ops[2], OpClass::Special);
+        assert_eq!(*ops.last().unwrap(), OpClass::Exit);
+    }
+}

@@ -1,0 +1,441 @@
+//! A human-readable text format for warp programs — a SASS-like listing
+//! that round-trips through [`write_program`] and [`parse_program`].
+//!
+//! The format exists so workloads can be inspected, diffed, and
+//! hand-crafted without writing Rust:
+//!
+//! ```text
+//! .repeat 128 {
+//!     ffma r8, r0, r2, r4
+//!     iadd r9, r1, r3
+//!     ldg r10, [r5], region=2, step=128
+//! }
+//! bar.sync
+//! exit
+//! ```
+//!
+//! Memory instructions carry their access pattern as `key=value` operands;
+//! everything else is plain `op dst, srcs…`.
+//!
+//! # Example
+//!
+//! ```
+//! use subcore_isa::{parse_program, write_program, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), subcore_isa::ParseError> {
+//! let p = ProgramBuilder::new()
+//!     .repeat(4, |b| { b.fma(Reg(3), Reg(0), Reg(1), Reg(2)); })
+//!     .build();
+//! let text = write_program(&p);
+//! let q = parse_program(&text)?;
+//! assert_eq!(p.dynamic_len(), q.dynamic_len());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Instruction, MemPattern, OpClass, Reg, Segment, WarpProgram};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Error produced when parsing a program listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a program to the text format.
+pub fn write_program(program: &Arc<WarpProgram>) -> String {
+    let mut out = String::new();
+    for seg in program.segments() {
+        if seg.repeat == 0 || seg.body.is_empty() {
+            continue;
+        }
+        let (indent, block) = if seg.repeat == 1 {
+            ("", false)
+        } else {
+            let _ = writeln!(out, ".repeat {} {{", seg.repeat);
+            ("    ", true)
+        };
+        for instr in seg.body.iter() {
+            let _ = writeln!(out, "{indent}{}", format_instr(instr));
+        }
+        if block {
+            let _ = writeln!(out, "}}");
+        }
+    }
+    out
+}
+
+fn format_instr(i: &Instruction) -> String {
+    let mut s = i.op.to_string();
+    let mut first = true;
+    let mut push_operand = |s: &mut String, text: String| {
+        if first {
+            let _ = write!(s, " {text}");
+            first = false;
+        } else {
+            let _ = write!(s, ", {text}");
+        }
+    };
+    if let Some(d) = i.dst {
+        push_operand(&mut s, d.to_string());
+    }
+    for src in i.sources() {
+        push_operand(&mut s, src.to_string());
+    }
+    match i.mem {
+        Some(MemPattern::Coalesced { region, step }) => {
+            push_operand(&mut s, format!("region={region}"));
+            push_operand(&mut s, format!("step={step}"));
+        }
+        Some(MemPattern::Strided { region, stride }) => {
+            push_operand(&mut s, format!("region={region}"));
+            push_operand(&mut s, format!("stride={stride}"));
+        }
+        Some(MemPattern::Irregular { region, span_lines }) => {
+            push_operand(&mut s, format!("region={region}"));
+            push_operand(&mut s, format!("span={span_lines}"));
+        }
+        Some(MemPattern::SharedConflict { degree }) => {
+            push_operand(&mut s, format!("conflict={degree}"));
+        }
+        None => {}
+    }
+    s
+}
+
+/// Parses a program listing.
+///
+/// The final `exit` may be omitted; it is appended automatically (matching
+/// [`crate::ProgramBuilder::build`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line for unknown opcodes,
+/// malformed registers, wrong operand counts, or unbalanced `.repeat`
+/// blocks.
+pub fn parse_program(text: &str) -> Result<Arc<WarpProgram>, ParseError> {
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut current: Vec<Instruction> = Vec::new();
+    let mut block: Option<(u32, Vec<Instruction>)> = None;
+    let mut ends_with_exit = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { line: lineno, message };
+
+        if let Some(rest) = line.strip_prefix(".repeat") {
+            if block.is_some() {
+                return Err(err("nested .repeat blocks are not supported".into()));
+            }
+            let rest = rest.trim();
+            let Some(count_text) = rest.strip_suffix('{') else {
+                return Err(err(".repeat must end with `{`".into()));
+            };
+            let count: u32 = count_text
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad repeat count `{}`", count_text.trim())))?;
+            if !current.is_empty() {
+                segments.push(Segment { body: std::mem::take(&mut current).into(), repeat: 1 });
+            }
+            block = Some((count, Vec::new()));
+            continue;
+        }
+        if line == "}" {
+            let Some((count, body)) = block.take() else {
+                return Err(err("unmatched `}`".into()));
+            };
+            if body.is_empty() {
+                return Err(err("empty .repeat block".into()));
+            }
+            segments.push(Segment { body: body.into(), repeat: count });
+            continue;
+        }
+
+        let instr = parse_instr(line).map_err(err)?;
+        ends_with_exit = instr.op == OpClass::Exit;
+        match &mut block {
+            Some((_, body)) => body.push(instr),
+            None => current.push(instr),
+        }
+    }
+    if block.is_some() {
+        return Err(ParseError { line: text.lines().count(), message: "unclosed .repeat".into() });
+    }
+    if !ends_with_exit {
+        current.push(Instruction::new(OpClass::Exit, None, &[]));
+    }
+    if !current.is_empty() {
+        segments.push(Segment { body: current.into(), repeat: 1 });
+    }
+    Ok(Arc::new(WarpProgram::from_segments(segments)))
+}
+
+fn parse_instr(line: &str) -> Result<Instruction, String> {
+    let (op_text, rest) = match line.split_once(' ') {
+        Some((o, r)) => (o, r.trim()),
+        None => (line, ""),
+    };
+    let op = parse_op(op_text)?;
+    let mut regs: Vec<Reg> = Vec::new();
+    let mut keys: Vec<(String, u64)> = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            let part = part.trim().trim_start_matches('[').trim_end_matches(']');
+            if let Some((k, v)) = part.split_once('=') {
+                let value: u64 =
+                    v.trim().parse().map_err(|_| format!("bad value in `{part}`"))?;
+                keys.push((k.trim().to_owned(), value));
+            } else {
+                let digits = part
+                    .strip_prefix('r')
+                    .ok_or_else(|| format!("expected register, got `{part}`"))?;
+                let n: u16 =
+                    digits.parse().map_err(|_| format!("bad register `{part}`"))?;
+                if n as usize >= Reg::MAX_REGS {
+                    return Err(format!("register `{part}` out of range"));
+                }
+                regs.push(Reg(n as u8));
+            }
+        }
+    }
+    let key = |name: &str| keys.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
+
+    let (dst, srcs): (Option<Reg>, &[Reg]) = match op {
+        OpClass::Barrier | OpClass::Exit => {
+            if !regs.is_empty() {
+                return Err(format!("{op} takes no operands"));
+            }
+            (None, &[])
+        }
+        OpClass::StoreGlobal | OpClass::StoreShared => (None, &regs[..]),
+        _ => {
+            if regs.is_empty() {
+                return Err(format!("{op} needs a destination register"));
+            }
+            (Some(regs[0]), &regs[1..])
+        }
+    };
+    let expected_srcs: std::ops::RangeInclusive<usize> = match op {
+        OpClass::FmaF32 | OpClass::TensorOp => 3..=3,
+        OpClass::ArithF32 | OpClass::ArithI32 | OpClass::ArithF64 => 2..=2,
+        OpClass::Special => 1..=1,
+        OpClass::LoadGlobal | OpClass::LoadShared => 1..=1,
+        OpClass::StoreGlobal => 2..=2,
+        OpClass::StoreShared => 2..=2,
+        OpClass::Barrier | OpClass::Exit => 0..=0,
+    };
+    if !expected_srcs.contains(&srcs.len()) {
+        return Err(format!("{op} expects {expected_srcs:?} source registers, got {}", srcs.len()));
+    }
+
+    if op.is_mem() {
+        let pattern = if let Some(degree) = key("conflict") {
+            MemPattern::SharedConflict { degree: degree.min(255) as u8 }
+        } else {
+            let region = key("region").unwrap_or(0).min(u16::MAX as u64) as u16;
+            if let Some(stride) = key("stride") {
+                MemPattern::Strided { region, stride: stride.min(u16::MAX as u64) as u16 }
+            } else if let Some(span) = key("span") {
+                MemPattern::Irregular { region, span_lines: span.min(u32::MAX as u64) as u32 }
+            } else {
+                MemPattern::Coalesced {
+                    region,
+                    step: key("step").unwrap_or(128).min(u32::MAX as u64) as u32,
+                }
+            }
+        };
+        let shared_op = matches!(op, OpClass::LoadShared | OpClass::StoreShared);
+        if shared_op != matches!(pattern, MemPattern::SharedConflict { .. }) {
+            return Err(format!("{op} has the wrong address-space pattern"));
+        }
+        Ok(Instruction::mem(op, dst, srcs, pattern))
+    } else {
+        Ok(Instruction::new(op, dst, srcs))
+    }
+}
+
+fn parse_op(text: &str) -> Result<OpClass, String> {
+    Ok(match text {
+        "ffma" => OpClass::FmaF32,
+        "fadd" => OpClass::ArithF32,
+        "iadd" => OpClass::ArithI32,
+        "dadd" => OpClass::ArithF64,
+        "mufu" => OpClass::Special,
+        "hmma" => OpClass::TensorOp,
+        "ldg" => OpClass::LoadGlobal,
+        "stg" => OpClass::StoreGlobal,
+        "lds" => OpClass::LoadShared,
+        "sts" => OpClass::StoreShared,
+        "bar.sync" => OpClass::Barrier,
+        "exit" => OpClass::Exit,
+        other => return Err(format!("unknown opcode `{other}`")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn roundtrip(p: &Arc<WarpProgram>) {
+        let text = write_program(p);
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(p.dynamic_len(), q.dynamic_len(), "{text}");
+        let mut a = p.cursor();
+        let mut b = q.cursor();
+        while let (Some((ia, _)), Some((ib, _))) = (a.next_instruction(), b.next_instruction()) {
+            assert_eq!(ia, ib, "{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_compute_loop() {
+        let p = ProgramBuilder::new()
+            .repeat(128, |b| {
+                b.fma(Reg(8), Reg(0), Reg(2), Reg(4));
+                b.iadd(Reg(9), Reg(1), Reg(3));
+                b.mufu(Reg(10), Reg(5));
+            })
+            .barrier()
+            .build();
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn roundtrip_all_memory_patterns() {
+        let mut b = ProgramBuilder::new();
+        b.load_global(Reg(1), Reg(0), 3, 128);
+        b.load_global_pattern(Reg(2), Reg(0), MemPattern::Strided { region: 1, stride: 8 });
+        b.load_global_pattern(Reg(3), Reg(0), MemPattern::Irregular { region: 2, span_lines: 512 });
+        b.store_global(Reg(4), Reg(0), 3, 128);
+        b.load_shared(Reg(5), Reg(0), 4);
+        b.store_shared(Reg(5), Reg(0), 2);
+        let p = b.barrier().build();
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn parses_handwritten_listing() {
+        let text = "
+            # a tiny tiled kernel
+            lds r4, [r0], conflict=2
+            .repeat 16 {
+                ffma r8, r4, r1, r2
+                stg r8, r3, region=1, step=128
+            }
+            bar.sync
+        ";
+        let p = parse_program(text).expect("parses");
+        assert_eq!(p.dynamic_len(), 1 + 32 + 1 + 1);
+    }
+
+    #[test]
+    fn exit_is_implicit() {
+        let p = parse_program("iadd r1, r2, r3").unwrap();
+        assert_eq!(p.dynamic_len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("iadd r1, r2, r3\nbogus r1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+        let err = parse_program(".repeat 4 {\nffma r0, r1, r2, r3").unwrap_err();
+        assert!(err.message.contains("unclosed"));
+        let err = parse_program("ffma r0, r1").unwrap_err();
+        assert!(err.message.contains("source registers"));
+        let err = parse_program("iadd r1, r999, r3").unwrap_err();
+        assert!(err.message.contains("bad register") || err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let p = parse_program("stg r4, r5, region=0, step=128").unwrap();
+        let mut c = p.cursor();
+        let (instr, _) = c.next_instruction().unwrap();
+        assert_eq!(instr.dst, None);
+        assert_eq!(instr.num_sources(), 2);
+    }
+
+    #[test]
+    fn rejects_space_mismatch() {
+        let err = parse_program("lds r1, r0, region=1, step=128").unwrap_err();
+        assert!(err.message.contains("address-space"));
+    }
+}
+
+/// Disassembles a whole kernel: each distinct warp program is printed once
+/// with the warp slots that run it — the inspection view for
+/// warp-specialized kernels.
+pub fn disassemble_kernel(kernel: &crate::Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# kernel `{}`: {} blocks x {} warps, {} regs/thread, {} B shared",
+        kernel.name(),
+        kernel.blocks(),
+        kernel.warps_per_block(),
+        kernel.regs_per_thread(),
+        kernel.shared_mem_bytes()
+    );
+    let mut w = 0;
+    while w < kernel.warps_per_block() {
+        let program = kernel.program(w);
+        let mut end = w + 1;
+        while end < kernel.warps_per_block() && Arc::ptr_eq(kernel.program(end), program) {
+            end += 1;
+        }
+        if end - w == 1 {
+            let _ = writeln!(out, ".warp {w}");
+        } else {
+            let _ = writeln!(out, ".warps {w}-{}", end - 1);
+        }
+        out.push_str(&write_program(program));
+        w = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+    use crate::{KernelBuilder, ProgramBuilder};
+
+    #[test]
+    fn disassembly_groups_identical_programs() {
+        let long = ProgramBuilder::new()
+            .repeat(8, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+            })
+            .barrier()
+            .build();
+        let short = ProgramBuilder::new().barrier().build();
+        let k = KernelBuilder::new("spec")
+            .blocks(1)
+            .regs_per_thread(8)
+            .per_warp_programs(vec![long.clone(), short.clone(), short.clone(), short])
+            .build();
+        let text = disassemble_kernel(&k);
+        assert!(text.contains(".warp 0\n"), "{text}");
+        assert!(text.contains(".warps 1-3"), "{text}");
+        assert!(text.contains("ffma"), "{text}");
+        assert!(text.contains("bar.sync"), "{text}");
+    }
+}

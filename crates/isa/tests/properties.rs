@@ -1,0 +1,160 @@
+//! Property-based tests of trace-representation invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use subcore_isa::{Instruction, OpClass, Reg, Segment, WarpProgram};
+
+fn arb_body() -> impl Strategy<Value = Vec<Instruction>> {
+    prop::collection::vec(
+        (0u8..32, 0u8..32, 0u8..32).prop_map(|(d, a, b)| {
+            Instruction::new(OpClass::FmaF32, Some(Reg(d)), &[Reg(a), Reg(b)])
+        }),
+        1..6,
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Arc<WarpProgram>> {
+    prop::collection::vec((arb_body(), 0u32..20), 0..5).prop_map(|segs| {
+        let mut segments: Vec<Segment> =
+            segs.into_iter().map(|(body, repeat)| Segment { body: body.into(), repeat }).collect();
+        segments.push(Segment {
+            body: vec![Instruction::new(OpClass::Exit, None, &[])].into(),
+            repeat: 1,
+        });
+        Arc::new(WarpProgram::from_segments(segments))
+    })
+}
+
+proptest! {
+    /// The cursor replays exactly `dynamic_len` instructions, with strictly
+    /// increasing dynamic indices starting at zero, ending in `exit`.
+    #[test]
+    fn cursor_replays_dynamic_len(program in arb_program()) {
+        let expected = program.dynamic_len();
+        let mut cursor = program.cursor();
+        let mut count = 0u64;
+        let mut last = None;
+        while let Some((instr, idx)) = cursor.next_instruction() {
+            prop_assert_eq!(idx, count);
+            count += 1;
+            last = Some(instr);
+        }
+        prop_assert_eq!(count, expected);
+        prop_assert_eq!(last.map(|i| i.op), Some(OpClass::Exit));
+        prop_assert!(cursor.at_end());
+    }
+
+    /// Peek never disagrees with the next instruction taken.
+    #[test]
+    fn peek_is_consistent(program in arb_program()) {
+        let mut cursor = program.cursor();
+        loop {
+            let peeked = cursor.peek();
+            let taken = cursor.next_instruction().map(|(i, _)| i);
+            prop_assert_eq!(peeked, taken);
+            if taken.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Cloned cursors diverge independently (no shared mutable state).
+    #[test]
+    fn cursors_are_independent(program in arb_program(), skip in 0u64..16) {
+        let mut a = program.cursor();
+        for _ in 0..skip {
+            if a.next_instruction().is_none() {
+                break;
+            }
+        }
+        let mut b = a.clone();
+        let ra: Vec<_> = std::iter::from_fn(|| a.next_instruction()).collect();
+        let rb: Vec<_> = std::iter::from_fn(|| b.next_instruction()).collect();
+        prop_assert_eq!(ra, rb);
+    }
+}
+
+mod text_roundtrip {
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use subcore_isa::{
+        parse_program, write_program, Instruction, MemPattern, OpClass, Reg, Segment, WarpProgram,
+    };
+
+    fn arb_instr() -> impl Strategy<Value = Instruction> {
+        let r = || (0u8..32).prop_map(Reg);
+        prop_oneof![
+            (r(), r(), r(), r()).prop_map(|(d, a, b, c)| Instruction::new(
+                OpClass::FmaF32,
+                Some(d),
+                &[a, b, c]
+            )),
+            (r(), r(), r()).prop_map(|(d, a, b)| Instruction::new(
+                OpClass::ArithI32,
+                Some(d),
+                &[a, b]
+            )),
+            (r(), r()).prop_map(|(d, a)| Instruction::new(OpClass::Special, Some(d), &[a])),
+            (r(), r(), 0u16..8, 1u32..4096).prop_map(|(d, a, region, step)| Instruction::mem(
+                OpClass::LoadGlobal,
+                Some(d),
+                &[a],
+                MemPattern::Coalesced { region, step }
+            )),
+            (r(), r(), 0u16..8, 1u32..65536).prop_map(|(d, a, region, span)| Instruction::mem(
+                OpClass::LoadGlobal,
+                Some(d),
+                &[a],
+                MemPattern::Irregular { region, span_lines: span }
+            )),
+            (r(), r(), 1u8..33).prop_map(|(d, a, deg)| Instruction::mem(
+                OpClass::LoadShared,
+                Some(d),
+                &[a],
+                MemPattern::SharedConflict { degree: deg }
+            )),
+            (r(), r(), 0u16..8).prop_map(|(data, a, region)| Instruction::mem(
+                OpClass::StoreGlobal,
+                None,
+                &[data, a],
+                MemPattern::Coalesced { region, step: 128 }
+            )),
+        ]
+    }
+
+    fn arb_text_program() -> impl Strategy<Value = Arc<WarpProgram>> {
+        prop::collection::vec(
+            (prop::collection::vec(arb_instr(), 1..5), 1u32..20),
+            1..4,
+        )
+        .prop_map(|segs| {
+            let mut segments: Vec<Segment> = segs
+                .into_iter()
+                .map(|(body, repeat)| Segment { body: body.into(), repeat })
+                .collect();
+            segments.push(Segment {
+                body: vec![Instruction::new(OpClass::Exit, None, &[])].into(),
+                repeat: 1,
+            });
+            Arc::new(WarpProgram::from_segments(segments))
+        })
+    }
+
+    proptest! {
+        /// Any program the builder can express round-trips through the
+        /// text format losslessly.
+        #[test]
+        fn text_format_roundtrips(program in arb_text_program()) {
+            let text = write_program(&program);
+            let parsed = parse_program(&text)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+            prop_assert_eq!(program.dynamic_len(), parsed.dynamic_len());
+            let mut a = program.cursor();
+            let mut b = parsed.cursor();
+            while let (Some((ia, _)), Some((ib, _))) = (a.next_instruction(), b.next_instruction())
+            {
+                prop_assert_eq!(ia, ib);
+            }
+        }
+    }
+}

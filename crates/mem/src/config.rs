@@ -1,0 +1,128 @@
+//! Memory system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the shared memory system, defaulting to the V100-like
+/// parameters of Table II in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Cache line / memory transaction size in bytes (128 on NVIDIA parts).
+    pub line_bytes: u32,
+    /// L1 data cache capacity per SM, in KiB (shared by all sub-cores).
+    pub l1_kb: u32,
+    /// L1 associativity.
+    pub l1_assoc: u32,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L2 capacity (whole GPU), in KiB.
+    pub l2_kb: u32,
+    /// L2 associativity (24-way on V100).
+    pub l2_assoc: u32,
+    /// Number of independent L2 slices.
+    pub l2_slices: u32,
+    /// Additional latency of an L2 hit over an L1 hit.
+    pub l2_latency: u32,
+    /// Additional latency of a DRAM access over an L2 hit.
+    pub dram_latency: u32,
+    /// Number of DRAM (HBM) channels.
+    pub dram_channels: u32,
+    /// Cycles between transaction grants on one DRAM channel (bandwidth
+    /// bound: `line_bytes / bytes_per_cycle_per_channel`).
+    pub dram_service_interval: u32,
+    /// Shared-memory scratchpad access latency (conflict-free).
+    pub shared_latency: u32,
+    /// Number of shared-memory banks per SM.
+    pub shared_banks: u32,
+    /// Merge accesses to lines with an in-flight L1 miss (MSHR behaviour):
+    /// the second access completes when the first fill arrives instead of
+    /// paying a fresh L2/DRAM round trip.
+    pub mshr_merging: bool,
+}
+
+impl MemConfig {
+    /// V100-like parameters: 128 KB L1/shared per SM, 6 MB 24-way L2,
+    /// HBM2-class bandwidth.
+    pub fn volta_like() -> Self {
+        MemConfig {
+            line_bytes: 128,
+            l1_kb: 128,
+            l1_assoc: 8,
+            l1_latency: 28,
+            l2_kb: 6 * 1024,
+            l2_assoc: 24,
+            l2_slices: 32,
+            l2_latency: 190,
+            dram_latency: 160,
+            dram_channels: 32,
+            dram_service_interval: 4,
+            shared_latency: 20,
+            shared_banks: 32,
+            mshr_merging: false,
+        }
+    }
+
+    /// Number of sets in one L2 slice.
+    pub fn l2_sets_per_slice(&self) -> u32 {
+        let lines = self.l2_kb * 1024 / self.line_bytes;
+        let per_slice = lines / self.l2_slices;
+        (per_slice / self.l2_assoc).max(1)
+    }
+
+    /// Number of sets in an SM's L1.
+    pub fn l1_sets(&self) -> u32 {
+        let lines = self.l1_kb * 1024 / self.line_bytes;
+        (lines / self.l1_assoc).max(1)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity, latency, or count is zero.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.l1_kb > 0 && self.l2_kb > 0, "cache capacities must be nonzero");
+        assert!(self.l1_assoc > 0 && self.l2_assoc > 0, "associativity must be nonzero");
+        assert!(self.l2_slices > 0 && self.dram_channels > 0, "parallel unit counts must be nonzero");
+        assert!(self.shared_banks > 0, "shared memory needs banks");
+        assert!(self.dram_service_interval > 0, "dram service interval must be nonzero");
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::volta_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_defaults_match_table_ii() {
+        let c = MemConfig::volta_like();
+        assert_eq!(c.l1_kb, 128);
+        assert_eq!(c.l2_kb, 6 * 1024);
+        assert_eq!(c.l2_assoc, 24);
+        assert_eq!(c.shared_banks, 32);
+        c.validate();
+    }
+
+    #[test]
+    fn set_counts_are_consistent() {
+        let c = MemConfig::volta_like();
+        assert_eq!(c.l1_sets() * c.l1_assoc * c.line_bytes, c.l1_kb * 1024);
+        // L2: sets * assoc * slices * line = capacity (up to rounding)
+        let cap = c.l2_sets_per_slice() * c.l2_assoc * c.l2_slices * c.line_bytes;
+        assert_eq!(cap, c.l2_kb * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validate_rejects_odd_line_size() {
+        let mut c = MemConfig::volta_like();
+        c.line_bytes = 100;
+        c.validate();
+    }
+}

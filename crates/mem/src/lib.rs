@@ -1,0 +1,41 @@
+//! Memory hierarchy model for the `subcore` GPU simulator.
+//!
+//! Sub-cores within an SM *share* the L1 data cache and shared-memory
+//! scratchpad — this sharing is why the paper's block-granularity resource
+//! management (and hence the sub-core imbalance problem) exists in the first
+//! place. This crate models that shared memory system with a
+//! *latency-computed* timing model: each warp-level access is coalesced into
+//! 128-byte transactions, walked through the L1 → L2 → DRAM hierarchy, and
+//! assigned a completion cycle. DRAM channels apply a bandwidth bound by
+//! serializing transaction service slots.
+//!
+//! The model is deliberately simpler than a full MSHR/interconnect model —
+//! the paper's mechanisms live in the SM front-end (operand collection and
+//! issue), and only need a memory system with realistic *latency spread*
+//! (L1 hit ≪ L2 hit ≪ DRAM) and a finite bandwidth ceiling.
+//!
+//! # Example
+//!
+//! ```
+//! use subcore_mem::{MemConfig, MemSystem};
+//!
+//! let mut mem = MemSystem::new(MemConfig::volta_like(), 1);
+//! let lines = [0u64, 1, 2];
+//! let t1 = mem.access_global(0, 0, &lines, false);
+//! let t2 = mem.access_global(0, t1, &lines, false); // second pass hits in L1
+//! assert!(t2 - t1 < t1, "L1 hits are much faster than cold misses");
+//! ```
+
+mod cache;
+mod coalesce;
+mod config;
+mod dram;
+mod shared;
+mod system;
+
+pub use cache::{AccessOutcome, Cache};
+pub use coalesce::{coalesce, StreamCtx};
+pub use config::MemConfig;
+pub use dram::DramChannel;
+pub use shared::SharedMemModel;
+pub use system::{MemStats, MemSystem};

@@ -1,0 +1,78 @@
+//! Property-based tests of memory-model invariants.
+
+use proptest::prelude::*;
+use subcore_mem::{coalesce, Cache, DramChannel, MemConfig, MemSystem, StreamCtx};
+use subcore_isa::MemPattern;
+
+proptest! {
+    /// Any contiguous working set that fits in the cache (≤ ways per set)
+    /// always hits after warm-up.
+    #[test]
+    fn resident_working_set_hits(start in 0u64..100_000, len in 1u64..129) {
+        let mut cache = Cache::new(16, 8); // 128 lines capacity
+        let lines: Vec<u64> = (start..start + len).collect();
+        for &l in &lines {
+            cache.access(l, true);
+        }
+        for &l in &lines {
+            prop_assert_eq!(cache.access(l, true), subcore_mem::AccessOutcome::Hit);
+        }
+    }
+
+    /// DRAM completion times are monotone in arrival order on one channel.
+    #[test]
+    fn dram_completions_monotone(gaps in prop::collection::vec(0u64..50, 1..40)) {
+        let mut ch = DramChannel::new(4, 160);
+        let mut now = 0;
+        let mut last_done = 0;
+        for g in gaps {
+            now += g;
+            let done = ch.access(now);
+            prop_assert!(done >= last_done, "completions must not reorder");
+            prop_assert!(done >= now + 160, "latency is a lower bound");
+            last_done = done;
+        }
+    }
+
+    /// The coalescer always produces 1..=32 transactions, all within the
+    /// pattern's region, deterministically.
+    #[test]
+    fn coalescer_bounds(
+        stream in any::<u64>(),
+
+        region in 0u16..16,
+        span in 1u32..100_000,
+        stride in 1u16..64,
+    ) {
+        let ctx = StreamCtx { stream_id: stream, dynamic_index: stream >> 32 };
+        for pattern in [
+            MemPattern::Coalesced { region, step: 128 },
+            MemPattern::Strided { region, stride },
+            MemPattern::Irregular { region, span_lines: span },
+        ] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let n = coalesce(pattern, ctx, 128, &mut a);
+            coalesce(pattern, ctx, 128, &mut b);
+            prop_assert_eq!(&a, &b, "deterministic");
+            prop_assert!((1..=32).contains(&n), "transaction count {n}");
+            let base = (u64::from(region) << 32) / 128;
+            let end = (u64::from(region + 1) << 32) / 128;
+            for &line in &a {
+                prop_assert!(line >= base && line < end, "line {line} outside region");
+            }
+        }
+    }
+
+    /// Memory accesses never complete before their issue cycle plus the L1
+    /// hit latency, and repeated accesses never get slower than cold ones.
+    #[test]
+    fn access_latency_bounds(lines in prop::collection::vec(0u64..512, 1..32)) {
+        let mut mem = MemSystem::new(MemConfig::volta_like(), 1);
+        let cfg = mem.config().clone();
+        let cold = mem.access_global(0, 0, &lines, false);
+        prop_assert!(cold >= u64::from(cfg.l1_latency));
+        let warm = mem.access_global(0, cold, &lines, false);
+        prop_assert!(warm - cold <= cold, "warm pass is no slower than cold");
+    }
+}

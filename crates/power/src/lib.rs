@@ -1,0 +1,227 @@
+//! Analytic area/power model of one GPU sub-core's operand collector, warp
+//! issue scheduler, and register-file banks.
+//!
+//! The paper assesses the cost of RBA versus collector-unit scaling by
+//! synthesizing RTL with Cadence Genus on a 45 nm PDK and generating the
+//! register file with OpenRAM (§VI-B2, Fig. 13). Neither tool is available
+//! offline, so this crate provides a *component-level analytic model*: every
+//! design's cost is the sum of physically motivated terms (SRAM bits,
+//! flip-flop bits, crossbar port-datapath products, comparator widths), and
+//! the per-unit constants are calibrated once against the paper's two
+//! headline synthesis results —
+//!
+//! * doubling CUs (2 → 4): **+27 % area, +60 % power**,
+//! * adding RBA: **≈ +1 % area and power**.
+//!
+//! Because the *structure* is physical, the model extrapolates sensibly to
+//! the other design points the paper discusses (8/16 CUs, 4 banks), and the
+//! relative ordering of designs is robust to the calibration constants.
+//!
+//! # Example
+//!
+//! ```
+//! use subcore_power::CostModel;
+//!
+//! let m = CostModel::calibrated_45nm();
+//! let base = m.subcore_cost(2, 2, false);
+//! let four = m.subcore_cost(4, 2, false);
+//! let rba = m.subcore_cost(2, 2, true);
+//! assert!(four.area / base.area > 1.2);     // CU scaling is expensive
+//! assert!(rba.area / base.area < 1.02);     // RBA is nearly free
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute cost of one design point (arbitrary but consistent units:
+/// area in equivalent SRAM-bit units, power in mW-class units).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignCost {
+    /// Area estimate.
+    pub area: f64,
+    /// Power estimate at the calibration clock (1 GHz in the paper).
+    pub power: f64,
+}
+
+impl DesignCost {
+    /// Component-wise ratio against a baseline.
+    pub fn normalized_to(&self, base: &DesignCost) -> DesignCost {
+        DesignCost { area: self.area / base.area, power: self.power / base.power }
+    }
+}
+
+/// Component-level cost model for one sub-core's issue + operand-read path.
+///
+/// All constants are per-component and documented; see
+/// [`CostModel::calibrated_45nm`] for the calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Register-file capacity per sub-core, bits (64 KB on Volta).
+    pub rf_bits: f64,
+    /// Area of one SRAM bit (unit definition: 1.0).
+    pub area_per_sram_bit: f64,
+    /// Extra area per bank for periphery (decoders, sense amps), as a
+    /// fraction of the bank's SRAM area.
+    pub bank_periphery_frac: f64,
+    /// Flip-flop storage bits per collector unit: 3 operands × 32 lanes ×
+    /// 32 bits of data plus valid/ready/register-id control.
+    pub cu_bits: f64,
+    /// Area of one flip-flop bit relative to an SRAM bit.
+    pub area_per_ff_bit: f64,
+    /// Crossbar area per (CU × bank) port pair: wiring for a 1024-bit
+    /// warp-wide operand datapath.
+    pub xbar_area_per_port: f64,
+    /// Warp scheduler base area (PC table, selection comparators).
+    pub sched_area: f64,
+    /// RBA additions: 16 × 5-bit score storage, widened comparator network,
+    /// and per-bank queue-length adders.
+    pub rba_area: f64,
+    /// Power of one register bank (read-dominated activity).
+    pub bank_power: f64,
+    /// Power of one collector unit (clocked flip-flops + muxes).
+    pub cu_power: f64,
+    /// Crossbar power per (CU × bank) port pair.
+    pub xbar_power_per_port: f64,
+    /// Warp scheduler base power.
+    pub sched_power: f64,
+    /// RBA score-logic power.
+    pub rba_power: f64,
+}
+
+impl CostModel {
+    /// Constants calibrated against the paper's 45 nm Genus/OpenRAM
+    /// synthesis: 2 → 4 CUs costs +27 % area and +60 % power; RBA costs
+    /// ≈ 1 % of each.
+    pub fn calibrated_45nm() -> Self {
+        CostModel {
+            rf_bits: 64.0 * 1024.0 * 8.0,
+            area_per_sram_bit: 1.0,
+            bank_periphery_frac: 0.05,
+            cu_bits: 3.0 * 32.0 * 32.0 + 32.0,
+            area_per_ff_bit: 4.0,
+            xbar_area_per_port: 50_000.0,
+            sched_area: 30_000.0,
+            rba_area: 7_300.0,
+            bank_power: 80.0,
+            cu_power: 66.0,
+            xbar_power_per_port: 42.0,
+            sched_power: 40.0,
+            rba_power: 5.0,
+        }
+    }
+
+    /// Cost of one sub-core configured with `cus` collector units and
+    /// `banks` register banks, with or without the RBA additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cus` or `banks` is zero.
+    pub fn subcore_cost(&self, cus: u32, banks: u32, rba: bool) -> DesignCost {
+        assert!(cus > 0 && banks > 0, "a sub-core needs collector units and banks");
+        let cus = f64::from(cus);
+        let banks = f64::from(banks);
+        let rf_area =
+            self.rf_bits * self.area_per_sram_bit * (1.0 + self.bank_periphery_frac * banks);
+        let cu_area = cus * self.cu_bits * self.area_per_ff_bit;
+        let xbar_area = cus * banks * self.xbar_area_per_port;
+        let mut area = rf_area + cu_area + xbar_area + self.sched_area;
+        let mut power = banks * self.bank_power
+            + cus * self.cu_power
+            + cus * banks * self.xbar_power_per_port
+            + self.sched_power;
+        if rba {
+            area += self.rba_area;
+            power += self.rba_power;
+        }
+        DesignCost { area, power }
+    }
+
+    /// Cost normalized to the Volta baseline (2 CUs, 2 banks, no RBA) —
+    /// Fig. 13's y-axis.
+    pub fn normalized_cost(&self, cus: u32, banks: u32, rba: bool) -> DesignCost {
+        let base = self.subcore_cost(2, 2, false);
+        self.subcore_cost(cus, banks, rba).normalized_to(&base)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::calibrated_45nm()
+    }
+
+    #[test]
+    fn doubling_cus_matches_paper_headline() {
+        let c = model().normalized_cost(4, 2, false);
+        assert!(
+            (c.area - 1.27).abs() < 0.04,
+            "paper: 4 CUs → 1.27× area, model gives {:.3}",
+            c.area
+        );
+        assert!(
+            (c.power - 1.60).abs() < 0.06,
+            "paper: 4 CUs → 1.60× power, model gives {:.3}",
+            c.power
+        );
+    }
+
+    #[test]
+    fn rba_is_about_one_percent() {
+        let c = model().normalized_cost(2, 2, true);
+        assert!(c.area > 1.0 && c.area < 1.02, "RBA area {:.4}", c.area);
+        assert!(c.power > 1.0 && c.power < 1.02, "RBA power {:.4}", c.power);
+    }
+
+    #[test]
+    fn cu_scaling_is_monotonic_and_superlinear_in_power() {
+        let m = model();
+        let mut last = m.normalized_cost(2, 2, false);
+        for cus in [4, 8, 16] {
+            let c = m.normalized_cost(cus, 2, false);
+            assert!(c.area > last.area && c.power > last.power);
+            last = c;
+        }
+        // 16 CUs is dramatically more expensive than RBA.
+        let rba = m.normalized_cost(2, 2, true);
+        assert!(last.area > 2.0 * rba.area);
+        assert!(last.power > 3.0 * rba.power);
+    }
+
+    #[test]
+    fn bank_scaling_costs_area_and_power() {
+        let m = model();
+        let two = m.normalized_cost(2, 2, false);
+        let four = m.normalized_cost(2, 4, false);
+        assert!(four.area > two.area, "more banks → more periphery + crossbar");
+        assert!(four.power > two.power);
+    }
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let c = model().normalized_cost(2, 2, false);
+        assert!((c.area - 1.0).abs() < 1e-12);
+        assert!((c.power - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "collector units")]
+    fn zero_cus_rejected() {
+        let _ = model().subcore_cost(0, 2, false);
+    }
+
+    #[test]
+    fn rba_cost_independent_of_cu_count_additions() {
+        // RBA adds a fixed increment regardless of CU count.
+        let m = model();
+        let d4 = m.subcore_cost(4, 2, true).area - m.subcore_cost(4, 2, false).area;
+        let d2 = m.subcore_cost(2, 2, true).area - m.subcore_cost(2, 2, false).area;
+        assert!((d4 - d2).abs() < 1e-9);
+    }
+}

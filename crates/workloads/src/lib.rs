@@ -1,0 +1,44 @@
+//! Synthetic workloads for the `subcore` GPU simulator, standing in for the
+//! 112 applications (8 benchmark suites) and hand-written microbenchmarks
+//! the paper evaluates on real SASS traces.
+//!
+//! # Why synthetic
+//!
+//! The paper drives Accel-Sim with SASS traces of TPC-H-on-Spark-RAPIDS,
+//! Parboil, Rodinia, cuGraph, Polybench, DeepBench, and CUTLASS. Those
+//! traces (and the GPU software stacks producing them) are not available
+//! here, so each application is *generated* from a parameter record
+//! ([`KernelParams`]) that controls precisely the axes the paper's
+//! mechanisms respond to: instruction mix, register working-set span,
+//! inter-warp divergence, and memory behaviour. Each registry entry is
+//! documented with the characterization it mirrors (see
+//! [`registry::all_apps`] and the suite tables in the source).
+//!
+//! # Example
+//!
+//! ```
+//! use subcore_workloads::{all_apps, app_by_name, FmaLayout, fma_microbenchmark};
+//!
+//! assert_eq!(all_apps().len(), 112);
+//! let srad = app_by_name("rod-srad").unwrap();
+//! assert_eq!(srad.suite().prefix(), "rod");
+//! let micro = fma_microbenchmark(FmaLayout::Unbalanced, 4, 1024);
+//! assert_eq!(micro.kernels().len(), 1);
+//! ```
+
+mod micro;
+mod registry;
+mod spec;
+mod suites;
+mod tpch;
+
+pub use micro::{
+    fma_microbenchmark, fma_microbenchmark_kernel, fma_unbalanced_scaled, FmaLayout, DEFAULT_FMAS,
+};
+pub use registry::{
+    all_apps, app_by_name, apps_in_suite, rf_sensitive_apps, sensitive_apps, RF_SENSITIVE_APPS,
+    SENSITIVE_APPS,
+};
+pub use spec::{AppParams, Imbalance, KernelParams, MemShape, Mix};
+pub use suites::{suite_apps, suite_names};
+pub use tpch::{tpch_query, tpch_suite, NUM_QUERIES};

@@ -1,0 +1,159 @@
+//! The paper's FMA microbenchmarks (Figs. 3, 4, 8).
+//!
+//! Each thread performs `fmas` fused multiply-adds on register-resident
+//! data, then waits at a block-wide barrier and exits. The three layouts of
+//! Fig. 4 differ only in *which* warp slots of the block hold compute warps:
+//!
+//! * **baseline** — 8 warps per block, all compute;
+//! * **balanced** — 32 warps per block, compute in slots 0–7 (round robin
+//!   spreads 2 per sub-core);
+//! * **unbalanced** — 32 warps per block, compute in slots ≡ 0 (mod 4)
+//!   (round robin pins all 8 to sub-core 0).
+
+use subcore_isa::{App, Instruction, Kernel, KernelBuilder, OpClass, Reg, Suite};
+
+use crate::spec::looped_program;
+
+/// The unrolled FMA loop body: four independent accumulator chains, the way
+/// the real microbenchmark is written to saturate FMA issue rather than
+/// serialize on one register's read-after-write latency.
+fn fma_body() -> [Instruction; 4] {
+    let acc = [Reg(0), Reg(3), Reg(4), Reg(5)];
+    acc.map(|a| Instruction::new(OpClass::FmaF32, Some(a), &[a, Reg(1), Reg(2)]))
+}
+
+/// Default FMA count per compute thread (the paper uses 4096).
+pub const DEFAULT_FMAS: u32 = 4096;
+
+/// Which Fig. 4 thread-block layout a microbenchmark uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmaLayout {
+    /// 8 warps, all compute.
+    Baseline,
+    /// 32 warps, compute at slots 0–7.
+    Balanced,
+    /// 32 warps, compute at slots 0, 4, 8, …, 28.
+    Unbalanced,
+}
+
+impl FmaLayout {
+    /// Warps per block for this layout.
+    pub fn warps_per_block(self) -> u32 {
+        match self {
+            FmaLayout::Baseline => 8,
+            _ => 32,
+        }
+    }
+
+    /// True if warp slot `w` is a compute warp.
+    pub fn is_compute(self, w: u32) -> bool {
+        match self {
+            FmaLayout::Baseline => true,
+            FmaLayout::Balanced => w < 8,
+            FmaLayout::Unbalanced => w.is_multiple_of(4),
+        }
+    }
+
+    /// All three layouts, in Fig. 3 order.
+    pub const ALL: [FmaLayout; 3] = [FmaLayout::Baseline, FmaLayout::Balanced, FmaLayout::Unbalanced];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FmaLayout::Baseline => "baseline",
+            FmaLayout::Balanced => "balanced",
+            FmaLayout::Unbalanced => "unbalanced",
+        }
+    }
+}
+
+/// Builds one FMA microbenchmark kernel with `fmas` FMAs per compute thread.
+pub fn fma_microbenchmark_kernel(layout: FmaLayout, blocks: u32, fmas: u32) -> Kernel {
+    let body = fma_body();
+    let compute = looped_program(&body, fmas / 4, true);
+    let empty = looped_program(&body, 0, true);
+    let programs = (0..layout.warps_per_block())
+        .map(|w| if layout.is_compute(w) { compute.clone() } else { empty.clone() })
+        .collect();
+    KernelBuilder::new(format!("fma-{}", layout.label()))
+        .blocks(blocks)
+        .regs_per_thread(8)
+        .per_warp_programs(programs)
+        .build()
+}
+
+/// Builds the microbenchmark as an app (Fig. 3 bars).
+pub fn fma_microbenchmark(layout: FmaLayout, blocks: u32, fmas: u32) -> App {
+    App::new(
+        format!("micro-fma-{}", layout.label()),
+        Suite::Micro,
+        vec![fma_microbenchmark_kernel(layout, blocks, fmas)],
+    )
+}
+
+/// The Fig. 8 sweep: the unbalanced layout with the compute warps' FMA
+/// count scaled by `imbalance`× relative to `base_fmas` of work the
+/// *balanced-equivalent* would do — larger `imbalance` means the single
+/// loaded sub-core runs proportionally longer.
+pub fn fma_unbalanced_scaled(blocks: u32, base_fmas: u32, imbalance: u32) -> App {
+    let body = fma_body();
+    let compute = looped_program(&body, base_fmas / 4 * imbalance.max(1), true);
+    let light = looped_program(&body, base_fmas / 4, true);
+    let programs = (0..32u32)
+        .map(|w| if w % 4 == 0 { compute.clone() } else { light.clone() })
+        .collect();
+    let kernel = KernelBuilder::new(format!("fma-unbal-x{imbalance}"))
+        .blocks(blocks)
+        .regs_per_thread(8)
+        .per_warp_programs(programs)
+        .build();
+    App::new(format!("micro-fma-unbal-x{imbalance}"), Suite::Micro, vec![kernel])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_match_figure_4() {
+        assert_eq!(FmaLayout::Baseline.warps_per_block(), 8);
+        assert_eq!(FmaLayout::Balanced.warps_per_block(), 32);
+        assert_eq!(FmaLayout::Unbalanced.warps_per_block(), 32);
+        // Unbalanced: compute at 0, 4, 8, ... (first column of Fig. 4).
+        let compute: Vec<u32> =
+            (0..32).filter(|&w| FmaLayout::Unbalanced.is_compute(w)).collect();
+        assert_eq!(compute, vec![0, 4, 8, 12, 16, 20, 24, 28]);
+        // Balanced: compute at 0..8.
+        let compute: Vec<u32> = (0..32).filter(|&w| FmaLayout::Balanced.is_compute(w)).collect();
+        assert_eq!(compute, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_layouts_have_8_compute_warps() {
+        for layout in FmaLayout::ALL {
+            let n = (0..layout.warps_per_block()).filter(|&w| layout.is_compute(w)).count();
+            assert_eq!(n, 8, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn compute_work_is_identical_across_layouts() {
+        let work = |layout: FmaLayout| {
+            let k = fma_microbenchmark_kernel(layout, 1, 128);
+            (0..k.warps_per_block())
+                .map(|w| k.program(w).dynamic_len())
+                .filter(|&l| l > 2)
+                .sum::<u64>()
+        };
+        let base = work(FmaLayout::Baseline);
+        assert_eq!(base, work(FmaLayout::Balanced));
+        assert_eq!(base, work(FmaLayout::Unbalanced));
+    }
+
+    #[test]
+    fn scaled_imbalance_grows_long_warps_only() {
+        let app = fma_unbalanced_scaled(1, 64, 16);
+        let k = &app.kernels()[0];
+        assert!(k.program(0).dynamic_len() > 15 * k.program(1).dynamic_len());
+    }
+}

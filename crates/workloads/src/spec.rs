@@ -1,0 +1,540 @@
+//! Parametric synthetic-kernel generation.
+//!
+//! Real SASS traces are unavailable offline, so every application in the
+//! registry is generated from an [`AppParams`] record controlling exactly
+//! the axes the paper's mechanisms are sensitive to: instruction mix (which
+//! execution pipelines are loaded), register working-set span (bank
+//! pressure), per-warp trip-count imbalance (inter-warp divergence), and
+//! memory behaviour (coalescing, locality, shared-memory conflicts).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use subcore_isa::{
+    App, Instruction, Kernel, KernelBuilder, MemPattern, OpClass, ProgramBuilder, Reg, Suite,
+    WarpProgram,
+};
+use std::sync::Arc;
+
+/// Instruction-mix weights. Each weight is the relative probability of
+/// drawing that op class for the next body slot; all-zero mixes are invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// 3-source FP32 FMA.
+    pub fma: u32,
+    /// 2-source FP32 add/mul.
+    pub fadd: u32,
+    /// 2-source integer op.
+    pub iadd: u32,
+    /// 2-source FP64 op.
+    pub fp64: u32,
+    /// 1-source SFU transcendental.
+    pub sfu: u32,
+    /// 3-source tensor-core op.
+    pub tensor: u32,
+    /// Coalesced streaming global load.
+    pub load_stream: u32,
+    /// Irregular (graph-style) global load.
+    pub load_irregular: u32,
+    /// Coalesced global store.
+    pub store: u32,
+    /// Shared-memory load.
+    pub load_shared: u32,
+}
+
+impl Mix {
+    /// A pure-compute FP32 mix (FMA-heavy, like dense GEMM inner loops).
+    pub fn compute() -> Self {
+        Mix { fma: 6, fadd: 2, iadd: 2, ..Mix::zero() }
+    }
+
+    /// A register-intensive mix alternating the FMA and ALU pipelines
+    /// (keeps issue at ~1 instr/cycle so the read-operand stage is the
+    /// bottleneck rather than any single execution unit).
+    pub fn register_bound() -> Self {
+        Mix { fma: 4, iadd: 5, ..Mix::zero() }
+    }
+
+    /// A streaming memory-bound mix.
+    pub fn streaming() -> Self {
+        Mix { fma: 3, iadd: 2, load_stream: 3, store: 1, ..Mix::zero() }
+    }
+
+    /// An irregular, graph-analytics mix.
+    pub fn irregular() -> Self {
+        Mix { iadd: 4, fadd: 2, load_irregular: 3, store: 1, ..Mix::zero() }
+    }
+
+    /// A shared-memory-tiled mix (stencils, tiled GEMM).
+    pub fn shared_tiled() -> Self {
+        Mix { fma: 5, iadd: 1, load_shared: 3, load_stream: 1, ..Mix::zero() }
+    }
+
+    const fn zero() -> Self {
+        Mix {
+            fma: 0,
+            fadd: 0,
+            iadd: 0,
+            fp64: 0,
+            sfu: 0,
+            tensor: 0,
+            load_stream: 0,
+            load_irregular: 0,
+            store: 0,
+            load_shared: 0,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.fma
+            + self.fadd
+            + self.iadd
+            + self.fp64
+            + self.sfu
+            + self.tensor
+            + self.load_stream
+            + self.load_irregular
+            + self.store
+            + self.load_shared
+    }
+}
+
+/// Per-warp trip-count imbalance within a thread block — the paper's
+/// *inter-warp divergence*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imbalance {
+    /// All warps run the same trip count.
+    None,
+    /// Warps whose in-block id is ≡ 0 (mod `period`) run `factor`× the trip
+    /// count (the TPC-H / warp-specialization pattern: one long warp every
+    /// `period` warps).
+    EveryNth {
+        /// Long-warp period (the paper's TPC-H kernels show 4).
+        period: u32,
+        /// Trip-count multiplier of the long warps.
+        factor: u32,
+    },
+    /// Trip count ramps linearly from 1× (warp 0) to `max_factor`× (last
+    /// warp in the block).
+    Ramp {
+        /// Multiplier of the last warp.
+        max_factor: u32,
+    },
+}
+
+impl Imbalance {
+    /// Trip-count multiplier for warp `w` of a `warps`-wide block.
+    pub fn factor(&self, w: u32, warps: u32) -> u32 {
+        match *self {
+            Imbalance::None => 1,
+            Imbalance::EveryNth { period, factor } => {
+                if w.is_multiple_of(period.max(1)) {
+                    factor.max(1)
+                } else {
+                    1
+                }
+            }
+            Imbalance::Ramp { max_factor } => {
+                if warps <= 1 {
+                    max_factor.max(1)
+                } else {
+                    1 + (max_factor.saturating_sub(1)) * w / (warps - 1)
+                }
+            }
+        }
+    }
+}
+
+/// Memory-behaviour knobs shared by a kernel's generated loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemShape {
+    /// Span (in 128 B lines) of irregular accesses; small spans hit caches.
+    pub irregular_span: u32,
+    /// Shared-memory bank-conflict degree of generated shared loads.
+    pub shared_conflict: u8,
+    /// Stride (elements) of streaming accesses; 1 = fully coalesced.
+    pub stream_stride: u16,
+}
+
+impl Default for MemShape {
+    fn default() -> Self {
+        MemShape { irregular_span: 1 << 14, shared_conflict: 1, stream_stride: 1 }
+    }
+}
+
+/// Full parameter record for one synthetic kernel.
+#[derive(Debug, Clone)]
+pub struct KernelParams {
+    /// Kernel name (appears in reports).
+    pub name: String,
+    /// Thread blocks in the grid.
+    pub blocks: u32,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Architectural registers per thread (occupancy knob).
+    pub regs_per_thread: u16,
+    /// Distinct registers the body cycles through (bank-pressure knob;
+    /// must be ≤ `regs_per_thread`).
+    pub reg_span: u8,
+    /// Instructions per loop iteration.
+    pub body_len: u32,
+    /// Baseline loop iterations per warp.
+    pub iters: u32,
+    /// Instruction mix.
+    pub mix: Mix,
+    /// Memory behaviour.
+    pub mem: MemShape,
+    /// Inter-warp divergence.
+    pub imbalance: Imbalance,
+    /// Shared-memory bytes claimed per block.
+    pub shared_mem_bytes: u32,
+    /// Whether the block ends with a barrier before exiting (true for
+    /// every real CUDA kernel that uses shared memory or relies on block
+    /// completion; the paper's imbalance effect needs only the
+    /// block-granularity deallocation, but the barrier sharpens it).
+    pub end_barrier: bool,
+    /// Number of distinct destination registers the body rotates through
+    /// (defaults to the upper half of `reg_span`). Deeper rotations
+    /// tolerate longer write latencies before the WAW wall stalls a warp —
+    /// real compilers size this to the schedule's load latency.
+    pub dst_regs: Option<u8>,
+    /// Parity-cluster each instruction's source registers (instruction `k`
+    /// reads only registers ≡ `k` mod 2). This models the structural
+    /// same-bank operand clustering that compiler register allocation
+    /// produces under a 2-bank budget — the conflict pattern the paper's
+    /// RBA scheduler exploits. When false, sources are drawn uniformly.
+    pub structured_banks: bool,
+    /// RNG seed for body generation.
+    pub seed: u64,
+}
+
+impl KernelParams {
+    /// A reasonable compute-bound starting point; customize from here.
+    pub fn base(name: impl Into<String>) -> Self {
+        KernelParams {
+            name: name.into(),
+            blocks: 8,
+            warps_per_block: 8,
+            regs_per_thread: 32,
+            reg_span: 16,
+            body_len: 8,
+            iters: 64,
+            mix: Mix::compute(),
+            mem: MemShape::default(),
+            imbalance: Imbalance::None,
+            shared_mem_bytes: 0,
+            end_barrier: true,
+            structured_banks: false,
+            dst_regs: None,
+            seed: 0,
+        }
+    }
+
+    /// Generates the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is all-zero or `reg_span > regs_per_thread`.
+    pub fn build(&self) -> Kernel {
+        assert!(self.mix.total() > 0, "instruction mix must have nonzero weight");
+        assert!(
+            u16::from(self.reg_span) <= self.regs_per_thread,
+            "register span exceeds allocated registers"
+        );
+        assert!(self.reg_span >= 4, "body generation needs a span of at least 4 registers");
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xc0ffee);
+        let body: Arc<[Instruction]> = self.gen_body(&mut rng).into();
+        let mut programs = Vec::with_capacity(self.warps_per_block as usize);
+        for w in 0..self.warps_per_block {
+            let factor = self.imbalance.factor(w, self.warps_per_block);
+            let mut b = ProgramBuilder::new();
+            b.repeat(self.iters * factor, |inner| {
+                for &i in body.iter() {
+                    inner.push(i);
+                }
+            });
+            if self.end_barrier {
+                b.barrier();
+            }
+            programs.push(b.build());
+        }
+        KernelBuilder::new(self.name.clone())
+            .blocks(self.blocks)
+            .regs_per_thread(self.regs_per_thread)
+            .shared_mem_bytes(self.shared_mem_bytes)
+            .per_warp_programs(programs)
+            .build()
+    }
+
+    fn gen_body(&self, rng: &mut SmallRng) -> Vec<Instruction> {
+        let span = u32::from(self.reg_span);
+        // Sources come from the low half of the span, destinations rotate
+        // through the high half: bounded RAW chains, realistic reuse.
+        let src_span = (span / 2).max(2);
+        let dst_span = u32::from(self.dst_regs.unwrap_or(0)).max(span - src_span).max(2);
+        assert!(
+            src_span + dst_span <= u32::from(self.regs_per_thread),
+            "source + destination registers exceed the allocation"
+        );
+        let structured = self.structured_banks;
+        let mut structured_cursor = 0u32;
+        let mut src = move |rng: &mut SmallRng, slot: u32| {
+            if structured {
+                // Runs of eight same-parity-register instructions: a greedy
+                // warp floods one bank for several issues in a row, which
+                // is what gives a bank-aware scheduler something to dodge.
+                let class: Vec<u32> =
+                    (0..src_span).filter(|r| r % 2 == (slot / 8) % 2).collect();
+                let r = class[(structured_cursor as usize) % class.len()];
+                structured_cursor += 1;
+                Reg(r as u8)
+            } else {
+                Reg(rng.random_range(0..src_span) as u8)
+            }
+        };
+        let mut dst_cursor = 0u32;
+        let mut dst = move || {
+            let r = Reg((src_span + (dst_cursor % dst_span)) as u8);
+            dst_cursor += 1;
+            r
+        };
+        let m = self.mix;
+        // Exact composition: each op class gets floor(weight/total × len)
+        // slots (largest remainders fill the rest), and the *arrangement* is
+        // seeded-shuffled. This keeps two kernels with the same mix
+        // behaviourally comparable instead of at the mercy of small-sample
+        // draws.
+        let weights = [
+            m.fma,
+            m.fadd,
+            m.iadd,
+            m.fp64,
+            m.sfu,
+            m.tensor,
+            m.load_stream,
+            m.load_irregular,
+            m.store,
+            m.load_shared,
+        ];
+        let total = m.total();
+        let len = self.body_len;
+        let mut counts = [0u32; 10];
+        let mut assigned = 0;
+        let mut remainders: Vec<(u32, usize)> = Vec::new();
+        for (k, &w) in weights.iter().enumerate() {
+            counts[k] = w * len / total;
+            assigned += counts[k];
+            remainders.push((w * len % total, k));
+        }
+        remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, k) in remainders.iter().cycle().take((len - assigned) as usize) {
+            counts[k] += 1;
+        }
+        let mut deck: Vec<usize> = Vec::with_capacity(len as usize);
+        for (k, &c) in counts.iter().enumerate() {
+            deck.extend(std::iter::repeat_n(k, c as usize));
+        }
+        use rand::seq::SliceRandom;
+        deck.shuffle(rng);
+        let mut body = Vec::with_capacity(self.body_len as usize);
+        for (slot, &class) in deck.iter().enumerate() {
+            let sp = slot as u32;
+            let region = (slot % 4) as u16;
+            let instr = if class == 0 {
+                Instruction::new(OpClass::FmaF32, Some(dst()), &[src(rng, sp), src(rng, sp), src(rng, sp)])
+            } else if class == 1 {
+                Instruction::new(OpClass::ArithF32, Some(dst()), &[src(rng, sp), src(rng, sp)])
+            } else if class == 2 {
+                Instruction::new(OpClass::ArithI32, Some(dst()), &[src(rng, sp), src(rng, sp)])
+            } else if class == 3 {
+                Instruction::new(OpClass::ArithF64, Some(dst()), &[src(rng, sp), src(rng, sp)])
+            } else if class == 4 {
+                Instruction::new(OpClass::Special, Some(dst()), &[src(rng, sp)])
+            } else if class == 5 {
+                Instruction::new(OpClass::TensorOp, Some(dst()), &[src(rng, sp), src(rng, sp), src(rng, sp)])
+            } else if class == 6 {
+                Instruction::mem(
+                    OpClass::LoadGlobal,
+                    Some(dst()),
+                    &[src(rng, sp)],
+                    MemPattern::Coalesced { region, step: 128 * u32::from(self.mem.stream_stride) },
+                )
+            } else if class == 7 {
+                Instruction::mem(
+                    OpClass::LoadGlobal,
+                    Some(dst()),
+                    &[src(rng, sp)],
+                    MemPattern::Irregular { region, span_lines: self.mem.irregular_span },
+                )
+            } else if class == 8 {
+                Instruction::mem(
+                    OpClass::StoreGlobal,
+                    None,
+                    &[src(rng, sp), src(rng, sp)],
+                    MemPattern::Coalesced { region, step: 128 },
+                )
+            } else {
+                Instruction::mem(
+                    OpClass::LoadShared,
+                    Some(dst()),
+                    &[src(rng, sp)],
+                    MemPattern::SharedConflict { degree: self.mem.shared_conflict },
+                )
+            };
+            body.push(instr);
+        }
+        body
+    }
+}
+
+/// A multi-kernel application specification.
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// Application abbreviation (Table III style, e.g. `cg-bfs`).
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// The kernels launched back-to-back.
+    pub kernels: Vec<KernelParams>,
+}
+
+impl AppParams {
+    /// Single-kernel app helper.
+    pub fn single(name: impl Into<String>, suite: Suite, kernel: KernelParams) -> Self {
+        let name = name.into();
+        AppParams { name, suite, kernels: vec![kernel] }
+    }
+
+    /// Generates the application.
+    pub fn build(&self) -> App {
+        App::new(
+            self.name.clone(),
+            self.suite,
+            self.kernels.iter().map(KernelParams::build).collect(),
+        )
+    }
+}
+
+/// Convenience: builds a program that repeats `body` `iters` times (shared
+/// by the microbenchmarks).
+pub(crate) fn looped_program(body: &[Instruction], iters: u32, barrier: bool) -> Arc<WarpProgram> {
+    let mut b = ProgramBuilder::new();
+    b.repeat(iters, |inner| {
+        for &i in body {
+            inner.push(i);
+        }
+    });
+    if barrier {
+        b.barrier();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_every_nth() {
+        let im = Imbalance::EveryNth { period: 4, factor: 10 };
+        assert_eq!(im.factor(0, 16), 10);
+        assert_eq!(im.factor(1, 16), 1);
+        assert_eq!(im.factor(4, 16), 10);
+        assert_eq!(im.factor(7, 16), 1);
+    }
+
+    #[test]
+    fn imbalance_ramp_is_monotonic() {
+        let im = Imbalance::Ramp { max_factor: 8 };
+        let f: Vec<u32> = (0..8).map(|w| im.factor(w, 8)).collect();
+        assert_eq!(f[0], 1);
+        assert_eq!(f[7], 8);
+        assert!(f.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn build_generates_imbalanced_programs() {
+        let mut p = KernelParams::base("k");
+        p.imbalance = Imbalance::EveryNth { period: 4, factor: 5 };
+        let k = p.build();
+        let long = k.program(0).dynamic_len();
+        let short = k.program(1).dynamic_len();
+        assert!(long > short * 4, "long warp ({long}) ≈ 5× short warp ({short})");
+        assert_eq!(k.program(4).dynamic_len(), long);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = KernelParams::base("k");
+        let a = p.build();
+        let b = p.build();
+        assert_eq!(a.total_dynamic_instructions(), b.total_dynamic_instructions());
+        // Same seed → identical instruction streams.
+        let mut ca = a.program(0).cursor();
+        let mut cb = b.program(0).cursor();
+        while let (Some((ia, _)), Some((ib, _))) = (ca.next_instruction(), cb.next_instruction()) {
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = KernelParams::base("k").build();
+        let mut pb = KernelParams::base("k");
+        pb.seed = 99;
+        let b = pb.build();
+        let mut ca = a.program(0).cursor();
+        let mut cb = b.program(0).cursor();
+        let mut same = true;
+        for _ in 0..16 {
+            if ca.next_instruction().map(|x| x.0) != cb.next_instruction().map(|x| x.0) {
+                same = false;
+            }
+        }
+        assert!(!same, "different seeds should generate different bodies");
+    }
+
+    #[test]
+    fn mix_weights_shape_the_body() {
+        let mut p = KernelParams::base("mem");
+        p.mix = Mix { load_stream: 1, ..Mix::zero() };
+        let k = p.build();
+        let mut c = k.program(0).cursor();
+        let mut loads = 0;
+        let mut total = 0;
+        while let Some((i, _)) = c.next_instruction() {
+            total += 1;
+            if i.op == OpClass::LoadGlobal {
+                loads += 1;
+            }
+        }
+        assert_eq!(loads, total - 2, "all body instructions are loads (+barrier+exit)");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero weight")]
+    fn zero_mix_rejected() {
+        let mut p = KernelParams::base("z");
+        p.mix = Mix::zero();
+        let _ = p.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "register span")]
+    fn span_must_fit_registers() {
+        let mut p = KernelParams::base("s");
+        p.reg_span = 64;
+        p.regs_per_thread = 32;
+        let _ = p.build();
+    }
+
+    #[test]
+    fn app_params_build_multi_kernel() {
+        let app = AppParams {
+            name: "two".into(),
+            suite: Suite::Micro,
+            kernels: vec![KernelParams::base("a"), KernelParams::base("b")],
+        }
+        .build();
+        assert_eq!(app.kernels().len(), 2);
+    }
+}

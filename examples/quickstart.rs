@@ -1,0 +1,72 @@
+//! Quickstart: build a kernel, simulate it on a sub-core-partitioned GPU,
+//! and compare the paper's scheduling designs.
+//!
+//! ```text
+//! cargo run --release -p subcore-examples --bin quickstart
+//! ```
+
+use subcore_engine::GpuConfig;
+use subcore_isa::{App, KernelBuilder, ProgramBuilder, Reg, Suite};
+use subcore_sched::Design;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a kernel as a warp program: 128 loop iterations of an
+    //    unrolled FMA/ALU body. Like compiler-allocated code under a 2-bank
+    //    register budget, each half of the body clusters its source
+    //    operands in one parity class (= one bank of the sub-core file).
+    let program = ProgramBuilder::new()
+        .repeat(128, |b| {
+            for k in 0..4 {
+                b.fma(Reg(10 + k), Reg(0), Reg(2), Reg(4));
+                b.iadd(Reg(14 + k), Reg(2), Reg(4));
+            }
+            for k in 0..4 {
+                b.fma(Reg(18 + k), Reg(1), Reg(3), Reg(5));
+                b.iadd(Reg(22 + k), Reg(3), Reg(5));
+            }
+        })
+        .barrier()
+        .build();
+    let kernel = KernelBuilder::new("quickstart")
+        .blocks(16)
+        .warps_per_block(8)
+        .regs_per_thread(32)
+        .uniform_program(program)
+        .build();
+    let app = App::new("quickstart", Suite::Micro, vec![kernel]);
+
+    // 2. Pick a GPU: the paper's Table II V100 baseline, scaled to 2 SMs.
+    let gpu = GpuConfig::volta_v100().with_sms(2);
+
+    // 3. Simulate the hardware baseline (GTO warp scheduling, round-robin
+    //    sub-core assignment) and each of the paper's designs.
+    let baseline = subcore_engine::simulate_app(
+        &Design::Baseline.config(&gpu),
+        &Design::Baseline.policies(),
+        &app,
+    )?;
+    println!(
+        "baseline: {} cycles, IPC {:.2}, {:.1} register reads/cycle",
+        baseline.cycles,
+        baseline.ipc(),
+        32.0 * baseline.rf_reads_per_cycle()
+    );
+
+    for design in [
+        Design::Rba,
+        Design::Srr,
+        Design::Shuffle,
+        Design::ShuffleRba,
+        Design::FullyConnected,
+    ] {
+        let stats =
+            subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
+        println!(
+            "{:16} {:>8} cycles  speedup {:+.1}%",
+            design.label(),
+            stats.cycles,
+            100.0 * (baseline.cycles as f64 / stats.cycles as f64 - 1.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Register bank pressure: recovering read-operand throughput with RBA
+//! scheduling instead of paying for more collector units.
+//!
+//! A sub-core only sees 2 of the SM's 8 register banks, so instructions
+//! whose operands cluster in one bank serialize in the operand-read stage.
+//! This example compares the two ways out — buy more collector units, or
+//! schedule bank-aware — including what each costs in silicon.
+//!
+//! ```text
+//! cargo run --release -p subcore-examples --bin register_pressure
+//! ```
+
+use subcore_engine::GpuConfig;
+use subcore_power::CostModel;
+use subcore_sched::Design;
+use subcore_workloads::app_by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::volta_v100().with_sms(4);
+    let model = CostModel::calibrated_45nm();
+
+    for name in ["rod-srad", "pb-mriq", "cg-pgrnk"] {
+        let app = app_by_name(name).expect("registry app");
+        let baseline = subcore_engine::simulate_app(
+            &Design::Baseline.config(&gpu),
+            &Design::Baseline.policies(),
+            &app,
+        )?;
+        println!(
+            "{name}: baseline {} cycles ({:.1} reg reads/cycle/SM of 256 peak)",
+            baseline.cycles,
+            32.0 * baseline.rf_reads_per_cycle_per_sm()
+        );
+        for design in [Design::Rba, Design::CuScaling(4), Design::CuScaling(8)] {
+            let stats =
+                subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
+            let (cus, rba) = match design {
+                Design::CuScaling(n) => (n, false),
+                _ => (2, true),
+            };
+            let cost = model.normalized_cost(cus, 2, rba);
+            println!(
+                "  {:8} {:+6.1}% speedup   at {:+5.1}% area, {:+5.1}% power",
+                design.label(),
+                100.0 * (baseline.cycles as f64 / stats.cycles as f64 - 1.0),
+                100.0 * (cost.area - 1.0),
+                100.0 * (cost.power - 1.0),
+            );
+        }
+    }
+
+    println!();
+    println!("RBA reaches (or beats) 4-CU performance at ~1% of its cost —");
+    println!("the paper's Fig. 10 / Fig. 13 trade-off.");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! A miniature version of the paper's hardware study (Figs. 3/4): how much
+//! performance does sub-core partitioning cost, and when?
+//!
+//! Runs the three FMA microbenchmark layouts on a partitioned (Ampere-like)
+//! and a monolithic (Kepler-like) SM, then sweeps the imbalance scale the
+//! way Fig. 8 does — including a hand-crafted hardware hash-table
+//! assignment built with [`HashTableAssigner`].
+//!
+//! ```text
+//! cargo run --release -p subcore-examples --bin sm_partitioning_study
+//! ```
+
+use subcore_engine::{GpuConfig, GtoSelector, Policies};
+use subcore_sched::{Design, HashTableAssigner};
+use subcore_workloads::{fma_microbenchmark, fma_unbalanced_scaled, FmaLayout};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::volta_v100().with_sms(1);
+
+    println!("-- Fig. 3: execution time normalized to the baseline layout --");
+    for design in [Design::Baseline, Design::FullyConnected] {
+        let base = subcore_engine::simulate_app(
+            &design.config(&gpu),
+            &design.policies(),
+            &fma_microbenchmark(FmaLayout::Baseline, 8, 1024),
+        )?
+        .cycles as f64;
+        print!("{:24}", design.label());
+        for layout in FmaLayout::ALL {
+            let t = subcore_engine::simulate_app(
+                &design.config(&gpu),
+                &design.policies(),
+                &fma_microbenchmark(layout, 8, 1024),
+            )?
+            .cycles as f64;
+            print!("  {}={:.2}x", layout.label(), t / base);
+        }
+        println!();
+    }
+
+    println!();
+    println!("-- Fig. 8: unbalanced FMA as imbalance scales --");
+    for scale in [2u32, 8, 32] {
+        let app = fma_unbalanced_scaled(8, 96, scale);
+        let base = subcore_engine::simulate_app(
+            &Design::Baseline.config(&gpu),
+            &Design::Baseline.policies(),
+            &app,
+        )?
+        .cycles as f64;
+        print!("imbalance x{scale:<3}");
+        for design in [Design::Srr, Design::Shuffle] {
+            let t = subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?
+                .cycles as f64;
+            print!("  {} {:+6.1}%", design.label(), 100.0 * (base / t - 1.0));
+        }
+        // A custom hardware table: the Fig. 7 structure programmed by hand
+        // with the byte pattern that rotates each group by one sub-core —
+        // an SRR-like schedule expressed directly in table bytes.
+        let policies = Policies::new(
+            Box::new(|| Box::new(GtoSelector::new())),
+            // 0,1,2,3 / 1,2,3,0 / 2,3,0,1 / 3,0,1,2 per entry.
+            Box::new(|_| {
+                Box::new(HashTableAssigner::new([
+                    0b0011_0101,
+                    0b0110_1010,
+                    0b1100_0101,
+                    0b1001_1010,
+                ]))
+            }),
+        );
+        let t = subcore_engine::simulate_app(&gpu, &policies, &app)?.cycles as f64;
+        println!("  hand-table {:+6.1}%", 100.0 * (base / t - 1.0));
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Warp specialization and sub-core imbalance: why a database query can run
+//! 30 % faster just by changing which sub-core each warp is pinned to.
+//!
+//! Reproduces the paper's TPC-H story in miniature: a warp-specialized join
+//! kernel has one long-running warp in every four; round-robin assignment
+//! pins *all* the long warps to sub-core 0, and because block resources are
+//! only released when the whole block exits, the other three sub-cores sit
+//! idle waiting. SRR and Shuffle hash the warps across sub-cores instead.
+//!
+//! ```text
+//! cargo run --release -p subcore-examples --bin warp_specialization
+//! ```
+
+use subcore_engine::GpuConfig;
+use subcore_sched::Design;
+use subcore_workloads::tpch_query;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuConfig::volta_v100().with_sms(8);
+
+    for (name, query, compressed) in
+        [("tpcU-q8", 8, false), ("tpcU-q6", 6, false), ("tpcC-q9", 9, true)]
+    {
+        let app = tpch_query(query, compressed);
+        let baseline = subcore_engine::simulate_app(
+            &Design::Baseline.config(&gpu),
+            &Design::Baseline.policies(),
+            &app,
+        )?;
+        println!(
+            "{name}: baseline {} cycles, per-scheduler issue cv = {:.2}",
+            baseline.cycles,
+            baseline.issue_cv().unwrap_or(f64::NAN)
+        );
+        for design in [Design::Srr, Design::Shuffle, Design::FullyConnected] {
+            let stats =
+                subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
+            println!(
+                "  {:16} {:+6.1}%   cv = {:.2}",
+                design.label(),
+                100.0 * (baseline.cycles as f64 / stats.cycles as f64 - 1.0),
+                stats.issue_cv().unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    println!();
+    println!("q8 is join-heavy and warp-specialized (large gains, high cv);");
+    println!("q6 is a balanced scan (nothing to recover); the compressed q9");
+    println!("adds the snappy decompression kernel, the paper's most");
+    println!("imbalanced workload.");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use subcore_engine::{simulate_app, GpuConfig, RunStats};
+use subcore_isa::App;
+use subcore_sched::Design;
+
+/// A small, fast GPU configuration for integration testing.
+pub fn test_gpu() -> GpuConfig {
+    let mut cfg = GpuConfig::volta_v100().with_sms(2);
+    cfg.max_cycles = 20_000_000;
+    cfg
+}
+
+/// Runs `app` under `design` on the test GPU, panicking on error.
+pub fn run(design: Design, app: &App) -> RunStats {
+    simulate_app(&design.config(&test_gpu()), &design.policies(), app)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", app.name(), design.label()))
+}
+
+/// Relative speedup of `design` over the baseline for `app`.
+pub fn speedup_over_baseline(design: Design, app: &App) -> f64 {
+    let base = run(Design::Baseline, app);
+    let x = run(design, app);
+    base.cycles as f64 / x.cycles as f64
+}

@@ -1,0 +1,138 @@
+//! End-to-end checks that the reproduction preserves the paper's headline
+//! qualitative results, exercising every crate together.
+
+use subcore_integration::{run, speedup_over_baseline};
+use subcore_power::CostModel;
+use subcore_sched::Design;
+use subcore_workloads::{
+    app_by_name, fma_microbenchmark, fma_unbalanced_scaled, tpch_query, FmaLayout,
+};
+
+/// §III-B / Fig. 3: the unbalanced FMA layout is ~4× slower on a 4-sub-core
+/// SM and roughly unaffected on the monolithic SM.
+#[test]
+fn subcore_imbalance_penalty() {
+    let base = run(Design::Baseline, &fma_microbenchmark(FmaLayout::Baseline, 4, 512));
+    let unbal = run(Design::Baseline, &fma_microbenchmark(FmaLayout::Unbalanced, 4, 512));
+    let ratio = unbal.cycles as f64 / base.cycles as f64;
+    assert!((3.0..4.6).contains(&ratio), "partitioned penalty {ratio:.2} (paper: 3.9)");
+
+    let fc_base = run(Design::FullyConnected, &fma_microbenchmark(FmaLayout::Baseline, 4, 512));
+    let fc_unbal =
+        run(Design::FullyConnected, &fma_microbenchmark(FmaLayout::Unbalanced, 4, 512));
+    let fc_ratio = fc_unbal.cycles as f64 / fc_base.cycles as f64;
+    assert!(fc_ratio < 1.35, "monolithic SM smooths imbalance, got {fc_ratio:.2}");
+}
+
+/// Fig. 8: hashed assignment recovers more as imbalance grows, and SRR
+/// (which matches the every-4th-warp pattern exactly) is at least as good
+/// as Shuffle.
+#[test]
+fn hashed_assignment_scales_with_imbalance() {
+    let mut last_srr = 0.0;
+    for scale in [2u32, 8, 32] {
+        let app = fma_unbalanced_scaled(4, 96, scale);
+        let srr = speedup_over_baseline(Design::Srr, &app);
+        let shuffle = speedup_over_baseline(Design::Shuffle, &app);
+        assert!(srr > last_srr, "SRR gain grows with imbalance ({srr:.2} at x{scale})");
+        assert!(srr >= shuffle * 0.98, "SRR ({srr:.2}) ≥ Shuffle ({shuffle:.2}) at x{scale}");
+        assert!(shuffle > 1.1, "Shuffle recovers something at x{scale}: {shuffle:.2}");
+        last_srr = srr;
+    }
+}
+
+/// §VI / Fig. 10: RBA speeds up read-operand-stage-bound applications, and
+/// beats the fully-connected SM on cuGraph-style register-reuse workloads.
+#[test]
+fn rba_recovers_register_bank_throughput() {
+    for name in ["pb-mriq", "rod-srad", "ply-2Dcon"] {
+        let app = app_by_name(name).unwrap();
+        let rba = speedup_over_baseline(Design::Rba, &app);
+        assert!(rba > 1.15, "{name}: RBA should give a solid speedup, got {rba:.3}");
+    }
+    let app = app_by_name("cg-pgrnk").unwrap();
+    let rba = speedup_over_baseline(Design::Rba, &app);
+    let fc = speedup_over_baseline(Design::FullyConnected, &app);
+    assert!(rba > fc + 0.08, "cuGraph: RBA ({rba:.2}) well above fully-connected ({fc:.2})");
+}
+
+/// Fig. 14: RBA lifts the average register-file read throughput.
+#[test]
+fn rba_lifts_rf_utilization() {
+    let app = app_by_name("rod-srad").unwrap();
+    let base = run(Design::Baseline, &app);
+    let rba = run(Design::Rba, &app);
+    assert!(
+        rba.rf_reads_per_cycle_per_sm() > base.rf_reads_per_cycle_per_sm(),
+        "RBA reads/cycle {:.2} vs baseline {:.2}",
+        rba.rf_reads_per_cycle_per_sm(),
+        base.rf_reads_per_cycle_per_sm()
+    );
+}
+
+/// Figs. 15–17: TPC-H q8 (the paper's most imbalanced uncompressed query)
+/// gains ~30 % from SRR and its issue CV collapses.
+#[test]
+fn tpch_q8_story() {
+    let app = tpch_query(8, false);
+    let base = run(Design::Baseline, &app);
+    let srr = run(Design::Srr, &app);
+    let speedup = base.cycles as f64 / srr.cycles as f64;
+    assert!(
+        (1.15..1.55).contains(&speedup),
+        "q8 SRR speedup {speedup:.2} (paper: 1.31)"
+    );
+    let cv_base = base.issue_cv().unwrap();
+    let cv_srr = srr.issue_cv().unwrap();
+    assert!(cv_srr < cv_base / 3.0, "SRR collapses issue CV: {cv_base:.2} → {cv_srr:.2}");
+}
+
+/// §VI: register bank stealing gives <2 % on modern 2-CU sub-cores.
+#[test]
+fn bank_stealing_is_marginal() {
+    for name in ["pb-mriq", "rod-srad"] {
+        let app = app_by_name(name).unwrap();
+        let s = speedup_over_baseline(Design::BankStealing, &app);
+        assert!(
+            (0.93..1.12).contains(&s),
+            "{name}: bank stealing should be marginal, got {s:.3}"
+        );
+    }
+}
+
+/// §VI-B4: RBA still wins with stale scores (our synthetic conflict
+/// bursts oscillate faster than real SASS phases, so we degrade more than
+/// the paper's <0.1% but never below a clear win; see EXPERIMENTS.md).
+#[test]
+fn rba_score_latency_tolerance() {
+    let app = app_by_name("pb-mriq").unwrap();
+    let fresh = speedup_over_baseline(Design::RbaLatency(0), &app);
+    let stale = speedup_over_baseline(Design::RbaLatency(20), &app);
+    assert!(fresh > 1.1, "RBA works at latency 0: {fresh:.2}");
+    assert!(
+        stale > 1.05,
+        "20-cycle-stale scores keep a clear win: {fresh:.2} → {stale:.2}"
+    );
+    assert!(stale < fresh, "staleness cannot help");
+}
+
+/// Fig. 13: the cost model's headline numbers.
+#[test]
+fn cost_model_headlines() {
+    let m = CostModel::calibrated_45nm();
+    let four = m.normalized_cost(4, 2, false);
+    let rba = m.normalized_cost(2, 2, true);
+    assert!((four.area - 1.27).abs() < 0.04);
+    assert!((four.power - 1.60).abs() < 0.06);
+    assert!(rba.area < 1.02 && rba.power < 1.02);
+}
+
+/// The combined design (Shuffle + RBA) composes: it helps both an
+/// imbalance-dominated app and a bank-conflict-dominated app.
+#[test]
+fn combined_design_composes() {
+    let imbalanced = tpch_query(9, false);
+    let reg_bound = app_by_name("rod-srad").unwrap();
+    assert!(speedup_over_baseline(Design::ShuffleRba, &imbalanced) > 1.1);
+    assert!(speedup_over_baseline(Design::ShuffleRba, &reg_bound) > 1.15);
+}

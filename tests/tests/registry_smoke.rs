@@ -1,0 +1,74 @@
+//! Smoke tests over the 112-application registry: every app simulates to
+//! completion under the key designs, on a reduced configuration.
+
+use subcore_engine::simulate_app;
+use subcore_integration::test_gpu;
+use subcore_isa::Suite;
+use subcore_sched::Design;
+use subcore_workloads::{all_apps, apps_in_suite, sensitive_apps};
+
+/// One representative app per suite runs under every paper design.
+#[test]
+fn representative_apps_run_under_all_designs() {
+    let reps = [
+        "tpcU-q3",
+        "tpcC-q3",
+        "pb-sgemm",
+        "cutlass-1024",
+        "rod-bfs",
+        "cg-wcc",
+        "ply-gemm",
+        "db-lstm-inf",
+    ];
+    let apps = all_apps();
+    for name in reps {
+        let app = apps.iter().find(|a| a.name() == name).expect("registry app");
+        for design in [
+            Design::Baseline,
+            Design::Rba,
+            Design::Srr,
+            Design::Shuffle,
+            Design::ShuffleRba,
+            Design::FullyConnected,
+            Design::CuScaling(4),
+            Design::BankStealing,
+            Design::ShuffleTable(4),
+        ] {
+            let stats = simulate_app(&design.config(&test_gpu()), &design.policies(), app)
+                .unwrap_or_else(|e| panic!("{name} under {}: {e}", design.label()));
+            assert_eq!(
+                stats.instructions,
+                app.total_dynamic_instructions(),
+                "{name} under {}",
+                design.label()
+            );
+        }
+    }
+}
+
+/// The whole registry simulates to completion under the baseline.
+#[test]
+fn whole_registry_simulates() {
+    for app in all_apps() {
+        let stats = simulate_app(
+            &Design::Baseline.config(&test_gpu()),
+            &Design::Baseline.policies(),
+            &app,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        assert_eq!(stats.instructions, app.total_dynamic_instructions(), "{}", app.name());
+        assert!(stats.cycles > 1_000, "{} is implausibly small", app.name());
+    }
+}
+
+/// Suite filtering and the sensitive subset agree with the registry.
+#[test]
+fn subsets_are_consistent() {
+    let all = all_apps();
+    assert_eq!(all.len(), 112);
+    let by_suite: usize = Suite::ALL.iter().map(|&s| apps_in_suite(s).len()).sum();
+    assert_eq!(by_suite, 112);
+    for app in sensitive_apps() {
+        assert!(all.iter().any(|a| a.name() == app.name()));
+    }
+}
