@@ -1,0 +1,58 @@
+//! Benchmarks the `SimSession` memoization layer: a cold run (fresh
+//! session, every request simulates) against a memoized run (same sweep
+//! replayed from the in-memory memo table). The gap is the entire point
+//! of the session — repeated figure sweeps should cost hash lookups, not
+//! simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+use subcore_bench::bench_gpu;
+use subcore_experiments::{SessionOptions, SimKey, SimSession};
+use subcore_sched::Design;
+use subcore_workloads::fma_unbalanced_scaled;
+
+const DESIGNS: [Design; 4] =
+    [Design::Baseline, Design::Rba, Design::Shuffle, Design::FullyConnected];
+
+fn sweep(session: &SimSession) -> u64 {
+    let base = bench_gpu();
+    let app = fma_unbalanced_scaled(2, 16, 4);
+    DESIGNS.iter().map(|&d| session.run(&base, d, &app).cycles).sum()
+}
+
+fn session_memoization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_memoization");
+    g.throughput(Throughput::Elements(DESIGNS.len() as u64));
+    // Cold: every iteration builds a fresh session, so all four designs
+    // simulate every time.
+    g.bench_function("cold", |b| {
+        b.iter(|| black_box(sweep(&SimSession::new(SessionOptions::default()))))
+    });
+    // Memoized: one session across iterations; after the first, every
+    // request is a memo hit.
+    let warm = SimSession::in_memory();
+    sweep(&warm);
+    g.bench_function("memoized", |b| b.iter(|| black_box(sweep(&warm))));
+    g.finish();
+}
+
+fn key_fingerprinting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session_key");
+    let base = bench_gpu();
+    let app = fma_unbalanced_scaled(2, 16, 4);
+    g.bench_function("compute", |b| {
+        b.iter(|| black_box(SimKey::compute(&base, Design::ShuffleRba, &app)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = session_memoization, key_fingerprinting
+}
+criterion_main!(benches);

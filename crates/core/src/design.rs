@@ -25,7 +25,23 @@ use subcore_engine::{Connectivity, GpuConfig, GtoSelector, Policies, RoundRobinA
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The behavioural identity of a design's `(selector, assigner)` pair —
+/// see [`Design::policy_class`].
+///
+/// Names match what the corresponding policy objects report from their
+/// `name()` methods, so the class is checkable against the live policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolicyClass {
+    /// Warp-selector name (`"gto"` or `"rba"`).
+    pub selector: &'static str,
+    /// Operand-collector assigner name (`"rr"`, `"srr"`, `"shuffle"`, or
+    /// `"shuffle-table"`).
+    pub assigner: &'static str,
+    /// Assigner parameter (hash-table entries) when the assigner takes one.
+    pub assigner_param: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Design {
     /// GTO warp scheduling + round-robin assignment on the partitioned SM —
     /// the normalization baseline of every figure.
@@ -98,9 +114,10 @@ impl Design {
         cfg
     }
 
-    /// Builds this design's scheduling policies.
-    pub fn policies(&self) -> Policies {
-        let rba = matches!(
+    /// Whether this design schedules warps with the RBA selector (as opposed
+    /// to plain GTO).
+    fn uses_rba_selector(&self) -> bool {
+        matches!(
             self,
             Design::Rba
                 | Design::ShuffleRba
@@ -108,8 +125,30 @@ impl Design {
                 | Design::FcRba
                 | Design::RbaLatency(_)
                 | Design::RbaBanks(_)
-        );
-        let selector: Box<subcore_engine::SelectorFactory> = if rba {
+        )
+    }
+
+    /// The behavioural identity of this design's policies.
+    ///
+    /// Two designs with equal [`PolicyClass`] and equal derived
+    /// [`Design::config`] simulate identically, even when the `Design`
+    /// variants differ (e.g. `Banks(2)` is the `Baseline` under a 2-bank
+    /// base config). The experiment session uses this, not the variant
+    /// itself, to fingerprint simulations.
+    pub fn policy_class(&self) -> PolicyClass {
+        let selector = if self.uses_rba_selector() { "rba" } else { "gto" };
+        let (assigner, assigner_param) = match *self {
+            Design::Srr | Design::SrrRba => ("srr", None),
+            Design::Shuffle | Design::ShuffleRba => ("shuffle", None),
+            Design::ShuffleTable(entries) => ("shuffle-table", Some(entries)),
+            _ => ("rr", None),
+        };
+        PolicyClass { selector, assigner, assigner_param }
+    }
+
+    /// Builds this design's scheduling policies.
+    pub fn policies(&self) -> Policies {
+        let selector: Box<subcore_engine::SelectorFactory> = if self.uses_rba_selector() {
             Box::new(|| Box::new(RbaSelector::new()))
         } else {
             Box::new(|| Box::new(GtoSelector::new()))
@@ -196,6 +235,47 @@ mod tests {
         let mut b = (p.assigner)(1);
         // Over 64 warps, distinct seeds almost surely produce distinct plans.
         assert_ne!(a.assign_block(64, 4), b.assign_block(64, 4));
+    }
+
+    #[test]
+    fn policy_class_agrees_with_live_policies() {
+        let designs = [
+            Design::Baseline,
+            Design::Rba,
+            Design::Srr,
+            Design::Shuffle,
+            Design::ShuffleTable(4),
+            Design::ShuffleRba,
+            Design::SrrRba,
+            Design::FullyConnected,
+            Design::FcRba,
+            Design::CuScaling(4),
+            Design::BankStealing,
+            Design::RbaLatency(8),
+            Design::RbaBanks(4),
+            Design::Banks(2),
+        ];
+        for d in designs {
+            let class = d.policy_class();
+            let p = d.policies();
+            assert_eq!(class.selector, (p.selector)().name(), "{d:?}");
+            let live_assigner = (p.assigner)(0).name();
+            assert_eq!(class.assigner, live_assigner, "{d:?}");
+            assert_eq!(class.assigner_param.is_some(), d == Design::ShuffleTable(4), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn policy_class_identifies_behavioural_twins() {
+        // Banks(n) only changes the config, so its policies are Baseline's.
+        assert_eq!(Design::Banks(2).policy_class(), Design::Baseline.policy_class());
+        assert_eq!(Design::CuScaling(4).policy_class(), Design::Baseline.policy_class());
+        // ...while table sizes stay distinct.
+        assert_ne!(
+            Design::ShuffleTable(4).policy_class(),
+            Design::ShuffleTable(16).policy_class()
+        );
+        assert_ne!(Design::Shuffle.policy_class(), Design::ShuffleTable(4).policy_class());
     }
 
     #[test]

@@ -52,5 +52,5 @@ mod rba;
 
 pub use assign::{HashTableAssigner, ShuffleAssigner, ShuffleMode, SkewedRoundRobinAssigner};
 pub use classic::{LaggingWarpSelector, OldestFirstSelector, TwoLevelSelector};
-pub use design::Design;
+pub use design::{Design, PolicyClass};
 pub use rba::RbaSelector;

@@ -1,12 +1,11 @@
 //! GPU and SM configuration, defaulting to the paper's Table II baseline.
 
-use serde::{Deserialize, Serialize};
 use subcore_isa::Pipeline;
 use subcore_mem::MemConfig;
 
 /// How the SM's schedulers, collector units, register banks, and execution
 /// units are wired together.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Connectivity {
     /// Contemporary hardware: the SM is split into `subcores_per_sm`
     /// sub-cores. Each sub-core owns one warp scheduler, a private slice of
@@ -20,7 +19,7 @@ pub enum Connectivity {
 }
 
 /// Timing of one execution pipeline class within a sub-core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PipeTiming {
     /// Result latency in cycles (issue of operands → writeback).
     pub latency: u32,
@@ -32,7 +31,7 @@ pub struct PipeTiming {
 }
 
 /// Execution pipeline timings for all six pipeline classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecTimings {
     timings: [PipeTiming; 6],
 }
@@ -74,7 +73,7 @@ impl ExecTimings {
 }
 
 /// Statistics collection knobs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct StatsConfig {
     /// Record a per-cycle register-file read-grant trace for
     /// [`StatsConfig::trace_sm`] (used by Fig. 14). Costs one `u16` per
@@ -86,7 +85,7 @@ pub struct StatsConfig {
 
 /// Full GPU configuration. [`GpuConfig::volta_v100`] reproduces the paper's
 /// Table II baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GpuConfig {
     /// Number of SMs (80 on V100; the paper uses 20 for TPC-H).
     pub num_sms: u32,
@@ -251,6 +250,25 @@ impl GpuConfig {
     pub fn with_banks(mut self, banks: u32) -> Self {
         self.rf_banks_per_subcore = banks;
         self
+    }
+
+    /// Sets the hard safety limit on simulated cycles (the experiment
+    /// harness tightens the default for its scaled-down sweeps).
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// A deterministic 64-bit content fingerprint of the complete
+    /// configuration (including the memory system, pipeline timings, and
+    /// statistics knobs).
+    ///
+    /// Equal configs always fingerprint identically, so the fingerprint
+    /// identifies a simulation's hardware point in cache keys. Stable
+    /// across processes and platforms (FNV-1a over little-endian field
+    /// bytes), unlike `DefaultHasher`.
+    pub fn fingerprint(&self) -> u64 {
+        subcore_persist::stable_fingerprint(self)
     }
 
     /// Total register banks on the SM.

@@ -66,4 +66,4 @@ pub use policy::{
     RoundRobinAssigner, SelectorFactory, SubcoreAssigner, WarpSelector,
 };
 pub use scoreboard::Scoreboard;
-pub use stats::{RunStats, SimError, StallBreakdown};
+pub use stats::{RunStats, SimError, StallBreakdown, ENGINE_VERSION, STATS_SCHEMA_VERSION};

@@ -1,6 +1,19 @@
 //! Simulation statistics.
 
 use subcore_mem::MemStats;
+use subcore_persist::{Json, JsonCodec, JsonError};
+
+/// Version stamp written into every on-disk cache entry.
+///
+/// Bump [`STATS_SCHEMA_VERSION`] whenever the meaning or layout of
+/// [`RunStats`] changes; the engine package version covers behavioural
+/// changes of the simulator itself. A cache entry whose stamp differs from
+/// the running engine's is ignored (treated as a miss), so stale results
+/// can never leak across engine versions.
+pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Schema version of the serialized [`RunStats`] layout.
+pub const STATS_SCHEMA_VERSION: u32 = 1;
 
 /// Why a scheduler slot failed to issue in a given cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -33,8 +46,30 @@ impl StallBreakdown {
     }
 }
 
+impl JsonCodec for StallBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("idle", Json::Uint(self.idle)),
+            ("barrier", Json::Uint(self.barrier)),
+            ("no_collector_unit", Json::Uint(self.no_collector_unit)),
+            ("scoreboard", Json::Uint(self.scoreboard)),
+            ("empty_ibuffer", Json::Uint(self.empty_ibuffer)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(StallBreakdown {
+            idle: json.field("idle")?.as_u64()?,
+            barrier: json.field("barrier")?.as_u64()?,
+            no_collector_unit: json.field("no_collector_unit")?.as_u64()?,
+            scoreboard: json.field("scoreboard")?.as_u64()?,
+            empty_ibuffer: json.field("empty_ibuffer")?.as_u64()?,
+        })
+    }
+}
+
 /// Results of simulating an application (or single kernel) to completion.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -133,6 +168,70 @@ impl RunStats {
     }
 }
 
+impl JsonCodec for RunStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycles", Json::Uint(self.cycles)),
+            ("instructions", Json::Uint(self.instructions)),
+            (
+                "issued_per_scheduler",
+                Json::Arr(
+                    self.issued_per_scheduler
+                        .iter()
+                        .map(Vec::as_slice)
+                        .map(Json::from_u64_list)
+                        .collect(),
+                ),
+            ),
+            ("rf_reads", Json::Uint(self.rf_reads)),
+            ("rf_conflict_enqueues", Json::Uint(self.rf_conflict_enqueues)),
+            (
+                "rf_read_trace",
+                Json::Arr(self.rf_read_trace.iter().map(|&x| Json::Uint(u64::from(x))).collect()),
+            ),
+            ("stalls", self.stalls.to_json()),
+            ("mem", self.mem.to_json()),
+            ("kernel_end_cycles", Json::from_u64_list(&self.kernel_end_cycles)),
+            ("pipe_dispatched", Json::from_u64_list(&self.pipe_dispatched)),
+            ("warp_cycles", Json::Uint(self.warp_cycles)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pipe_list = json.field("pipe_dispatched")?.as_u64_list()?;
+        let pipe_dispatched: [u64; 6] = pipe_list.as_slice().try_into().map_err(|_| JsonError {
+            msg: format!("pipe_dispatched needs 6 entries, found {}", pipe_list.len()),
+        })?;
+        Ok(RunStats {
+            cycles: json.field("cycles")?.as_u64()?,
+            instructions: json.field("instructions")?.as_u64()?,
+            issued_per_scheduler: json
+                .field("issued_per_scheduler")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64_list)
+                .collect::<Result<_, _>>()?,
+            rf_reads: json.field("rf_reads")?.as_u64()?,
+            rf_conflict_enqueues: json.field("rf_conflict_enqueues")?.as_u64()?,
+            rf_read_trace: json
+                .field("rf_read_trace")?
+                .as_u64_list()?
+                .into_iter()
+                .map(|x| {
+                    u16::try_from(x).map_err(|_| JsonError {
+                        msg: format!("rf_read_trace entry {x} exceeds u16"),
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+            stalls: StallBreakdown::from_json(json.field("stalls")?)?,
+            mem: MemStats::from_json(json.field("mem")?)?,
+            kernel_end_cycles: json.field("kernel_end_cycles")?.as_u64_list()?,
+            pipe_dispatched,
+            warp_cycles: json.field("warp_cycles")?.as_u64()?,
+        })
+    }
+}
+
 /// Errors produced by a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -210,6 +309,38 @@ mod tests {
         let b = StallBreakdown { scoreboard: 3, ..Default::default() };
         a.add(&b);
         assert_eq!(a.total(), 6);
+    }
+
+    #[test]
+    fn run_stats_round_trip_through_json() {
+        let stats = RunStats {
+            cycles: (1 << 53) + 7, // past f64's exact-integer range
+            instructions: 123_456,
+            issued_per_scheduler: vec![vec![10, 20, 30, 40], vec![1, 2, 3, 4]],
+            rf_reads: 999,
+            rf_conflict_enqueues: 55,
+            rf_read_trace: vec![0, 8, u16::MAX],
+            stalls: StallBreakdown { idle: 1, barrier: 2, no_collector_unit: 3, scoreboard: 4, empty_ibuffer: 5 },
+            mem: MemStats { l1_hits: 7, l2_misses: 9, ..Default::default() },
+            kernel_end_cycles: vec![100, 200],
+            pipe_dispatched: [1, 2, 3, 4, 5, 6],
+            warp_cycles: 777,
+        };
+        let text = stats.to_json().render();
+        let back = RunStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        // And the serialized form itself is deterministic.
+        assert_eq!(back.to_json().render(), text);
+    }
+
+    #[test]
+    fn run_stats_decode_rejects_malformed() {
+        let mut good = RunStats::default().to_json();
+        if let Json::Obj(map) = &mut good {
+            map.insert("pipe_dispatched".into(), Json::from_u64_list(&[1, 2, 3]));
+        }
+        assert!(RunStats::from_json(&good).unwrap_err().msg.contains("6 entries"));
+        assert!(RunStats::from_json(&Json::Null).is_err());
     }
 
     #[test]

@@ -12,12 +12,19 @@
 //! Each experiment prints its table(s) and writes `<out>/<name>.csv`
 //! (default `results/`). Pass `--bars` to also render each table's first
 //! column as an ASCII bar chart.
+//!
+//! Simulations are memoized on disk under `<out>/.simcache/` (keyed by a
+//! content fingerprint and stamped with the engine version), so re-running
+//! an experiment replays cached results instead of simulating; pass
+//! `--no-cache` for a purely in-memory session. A telemetry summary is
+//! printed on exit and the per-run breakdown written to
+//! `<out>/run_telemetry.csv`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 use subcore_experiments::figs;
-use subcore_experiments::Table;
+use subcore_experiments::{init_global, SessionOptions, Table};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
@@ -69,6 +76,12 @@ fn main() -> ExitCode {
     } else {
         false
     };
+    let no_cache = if let Some(i) = args.iter().position(|a| a == "--no-cache") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if i + 1 >= args.len() {
             eprintln!("--out needs a directory argument");
@@ -78,7 +91,7 @@ fn main() -> ExitCode {
         args.remove(i);
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars]");
+        eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
@@ -86,6 +99,9 @@ fn main() -> ExitCode {
         print!("{}", subcore_experiments::summary::render(&out_dir));
         return ExitCode::SUCCESS;
     }
+    let session = init_global(SessionOptions {
+        disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+    });
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.to_vec()
     } else {
@@ -109,5 +125,12 @@ fn main() -> ExitCode {
         }
         eprintln!("[{name}] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
     }
+    eprint!("{}", session.telemetry().snapshot().summary());
+    let telemetry_csv = out_dir.join("run_telemetry.csv");
+    if let Err(e) = session.telemetry().write_csv(&telemetry_csv) {
+        eprintln!("failed to write {}: {e}", telemetry_csv.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("telemetry → {}", telemetry_csv.display());
     ExitCode::SUCCESS
 }

@@ -1,0 +1,129 @@
+//! On-disk result cache: one JSON file per [`SimKey`](crate::session::SimKey)
+//! under `results/.simcache/`, so repeated `repro` invocations skip
+//! simulations entirely.
+//!
+//! Every entry carries an engine-version envelope
+//! ([`ENGINE_VERSION`]/[`STATS_SCHEMA_VERSION`]); entries written by a
+//! different engine build are treated as misses, never as errors, so a
+//! stale cache silently re-simulates instead of resurrecting results the
+//! current engine would not produce.
+//!
+//! All I/O is best-effort: a corrupt, unreadable, or unwritable cache
+//! degrades to simulating — it can slow a run down but never fail or
+//! poison one.
+
+use std::path::{Path, PathBuf};
+
+use crate::session::SimKey;
+use subcore_engine::{RunStats, ENGINE_VERSION, STATS_SCHEMA_VERSION};
+use subcore_persist::{Json, JsonCodec};
+
+/// A directory of memoized [`RunStats`], keyed by [`SimKey`].
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (without creating) a cache rooted at `dir`. The directory is
+    /// created lazily on the first [`DiskCache::store`].
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: SimKey) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the entry for `key`, or `None` on any miss: absent file,
+    /// unparsable JSON, or an envelope from a different engine build.
+    pub fn load(&self, key: SimKey) -> Option<RunStats> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let json = Json::parse(&text).ok()?;
+        if json.field("engine_version").ok()?.as_str().ok()? != ENGINE_VERSION {
+            return None;
+        }
+        if json.field("schema_version").ok()?.as_u64().ok()? != u64::from(STATS_SCHEMA_VERSION) {
+            return None;
+        }
+        RunStats::from_json(json.field("stats").ok()?).ok()
+    }
+
+    /// Stores `stats` under `key`, best-effort. Writes to a temporary file
+    /// and renames, so concurrent readers (and crashes) never observe a
+    /// half-written entry.
+    pub fn store(&self, key: SimKey, stats: &RunStats) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let envelope = Json::obj([
+            ("engine_version", Json::Str(ENGINE_VERSION.to_owned())),
+            ("schema_version", Json::Uint(u64::from(STATS_SCHEMA_VERSION))),
+            ("stats", stats.to_json()),
+        ]);
+        let tmp = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, envelope.render()).is_ok()
+            && std::fs::rename(&tmp, self.entry_path(key)).is_err()
+        {
+            std::fs::remove_file(&tmp).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("subcore-cache-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample_stats() -> RunStats {
+        RunStats { cycles: 12_345, instructions: 999, warp_cycles: 777, ..Default::default() }
+    }
+
+    #[test]
+    fn round_trips_run_stats() {
+        let dir = scratch("roundtrip");
+        let cache = DiskCache::new(&dir);
+        let key = SimKey::from_raw(0xDEAD_BEEF);
+        assert!(cache.load(key).is_none(), "cold cache misses");
+        cache.store(key, &sample_stats());
+        assert_eq!(cache.load(key), Some(sample_stats()));
+        assert!(cache.load(SimKey::from_raw(1)).is_none(), "other keys still miss");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_foreign_engine_versions() {
+        let dir = scratch("version");
+        let cache = DiskCache::new(&dir);
+        let key = SimKey::from_raw(7);
+        cache.store(key, &sample_stats());
+        let path = cache.entry_path(key);
+        let stale = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(ENGINE_VERSION, "0.0.0-prehistoric");
+        std::fs::write(&path, stale).unwrap();
+        assert!(cache.load(key).is_none(), "version mismatch is a miss, not a hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tolerates_corrupt_entries() {
+        let dir = scratch("corrupt");
+        let cache = DiskCache::new(&dir);
+        let key = SimKey::from_raw(9);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(cache.entry_path(key), "{not json").unwrap();
+        assert!(cache.load(key).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,7 +19,7 @@ pub const APPS: [&str; 2] = ["pb-mriq", "rod-srad"];
 /// The designs compared.
 pub const DESIGNS: [Design; 3] = [Design::Baseline, Design::Rba, Design::FullyConnected];
 
-fn traced(design: Design, app_name: &str) -> RunStats {
+fn traced(design: Design, app_name: &str) -> std::sync::Arc<RunStats> {
     let mut cfg = suite_base();
     cfg.stats.record_rf_trace = true;
     cfg.stats.trace_sm = 0;
@@ -60,7 +60,7 @@ pub fn traces(stride: usize) -> Vec<Table> {
     APPS.iter()
         .map(|&name| {
             let traces: Vec<Vec<u16>> =
-                DESIGNS.iter().map(|&d| traced(d, name).rf_read_trace).collect();
+                DESIGNS.iter().map(|&d| traced(d, name).rf_read_trace.clone()).collect();
             let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
             let mut t = Table::new(
                 format!("fig14_trace_{}", name.replace('-', "_")),

@@ -22,18 +22,29 @@
 //!
 //! Run everything with `cargo run --release -p subcore-experiments --bin
 //! repro -- all` (CSV lands in `results/`).
+//!
+//! Every simulation routes through the process-wide
+//! [`session::SimSession`], which memoizes results by content fingerprint
+//! ([`session::SimKey`]) — in memory always, and on disk under
+//! `results/.simcache/` when the `repro` binary enables it — and collects
+//! per-run [`telemetry`].
 
+pub mod cache;
 pub mod figs;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod summary;
 pub mod sweep;
+pub mod telemetry;
 
 pub use report::Table;
 pub use runner::{
     geomean, mean, parallel_map, run_design, speedup, suite_base, tpch_base,
 };
+pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use sweep::speedup_table;
+pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};
 
 #[cfg(test)]
 mod digest_tests {

@@ -1,9 +1,24 @@
 //! Shared experiment infrastructure: design execution, parallel sweeps, and
 //! speedup arithmetic.
+//!
+//! Simulation execution is owned by [`crate::session::SimSession`]; the
+//! helpers here are the thin arithmetic and thread-pool layer the session
+//! and the figure modules share.
 
-use subcore_engine::{simulate_app, GpuConfig, RunStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::session::session;
+use subcore_engine::{GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;
+
+/// Cycle budget used by both experiment base configs: generous enough for
+/// every registry workload, small enough to catch runaway simulations.
+const EXPERIMENT_MAX_CYCLES: u64 = 80_000_000;
 
 /// Baseline configuration used for the general application suites: the
 /// paper's Table II V100, scaled from 80 to 4 SMs so the 112-app sweeps
@@ -11,32 +26,29 @@ use subcore_sched::Design;
 /// because the mechanisms under study are SM-internal; Fig. 18 sweeps SM
 /// counts explicitly.
 pub fn suite_base() -> GpuConfig {
-    let mut cfg = GpuConfig::volta_v100().with_sms(4);
-    cfg.max_cycles = 80_000_000;
-    cfg
+    GpuConfig::volta_v100().with_sms(4).with_max_cycles(EXPERIMENT_MAX_CYCLES)
 }
 
 /// Baseline configuration for TPC-H (the paper limits TPC-H to 20 SMs to
 /// model heavy per-SM load; we scale to 8 SMs with proportionally fewer
 /// blocks, keeping ≈ 3 resident blocks per SM).
 pub fn tpch_base() -> GpuConfig {
-    let mut cfg = GpuConfig::volta_v100().with_sms(8);
-    cfg.max_cycles = 80_000_000;
-    cfg
+    GpuConfig::volta_v100().with_sms(8).with_max_cycles(EXPERIMENT_MAX_CYCLES)
 }
 
 /// Runs `app` under `design` (applied to the baseline `base` config) and
 /// returns its statistics.
 ///
+/// Routes through the process-wide [`crate::session::SimSession`], so
+/// repeated calls with the same (config, design, app) simulate once and
+/// share the memoized result.
+///
 /// # Panics
 ///
 /// Panics if the simulation errors (the registry workloads are all
 /// schedulable; an error here is a harness bug).
-pub fn run_design(base: &GpuConfig, design: Design, app: &App) -> RunStats {
-    let cfg = design.config(base);
-    let policies = design.policies();
-    simulate_app(&cfg, &policies, app)
-        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", app.name(), design))
+pub fn run_design(base: &GpuConfig, design: Design, app: &App) -> std::sync::Arc<RunStats> {
+    session().run(base, design, app)
 }
 
 /// Speedup of `x` over `baseline` (>1 means `x` is faster).
@@ -63,7 +75,15 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// Maps `f` over `items` on a pool of worker threads, preserving order.
 ///
 /// Simulation is CPU-bound and embarrassingly parallel across (app, design)
-/// pairs; this is the only concurrency in the harness.
+/// pairs; this is the only concurrency in the harness. Worker busy time is
+/// reported to the session telemetry (pool utilization in the `repro`
+/// summary).
+///
+/// # Panics
+///
+/// If any job panics, every remaining job still runs, and the pool then
+/// panics with the indices and payloads of all failed jobs — a single bad
+/// app no longer aborts a whole sweep without saying which job died.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -75,31 +95,75 @@ where
         return Vec::new();
     }
     let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let busy = Mutex::new(Duration::ZERO);
     let items_ref = &items;
     let f_ref = &f;
+    let wall_start = Instant::now();
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let failures = &failures;
+            let busy = &busy;
+            s.spawn(move || {
+                let mut my_busy = Duration::ZERO;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    match catch_unwind(AssertUnwindSafe(|| f_ref(&items_ref[i]))) {
+                        Ok(r) => {
+                            my_busy += t0.elapsed();
+                            // The collector outlives every worker (same scope),
+                            // so a send only fails if the collector already
+                            // panicked — nothing useful left to do then.
+                            let _ = tx.send((i, r));
+                        }
+                        Err(payload) => {
+                            my_busy += t0.elapsed();
+                            failures.lock().expect("failure list").push((i, panic_message(&*payload)));
+                        }
+                    }
                 }
-                let r = f_ref(&items_ref[i]);
-                tx.send((i, r)).expect("collector alive");
+                *busy.lock().expect("busy accumulator") += my_busy;
             });
         }
         drop(tx);
         for (i, r) in rx {
             results[i] = Some(r);
         }
-    })
-    .expect("worker panicked");
+    });
+    crate::telemetry::note_pool_usage(
+        busy.into_inner().expect("busy accumulator"),
+        wall_start.elapsed(),
+        workers,
+    );
+    let failures = failures.into_inner().expect("failure list");
+    if !failures.is_empty() {
+        let mut msg = format!("{} of {n} parallel jobs panicked:", failures.len());
+        for (i, m) in &failures {
+            msg.push_str(&format!("\n  job #{i}: {m}"));
+        }
+        panic!("{msg}");
+    }
     results.into_iter().map(|r| r.expect("all items processed")).collect()
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +186,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_reports_which_jobs_died() {
+        let caught = catch_unwind(|| {
+            parallel_map(vec![1u64, 2, 3, 4], |&x| {
+                if x % 2 == 0 {
+                    panic!("job {x} exploded");
+                }
+                x
+            })
+        });
+        let msg = panic_message(&*caught.expect_err("two jobs panic"));
+        assert!(msg.contains("2 of 4 parallel jobs panicked"), "got: {msg}");
+        assert!(msg.contains("job #1: job 2 exploded"), "got: {msg}");
+        assert!(msg.contains("job #3: job 4 exploded"), "got: {msg}");
+    }
+
+    #[test]
     fn means() {
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
@@ -138,5 +218,13 @@ mod tests {
         // Determinism: running the same design twice gives identical cycles.
         let again = run_design(&suite_base(), Design::Baseline, &app);
         assert_eq!(base.cycles, again.cycles);
+    }
+
+    #[test]
+    fn base_configs_use_the_experiment_cycle_budget() {
+        assert_eq!(suite_base().max_cycles, EXPERIMENT_MAX_CYCLES);
+        assert_eq!(tpch_base().max_cycles, EXPERIMENT_MAX_CYCLES);
+        assert_eq!(suite_base().num_sms, 4);
+        assert_eq!(tpch_base().num_sms, 8);
     }
 }

@@ -1,0 +1,385 @@
+//! The simulation session: content-addressed memoization of
+//! `(config, design, app)` runs.
+//!
+//! Experiments overlap heavily — every figure re-runs `Design::Baseline`
+//! on the same apps, Fig. 10 repeats most of Fig. 9's points, the bank
+//! ablation's `Banks(2)` *is* the baseline — so the harness routes every
+//! simulation through one process-wide [`SimSession`]. The session
+//! fingerprints each request into a [`SimKey`] and guarantees each unique
+//! key simulates at most once per process (concurrent duplicates block on
+//! the in-flight run instead of duplicating it). With a disk cache
+//! attached ([`SessionOptions::disk_cache`]), results also persist across
+//! processes under an engine-version stamp.
+//!
+//! The key is a *content* fingerprint, computed with
+//! [`subcore_persist::stable_fingerprint`] over:
+//!
+//! - the design-final [`GpuConfig`] (i.e. after [`Design::config`] applies
+//!   its transformation — two designs that derive the same config hash the
+//!   same),
+//! - the design's [`PolicyClass`](subcore_sched::PolicyClass) (its
+//!   behavioural selector/assigner identity, not the enum variant — so
+//!   e.g. `Banks(2)` and `Baseline` under a 2-bank base dedup), and
+//! - the full [`App`] contents (kernels, programs, instructions).
+//!
+//! It is stable across processes and platforms, which is what makes the
+//! on-disk cache sound.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::cache::DiskCache;
+use crate::telemetry::{RunRecord, RunSource, Telemetry};
+use subcore_engine::{simulate_app, GpuConfig, RunStats, SimError};
+use subcore_isa::App;
+use subcore_sched::Design;
+
+/// Content fingerprint of one simulation request.
+///
+/// Displays (and names its cache files) as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimKey(u64);
+
+impl SimKey {
+    /// Fingerprints `(base, design, app)`. See the module docs for what
+    /// the fingerprint covers.
+    pub fn compute(base: &GpuConfig, design: Design, app: &App) -> SimKey {
+        let cfg = design.config(base);
+        SimKey(subcore_persist::stable_fingerprint(&(cfg, design.policy_class(), app)))
+    }
+
+    /// Wraps a raw fingerprint (for tests and cache tooling).
+    pub fn from_raw(raw: u64) -> SimKey {
+        SimKey(raw)
+    }
+
+    /// The raw 64-bit fingerprint.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SimKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Configuration for a [`SimSession`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Directory for the on-disk result cache; `None` keeps the session
+    /// purely in-memory (the default, so tests and library users never
+    /// touch the filesystem).
+    pub disk_cache: Option<std::path::PathBuf>,
+}
+
+type MemoCell = Arc<OnceLock<Result<Arc<RunStats>, SimError>>>;
+
+/// A memoizing simulation executor.
+///
+/// Cheap to share by reference; all methods take `&self` and are safe to
+/// call from [`crate::runner::parallel_map`] workers.
+#[derive(Debug)]
+pub struct SimSession {
+    memo: Mutex<HashMap<SimKey, MemoCell>>,
+    disk: Option<DiskCache>,
+    telemetry: Telemetry,
+}
+
+impl SimSession {
+    /// Builds a session with the given options.
+    pub fn new(opts: SessionOptions) -> Self {
+        SimSession {
+            memo: Mutex::new(HashMap::new()),
+            disk: opts.disk_cache.map(DiskCache::new),
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// A purely in-memory session (no disk cache).
+    pub fn in_memory() -> Self {
+        SimSession::new(SessionOptions::default())
+    }
+
+    /// The session's telemetry counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The session's disk cache, if one is attached.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// The fingerprint [`SimSession::run`] would use for this request.
+    pub fn key(&self, base: &GpuConfig, design: Design, app: &App) -> SimKey {
+        SimKey::compute(base, design, app)
+    }
+
+    /// Runs `app` under `design` applied to `base`, memoized by content
+    /// fingerprint: the first request simulates (or loads from disk);
+    /// every later — or concurrent — duplicate shares that result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation errors, naming the app and design (the
+    /// registry workloads are all schedulable; an error here is a harness
+    /// bug). Use [`SimSession::try_run`] to handle errors.
+    pub fn run(&self, base: &GpuConfig, design: Design, app: &App) -> Arc<RunStats> {
+        self.try_run(base, design, app).unwrap_or_else(|e| {
+            panic!("simulating `{}` under design `{}` failed: {e}", app.name(), design.label())
+        })
+    }
+
+    /// [`SimSession::run`], but surfacing simulation errors. Errors are
+    /// memoized like successes: a failing key fails once and replays the
+    /// same error thereafter.
+    pub fn try_run(
+        &self,
+        base: &GpuConfig,
+        design: Design,
+        app: &App,
+    ) -> Result<Arc<RunStats>, SimError> {
+        let key = SimKey::compute(base, design, app);
+        self.telemetry.note_run();
+        let cell: MemoCell = {
+            let mut memo = self.memo.lock().expect("session memo table");
+            Arc::clone(memo.entry(key).or_default())
+        };
+        let mut materialized = false;
+        // `get_or_init` runs the closure in exactly one caller; concurrent
+        // duplicates block here until the winner finishes, then share its
+        // result — in-flight dedup, not just after-the-fact.
+        let result = cell.get_or_init(|| {
+            materialized = true;
+            self.materialize(key, base, design, app)
+        });
+        if !materialized {
+            self.telemetry.note_memo_hit();
+        }
+        result.clone()
+    }
+
+    /// Cache-misses only: probe the disk cache, else simulate (and
+    /// write-back). Called at most once per key per process.
+    fn materialize(
+        &self,
+        key: SimKey,
+        base: &GpuConfig,
+        design: Design,
+        app: &App,
+    ) -> Result<Arc<RunStats>, SimError> {
+        let t0 = Instant::now();
+        if let Some(stats) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            self.telemetry.note_materialized(RunRecord {
+                key: key.as_u64(),
+                app: app.name().to_owned(),
+                design: design.label(),
+                source: RunSource::Disk,
+                wall: t0.elapsed(),
+                cycles: stats.cycles,
+            });
+            return Ok(Arc::new(stats));
+        }
+        let cfg = design.config(base);
+        let result = simulate_app(&cfg, &design.policies(), app);
+        let wall = t0.elapsed();
+        if let Ok(stats) = &result {
+            self.telemetry.note_materialized(RunRecord {
+                key: key.as_u64(),
+                app: app.name().to_owned(),
+                design: design.label(),
+                source: RunSource::Simulated,
+                wall,
+                cycles: stats.cycles,
+            });
+            if let Some(disk) = &self.disk {
+                disk.store(key, stats);
+            }
+        }
+        result.map(Arc::new)
+    }
+}
+
+static GLOBAL: OnceLock<SimSession> = OnceLock::new();
+
+/// Initializes the process-wide session with explicit options.
+///
+/// Must run before the first [`session`] call (binaries call it from
+/// `main`); once any global session exists, its options are fixed for the
+/// process and this returns the existing session unchanged.
+pub fn init_global(opts: SessionOptions) -> &'static SimSession {
+    GLOBAL.get_or_init(|| SimSession::new(opts))
+}
+
+/// The process-wide session, created in-memory (no disk cache) on first
+/// use if [`init_global`] has not run.
+pub fn session() -> &'static SimSession {
+    GLOBAL.get_or_init(SimSession::in_memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_isa::{fma_kernel, Suite};
+
+    fn app(name: &str, warps: u32) -> App {
+        App::new(name, Suite::Micro, vec![fma_kernel("k", 4, warps, 64)])
+    }
+
+    fn base() -> GpuConfig {
+        crate::runner::suite_base()
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        let a = app("a", 8);
+        let k1 = SimKey::compute(&base(), Design::Rba, &a);
+        let k2 = SimKey::compute(&base(), Design::Rba, &a);
+        assert_eq!(k1, k2);
+        // The key is a *content* hash: an equal clone hashes identically.
+        let k3 = SimKey::compute(&base().clone(), Design::Rba, &a.clone());
+        assert_eq!(k1, k3);
+    }
+
+    #[test]
+    fn key_tracks_every_input_dimension() {
+        let a = app("a", 8);
+        let k = SimKey::compute(&base(), Design::Baseline, &a);
+        // Config change.
+        assert_ne!(k, SimKey::compute(&base().with_sms(2), Design::Baseline, &a));
+        assert_ne!(k, SimKey::compute(&base().with_max_cycles(1), Design::Baseline, &a));
+        // Design change (different derived config).
+        assert_ne!(k, SimKey::compute(&base(), Design::FullyConnected, &a));
+        // Design change (same config, different policies).
+        assert_ne!(k, SimKey::compute(&base(), Design::Rba, &a));
+        // App change.
+        assert_ne!(k, SimKey::compute(&base(), Design::Baseline, &app("a", 16)));
+    }
+
+    #[test]
+    fn behavioural_twins_share_a_key() {
+        let a = app("a", 8);
+        // Banks(n) == Baseline on a base config that already has n banks:
+        // same derived config, same policy class.
+        let banks = base().with_banks(2);
+        assert_eq!(
+            SimKey::compute(&banks, Design::Banks(2), &a),
+            SimKey::compute(&banks, Design::Baseline, &a)
+        );
+        // App names are content: renaming changes the key (results are
+        // reported per-name, so distinct names must stay distinct).
+        assert_ne!(
+            SimKey::compute(&base(), Design::Baseline, &app("a", 8)),
+            SimKey::compute(&base(), Design::Baseline, &app("b", 8))
+        );
+    }
+
+    #[test]
+    fn duplicate_runs_simulate_once() {
+        let s = SimSession::in_memory();
+        let a = app("dedup", 8);
+        let first = s.run(&base(), Design::Baseline, &a);
+        let second = s.run(&base(), Design::Baseline, &a);
+        assert_eq!(first.cycles, second.cycles);
+        assert!(Arc::ptr_eq(&first, &second), "memo returns the same allocation");
+        let t = s.telemetry().snapshot();
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.sims, 1, "second run must not simulate");
+        assert_eq!(t.memo_hits, 1);
+        assert_eq!(t.disk_hits, 0);
+    }
+
+    #[test]
+    fn distinct_keys_each_simulate() {
+        let s = SimSession::in_memory();
+        let a = app("multi", 8);
+        s.run(&base(), Design::Baseline, &a);
+        s.run(&base(), Design::Rba, &a);
+        s.run(&base(), Design::Baseline, &app("multi2", 8));
+        let t = s.telemetry().snapshot();
+        assert_eq!((t.runs, t.sims, t.memo_hits), (3, 3, 0));
+    }
+
+    #[test]
+    fn overlapping_figure_sweeps_dedup_across_figures() {
+        // Fig. 9, Fig. 10, and Fig. 12 share designs (and all need the
+        // baseline); replaying them through one session must simulate
+        // exactly the set of unique fingerprints, verified by the
+        // telemetry miss count.
+        let fig12 = [
+            Design::CuScaling(4),
+            Design::CuScaling(8),
+            Design::CuScaling(16),
+            Design::Rba,
+            Design::FullyConnected,
+        ];
+        let s = SimSession::in_memory();
+        let base = GpuConfig::volta_v100().with_sms(1).with_max_cycles(10_000_000);
+        let a = app("shared", 4);
+        let mut unique = std::collections::HashSet::new();
+        let mut runs = 0;
+        for figure in [&Design::FIGURE9[..], &Design::FIGURE10[..], &fig12[..]] {
+            for &design in std::iter::once(&Design::Baseline).chain(figure) {
+                unique.insert(s.key(&base, design, &a));
+                s.run(&base, design, &a);
+                runs += 1;
+            }
+        }
+        let t = s.telemetry().snapshot();
+        assert_eq!(t.runs, runs);
+        assert_eq!(t.sims, unique.len() as u64, "one simulation per unique key");
+        assert_eq!(t.memo_hits, runs - unique.len() as u64);
+        assert!(t.sims < t.runs, "the two figures genuinely overlap");
+    }
+
+    #[test]
+    fn concurrent_duplicates_share_one_simulation() {
+        let s = SimSession::in_memory();
+        let a = app("race", 16);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| s.run(&base(), Design::Shuffle, &a));
+            }
+        });
+        let t = s.telemetry().snapshot();
+        assert_eq!(t.runs, 8);
+        assert_eq!(t.sims, 1, "seven threads must ride the in-flight run");
+        assert_eq!(t.memo_hits, 7);
+    }
+
+    #[test]
+    fn errors_are_memoized_and_replayed() {
+        let s = SimSession::in_memory();
+        let a = app("doomed", 8);
+        let tiny = base().with_max_cycles(1);
+        let e1 = s.try_run(&tiny, Design::Baseline, &a).expect_err("1 cycle cannot finish");
+        let e2 = s.try_run(&tiny, Design::Baseline, &a).expect_err("memoized error");
+        assert_eq!(e1, e2);
+        let t = s.telemetry().snapshot();
+        assert_eq!(t.sims, 0, "failed runs are not counted as completed simulations");
+        assert_eq!(t.memo_hits, 1);
+    }
+
+    #[test]
+    fn disk_cache_survives_session_restarts() {
+        let dir = std::env::temp_dir()
+            .join(format!("subcore-session-disk-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let a = app("persisted", 8);
+        let cold = SimSession::new(SessionOptions { disk_cache: Some(dir.clone()) });
+        let stats = cold.run(&base(), Design::Baseline, &a);
+        assert_eq!(cold.telemetry().snapshot().sims, 1);
+        // A fresh session (a "new process") with the same cache dir loads
+        // from disk instead of simulating.
+        let warm = SimSession::new(SessionOptions { disk_cache: Some(dir.clone()) });
+        let reloaded = warm.run(&base(), Design::Baseline, &a);
+        assert_eq!(*reloaded, *stats);
+        let t = warm.telemetry().snapshot();
+        assert_eq!(t.sims, 0, "warm session must not simulate");
+        assert_eq!(t.disk_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

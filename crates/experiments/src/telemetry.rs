@@ -1,0 +1,301 @@
+//! Per-session run telemetry: where each result came from (fresh
+//! simulation, in-memory memo, or disk cache), how long the simulations
+//! took, and how well the worker pool was utilized.
+//!
+//! The counters live on the [`crate::session::SimSession`]; pool usage is
+//! reported by [`crate::runner::parallel_map`] through process-wide
+//! statics (the pool has no session handle, and utilization is a property
+//! of the process anyway).
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Where a [`crate::session::SimSession::run`] result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Freshly simulated in this process.
+    Simulated,
+    /// Loaded from the on-disk result cache.
+    Disk,
+}
+
+impl RunSource {
+    /// Stable lowercase tag used in the telemetry CSV.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RunSource::Simulated => "sim",
+            RunSource::Disk => "disk",
+        }
+    }
+}
+
+/// One materialized (non-memoized) session run.
+///
+/// Memo hits are counted but not recorded: a sweep produces thousands of
+/// them and they carry no information beyond the original record.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The run's [`crate::session::SimKey`] fingerprint.
+    pub key: u64,
+    /// Application name.
+    pub app: String,
+    /// Design label (see `Design::label`).
+    pub design: String,
+    /// Fresh simulation or disk-cache load.
+    pub source: RunSource,
+    /// Wall time spent materializing the result.
+    pub wall: Duration,
+    /// Simulated cycles of the result.
+    pub cycles: u64,
+}
+
+/// Counter block owned by a [`crate::session::SimSession`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    runs: AtomicU64,
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    sims: AtomicU64,
+    sim_wall_nanos: AtomicU64,
+    sim_cycles: AtomicU64,
+    records: Mutex<Vec<RunRecord>>,
+}
+
+impl Telemetry {
+    /// Counts one `run()` call (any outcome).
+    pub(crate) fn note_run(&self) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a run served from the in-memory memo table.
+    pub(crate) fn note_memo_hit(&self) {
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a materialized run (fresh simulation or disk load).
+    pub(crate) fn note_materialized(&self, record: RunRecord) {
+        match record.source {
+            RunSource::Simulated => {
+                self.sims.fetch_add(1, Ordering::Relaxed);
+                self.sim_wall_nanos
+                    .fetch_add(u64::try_from(record.wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+                self.sim_cycles.fetch_add(record.cycles, Ordering::Relaxed);
+            }
+            RunSource::Disk => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.records.lock().expect("telemetry records").push(record);
+    }
+
+    /// A point-in-time copy of the counters (plus the process-wide pool
+    /// usage statics).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            sims: self.sims.load(Ordering::Relaxed),
+            sim_wall: Duration::from_nanos(self.sim_wall_nanos.load(Ordering::Relaxed)),
+            sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
+            pool_busy: Duration::from_nanos(POOL_BUSY_NANOS.load(Ordering::Relaxed)),
+            pool_wall: Duration::from_nanos(POOL_WALL_NANOS.load(Ordering::Relaxed)),
+            pool_max_workers: POOL_MAX_WORKERS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A copy of the materialized-run records, in materialization order.
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.records.lock().expect("telemetry records").clone()
+    }
+
+    /// Writes the per-run records as CSV (`key,app,design,source,wall_ms,
+    /// cycles,cycles_per_sec`), creating parent directories as needed.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "key,app,design,source,wall_ms,cycles,cycles_per_sec")?;
+        for r in self.records() {
+            let secs = r.wall.as_secs_f64();
+            let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
+            writeln!(
+                out,
+                "{:016x},{},{},{},{:.3},{},{:.0}",
+                r.key,
+                r.app,
+                r.design,
+                r.source.tag(),
+                secs * 1e3,
+                r.cycles,
+                rate
+            )?;
+        }
+        out.flush()
+    }
+}
+
+/// A point-in-time view of a session's [`Telemetry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Total `run()` calls.
+    pub runs: u64,
+    /// Runs served from the in-memory memo table.
+    pub memo_hits: u64,
+    /// Runs served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Fresh simulations executed.
+    pub sims: u64,
+    /// Cumulative wall time of fresh simulations (sum over workers, so it
+    /// can exceed elapsed real time under the parallel pool).
+    pub sim_wall: Duration,
+    /// Cumulative cycles simulated by fresh simulations.
+    pub sim_cycles: u64,
+    /// Cumulative busy time across all pool workers.
+    pub pool_busy: Duration,
+    /// Cumulative wall time of all `parallel_map` invocations.
+    pub pool_wall: Duration,
+    /// Largest worker count any `parallel_map` invocation used.
+    pub pool_max_workers: usize,
+}
+
+impl TelemetrySnapshot {
+    /// Aggregate simulation throughput in simulated cycles per second of
+    /// simulation wall time (NaN when nothing was simulated).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.sim_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.sim_cycles as f64 / secs
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Fraction of available worker time the pool kept busy, in `0..=1`
+    /// (NaN when `parallel_map` never ran).
+    pub fn pool_utilization(&self) -> f64 {
+        let available = self.pool_wall.as_secs_f64() * self.pool_max_workers as f64;
+        if available > 0.0 {
+            (self.pool_busy.as_secs_f64() / available).min(1.0)
+        } else {
+            f64::NAN
+        }
+    }
+
+    /// Human-readable summary table (the block `repro` prints on exit).
+    pub fn summary(&self) -> String {
+        let mut s = String::from("session telemetry\n");
+        let mut line = |label: &str, value: String| {
+            s.push_str(&format!("  {label:<22} {value}\n"));
+        };
+        line("runs", self.runs.to_string());
+        line("  fresh simulations", self.sims.to_string());
+        line("  memo hits", self.memo_hits.to_string());
+        line("  disk-cache hits", self.disk_hits.to_string());
+        line("sim wall time", format!("{:.2}s", self.sim_wall.as_secs_f64()));
+        line("sim cycles", self.sim_cycles.to_string());
+        let rate = self.cycles_per_sec();
+        line(
+            "sim throughput",
+            if rate.is_finite() { format!("{:.2} Mcycles/s", rate / 1e6) } else { "n/a".into() },
+        );
+        let util = self.pool_utilization();
+        line(
+            "pool utilization",
+            if util.is_finite() {
+                format!("{:.0}% of {} workers", util * 100.0, self.pool_max_workers)
+            } else {
+                "n/a".into()
+            },
+        );
+        s
+    }
+}
+
+// `parallel_map` has no handle on a session, so pool usage accumulates in
+// process-wide statics and is folded into every snapshot.
+static POOL_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+static POOL_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+static POOL_MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reports one `parallel_map` invocation's worker-pool usage.
+pub fn note_pool_usage(busy: Duration, wall: Duration, workers: usize) {
+    let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    POOL_BUSY_NANOS.fetch_add(nanos(busy), Ordering::Relaxed);
+    POOL_WALL_NANOS.fetch_add(nanos(wall), Ordering::Relaxed);
+    POOL_MAX_WORKERS.fetch_max(workers, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(source: RunSource, cycles: u64, wall_ms: u64) -> RunRecord {
+        RunRecord {
+            key: 0xABCD,
+            app: "app".into(),
+            design: "baseline".into(),
+            source,
+            wall: Duration::from_millis(wall_ms),
+            cycles,
+        }
+    }
+
+    #[test]
+    fn counters_split_by_source() {
+        let t = Telemetry::default();
+        t.note_run();
+        t.note_run();
+        t.note_run();
+        t.note_materialized(record(RunSource::Simulated, 1_000, 10));
+        t.note_materialized(record(RunSource::Disk, 2_000, 1));
+        t.note_memo_hit();
+        let s = t.snapshot();
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.sims, 1);
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.memo_hits, 1);
+        assert_eq!(s.sim_cycles, 1_000, "disk hits do not count as simulated cycles");
+        assert_eq!(s.sim_wall, Duration::from_millis(10));
+        assert!((s.cycles_per_sec() - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_nan() {
+        let s = Telemetry::default().snapshot();
+        assert!(s.cycles_per_sec().is_nan());
+        assert_eq!(s.sims + s.runs + s.memo_hits + s.disk_hits, 0);
+    }
+
+    #[test]
+    fn summary_mentions_every_counter() {
+        let t = Telemetry::default();
+        t.note_run();
+        t.note_materialized(record(RunSource::Simulated, 5_000_000, 100));
+        let text = t.snapshot().summary();
+        for needle in ["runs", "fresh simulations", "memo hits", "disk-cache hits", "Mcycles/s"] {
+            assert!(text.contains(needle), "summary missing `{needle}`:\n{text}");
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let t = Telemetry::default();
+        t.note_materialized(record(RunSource::Simulated, 42, 2));
+        t.note_materialized(record(RunSource::Disk, 43, 0));
+        let dir = std::env::temp_dir().join(format!("subcore-telemetry-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "key,app,design,source,wall_ms,cycles,cycles_per_sec");
+        assert!(lines[1].contains(",sim,"), "got {}", lines[1]);
+        assert!(lines[2].contains(",disk,"), "got {}", lines[2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,12 +1,11 @@
 //! Applications: named sequences of kernels grouped into benchmark suites.
 
 use crate::Kernel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The benchmark suite an application belongs to, mirroring Table III of the
 /// paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Suite {
     /// TPC-H SQL queries on an uncompressed parquet database.
     TpchUncompressed,
@@ -80,7 +79,7 @@ impl fmt::Display for Suite {
 /// Kernels within an app run sequentially (kernel N+1 launches when kernel N
 /// drains), matching how the paper's workloads (e.g. a multi-kernel SQL
 /// query plan) execute.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct App {
     name: String,
     suite: Suite,

@@ -1,11 +1,10 @@
 //! Decoded instructions and memory access shapes.
 
 use crate::{OpClass, Reg};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which address space a memory instruction touches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Device (global) memory, backed by the L1/L2/DRAM hierarchy.
     Global,
@@ -21,7 +20,7 @@ pub enum MemSpace {
 /// many 128-byte transactions a warp access splits into, whether those
 /// transactions hit in cache (via the region/stride stream), and the
 /// shared-memory bank conflict degree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemPattern {
     /// All 32 threads access consecutive 4-byte words: one 128 B transaction
     /// per access, streaming through `region` with the given element stride
@@ -73,7 +72,7 @@ impl MemPattern {
 /// `srcs` are *register* source operands — the inputs the operand collector
 /// must fetch from the banked register file. Immediate/constant operands are
 /// not represented because they do not contend for register banks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Instruction {
     /// Operation class (pipeline, latency class, memory behaviour).
     pub op: OpClass,

@@ -1,12 +1,11 @@
 //! Kernels: launch dimensions, per-warp programs, and resource demands.
 
 use crate::{ProgramBuilder, Reg, WarpProgram, WARP_SIZE};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Grid/block launch dimensions, flattened to 1-D (the simulator does not
 /// care about multi-dimensional indexing, only about counts).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LaunchDims {
     /// Number of thread blocks in the grid.
     pub blocks: u32,
@@ -20,7 +19,7 @@ pub struct LaunchDims {
 /// Warp specialization is expressed by assigning different programs to
 /// different warp slots within the block; the slot index is exactly the
 /// `warpID = threadID / 32` of the paper's Fig. 4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Kernel {
     name: String,
     dims: LaunchDims,

@@ -1,6 +1,5 @@
 //! Instruction operation classes and the execution pipelines they occupy.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The execution pipeline an instruction is dispatched to after its operands
@@ -12,7 +11,7 @@ use std::fmt;
 /// instruction — e.g. a 32-thread FMA over 16 FP32 lanes occupies the FMA
 /// pipeline for 2 cycles — which is what turns issue imbalance into
 /// execution-unit underutilization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pipeline {
     /// FP32 fused multiply-add / general FP32 arithmetic.
     Fma,
@@ -77,7 +76,7 @@ impl fmt::Display for Pipeline {
 /// The class determines the pipeline, the default execution latency, and
 /// whether the instruction interacts with the memory system, a barrier, or
 /// terminates the warp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// FP32 fused multiply-add (`d = a * b + c`), 3 source operands.
     FmaF32,

@@ -7,7 +7,7 @@ use std::sync::Arc;
 ///
 /// Sharing the body through an [`Arc`] keeps a 4096-iteration FMA loop at
 /// O(body) memory while the cursor replays all dynamic instructions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Segment {
     /// The loop body.
     pub body: Arc<[Instruction]>,
@@ -26,7 +26,7 @@ impl Segment {
 ///
 /// Every well-formed program ends with [`OpClass::Exit`]; [`ProgramBuilder`]
 /// appends it automatically.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct WarpProgram {
     segments: Vec<Segment>,
 }

@@ -1,6 +1,5 @@
 //! Architectural register identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An architectural (per-thread) register id, `r0`, `r1`, ….
@@ -13,7 +12,7 @@ use std::fmt;
 ///
 /// The simulator supports up to 256 registers per thread, matching the CUDA
 /// limit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {

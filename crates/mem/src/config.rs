@@ -1,10 +1,9 @@
 //! Memory system configuration.
 
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the shared memory system, defaulting to the V100-like
 /// parameters of Table II in the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemConfig {
     /// Cache line / memory transaction size in bytes (128 on NVIDIA parts).
     pub line_bytes: u32,

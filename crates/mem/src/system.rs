@@ -5,6 +5,7 @@ use crate::cache::{AccessOutcome, Cache};
 use crate::config::MemConfig;
 use crate::dram::DramChannel;
 use crate::shared::SharedMemModel;
+use subcore_persist::{Json, JsonCodec, JsonError};
 
 /// Aggregate memory-system statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -23,6 +24,32 @@ pub struct MemStats {
     pub shared_conflict_cycles: u64,
     /// Loads merged with an in-flight miss (MSHR hits).
     pub mshr_merges: u64,
+}
+
+impl JsonCodec for MemStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("l1_hits", Json::Uint(self.l1_hits)),
+            ("l1_misses", Json::Uint(self.l1_misses)),
+            ("l2_hits", Json::Uint(self.l2_hits)),
+            ("l2_misses", Json::Uint(self.l2_misses)),
+            ("shared_accesses", Json::Uint(self.shared_accesses)),
+            ("shared_conflict_cycles", Json::Uint(self.shared_conflict_cycles)),
+            ("mshr_merges", Json::Uint(self.mshr_merges)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(MemStats {
+            l1_hits: json.field("l1_hits")?.as_u64()?,
+            l1_misses: json.field("l1_misses")?.as_u64()?,
+            l2_hits: json.field("l2_hits")?.as_u64()?,
+            l2_misses: json.field("l2_misses")?.as_u64()?,
+            shared_accesses: json.field("shared_accesses")?.as_u64()?,
+            shared_conflict_cycles: json.field("shared_conflict_cycles")?.as_u64()?,
+            mshr_merges: json.field("mshr_merges")?.as_u64()?,
+        })
+    }
 }
 
 /// The GPU memory system shared by every SM.

@@ -30,11 +30,10 @@
 //! assert!(rba.area / base.area < 1.02);     // RBA is nearly free
 //! ```
 
-use serde::{Deserialize, Serialize};
 
 /// Absolute cost of one design point (arbitrary but consistent units:
 /// area in equivalent SRAM-bit units, power in mW-class units).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignCost {
     /// Area estimate.
     pub area: f64,
@@ -53,7 +52,7 @@ impl DesignCost {
 ///
 /// All constants are per-component and documented; see
 /// [`CostModel::calibrated_45nm`] for the calibration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Register-file capacity per sub-core, bits (64 KB on Volta).
     pub rf_bits: f64,

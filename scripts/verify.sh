@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: the tier-1 build+test check plus a zero-warning
+# clippy pass over every target. Run from the repo root:
+#
+#   scripts/verify.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"
