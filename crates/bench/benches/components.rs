@@ -3,7 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use subcore_engine::{GtoSelector, IssueCandidate, IssueView, RoundRobinAssigner, Scoreboard, SubcoreAssigner, WarpSelector};
+use subcore_engine::{
+    GtoSelector, IssueCandidate, IssueView, RoundRobinAssigner, Scoreboard, SubcoreAssigner,
+    WarpSelector,
+};
 use subcore_isa::{fma_kernel, MemPattern, Pipeline, ProgramBuilder, Reg};
 use subcore_mem::{coalesce, Cache, DramChannel, MemConfig, MemSystem, StreamCtx};
 use subcore_sched::{RbaSelector, ShuffleAssigner, SkewedRoundRobinAssigner};
@@ -51,12 +54,7 @@ fn coalescer(c: &mut Criterion) {
     g.bench_function("irregular", |b| {
         b.iter(|| {
             out.clear();
-            coalesce(
-                MemPattern::Irregular { region: 1, span_lines: 1 << 14 },
-                ctx,
-                128,
-                &mut out,
-            )
+            coalesce(MemPattern::Irregular { region: 1, span_lines: 1 << 14 }, ctx, 128, &mut out)
         })
     });
     g.finish();

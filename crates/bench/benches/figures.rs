@@ -96,12 +96,9 @@ fn fig14_rf_trace(c: &mut Criterion) {
     for design in [Design::Baseline, Design::Rba] {
         g.bench_function(design.label(), |b| {
             b.iter(|| {
-                let stats = subcore_engine::simulate_app(
-                    &design.config(&cfg),
-                    &design.policies(),
-                    &app,
-                )
-                .unwrap();
+                let stats =
+                    subcore_engine::simulate_app(&design.config(&cfg), &design.policies(), &app)
+                        .unwrap();
                 black_box(stats.rf_read_trace.len())
             })
         });
@@ -128,9 +125,7 @@ fn fig17_issue_cv(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig17_issue_cv");
     let app = tpch_query(9, false);
     for design in [Design::Baseline, Design::Srr, Design::Shuffle] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| black_box(run(design, &app).issue_cv()))
-        });
+        g.bench_function(design.label(), |b| b.iter(|| black_box(run(design, &app).issue_cv())));
     }
     g.finish();
 }
@@ -147,12 +142,8 @@ fn fig18_sm_scaling(c: &mut Criterion) {
         g.bench_function(format!("{sms}sm"), |b| {
             b.iter(|| {
                 let cfg = subcore_engine::GpuConfig::volta_v100().with_sms(sms);
-                let stats = subcore_engine::simulate_app(
-                    &cfg,
-                    &Design::Baseline.policies(),
-                    &app,
-                )
-                .unwrap();
+                let stats =
+                    subcore_engine::simulate_app(&cfg, &Design::Baseline.policies(), &app).unwrap();
                 black_box(stats.cycles)
             })
         });
@@ -166,9 +157,7 @@ fn ablations(c: &mut Criterion) {
     g.bench_function("score-latency-20", |b| {
         b.iter(|| black_box(run(Design::RbaLatency(20), &app)).cycles)
     });
-    g.bench_function("rba-4banks", |b| {
-        b.iter(|| black_box(run(Design::RbaBanks(4), &app)).cycles)
-    });
+    g.bench_function("rba-4banks", |b| b.iter(|| black_box(run(Design::RbaBanks(4), &app)).cycles));
     g.bench_function("shuffle-table16", |b| {
         b.iter(|| black_box(run(Design::ShuffleTable(16), &app)).cycles)
     });

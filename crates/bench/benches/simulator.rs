@@ -47,9 +47,7 @@ fn policy_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator_policy_overhead");
     let app = app_by_name("pb-sgemm").unwrap();
     for design in [Design::Baseline, Design::Rba, Design::ShuffleRba] {
-        g.bench_function(design.label(), |b| {
-            b.iter(|| black_box(run(design, &app)).cycles)
-        });
+        g.bench_function(design.label(), |b| b.iter(|| black_box(run(design, &app)).cycles));
     }
     // The bench_gpu helper must stay in sync with the engine's defaults.
     assert_eq!(bench_gpu().num_sms, 1);

@@ -142,8 +142,7 @@ mod tests {
         let mut s = TwoLevelSelector::new(2);
         let c = vec![cand(0, 0), cand(1, 1), cand(2, 2)];
         // Active set fills with the two oldest (slots 0 and 1) and rotates.
-        let picks: Vec<u32> =
-            (0..4).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
+        let picks: Vec<u32> = (0..4).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
         assert!(picks.iter().all(|&p| p < 2), "only active warps issue: {picks:?}");
         assert!(picks.windows(2).all(|w| w[0] != w[1]), "round-robin alternates: {picks:?}");
     }
@@ -155,8 +154,7 @@ mod tests {
         s.select(&view(&c));
         // Warp 0 stalls (drops out of the candidate list): warp 2 joins.
         let c2 = vec![cand(1, 1), cand(2, 2)];
-        let picks: Vec<u32> =
-            (0..2).map(|_| c2[s.select(&view(&c2)).unwrap()].warp_slot).collect();
+        let picks: Vec<u32> = (0..2).map(|_| c2[s.select(&view(&c2)).unwrap()].warp_slot).collect();
         assert!(picks.contains(&2), "pending warp rotates in: {picks:?}");
     }
 
@@ -164,8 +162,7 @@ mod tests {
     fn lagging_first_balances_issue_counts() {
         let mut s = LaggingWarpSelector::new();
         let c = vec![cand(0, 0), cand(1, 1)];
-        let picks: Vec<u32> =
-            (0..6).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
+        let picks: Vec<u32> = (0..6).map(|_| c[s.select(&view(&c)).unwrap()].warp_slot).collect();
         let zeros = picks.iter().filter(|&&p| p == 0).count();
         assert_eq!(zeros, 3, "issue counts stay balanced: {picks:?}");
     }

@@ -201,10 +201,7 @@ mod tests {
     fn config_transformations() {
         let base = GpuConfig::volta_v100();
         assert_eq!(Design::Baseline.config(&base), base);
-        assert_eq!(
-            Design::FullyConnected.config(&base).connectivity,
-            Connectivity::FullyConnected
-        );
+        assert_eq!(Design::FullyConnected.config(&base).connectivity, Connectivity::FullyConnected);
         assert_eq!(Design::CuScaling(8).config(&base).cus_per_subcore, 8);
         assert!(Design::BankStealing.config(&base).bank_stealing);
         assert_eq!(Design::RbaLatency(20).config(&base).score_update_latency, 20);
@@ -271,10 +268,7 @@ mod tests {
         assert_eq!(Design::Banks(2).policy_class(), Design::Baseline.policy_class());
         assert_eq!(Design::CuScaling(4).policy_class(), Design::Baseline.policy_class());
         // ...while table sizes stay distinct.
-        assert_ne!(
-            Design::ShuffleTable(4).policy_class(),
-            Design::ShuffleTable(16).policy_class()
-        );
+        assert_ne!(Design::ShuffleTable(4).policy_class(), Design::ShuffleTable(16).policy_class());
         assert_ne!(Design::Shuffle.policy_class(), Design::ShuffleTable(4).policy_class());
     }
 

@@ -158,7 +158,6 @@ impl Arbiter {
 
     /// Immediate queue lengths (for the operand-collector side, which is
     /// co-located with the banks).
-    #[allow(dead_code)]
     pub(crate) fn current_len(&self, bank: usize) -> usize {
         self.queues[bank].len()
     }

@@ -42,8 +42,10 @@ impl ExecTimings {
     /// slice.
     pub fn volta_like() -> Self {
         let mut timings = [PipeTiming { latency: 4, interval: 2, units_per_subcore: 1 }; 6];
-        timings[Pipeline::Fma.index()] = PipeTiming { latency: 4, interval: 2, units_per_subcore: 1 };
-        timings[Pipeline::Alu.index()] = PipeTiming { latency: 4, interval: 1, units_per_subcore: 1 };
+        timings[Pipeline::Fma.index()] =
+            PipeTiming { latency: 4, interval: 2, units_per_subcore: 1 };
+        timings[Pipeline::Alu.index()] =
+            PipeTiming { latency: 4, interval: 1, units_per_subcore: 1 };
         timings[Pipeline::Fp64.index()] =
             PipeTiming { latency: 8, interval: 4, units_per_subcore: 1 };
         timings[Pipeline::Sfu.index()] =
@@ -81,6 +83,12 @@ pub struct StatsConfig {
     pub record_rf_trace: bool,
     /// SM whose register file is traced.
     pub trace_sm: usize,
+    /// Window width, in cycles, of the probe-event time-series aggregated
+    /// for [`StatsConfig::trace_sm`] and attached to
+    /// [`crate::RunStats::windowed`]. `0` (the default) disables the
+    /// engine's probe points entirely — the hot path then pays one
+    /// predictable branch per probe and builds no events.
+    pub trace_window: u32,
 }
 
 /// Full GPU configuration. [`GpuConfig::volta_v100`] reproduces the paper's

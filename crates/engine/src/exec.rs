@@ -32,11 +32,7 @@ impl UnitPool {
     /// `occupancy_multiple` initiation intervals (memory instructions occupy
     /// the LSU once per transaction). Returns the result latency on success.
     pub(crate) fn try_dispatch(&mut self, now: u64, occupancy_multiple: u64) -> Option<u64> {
-        let unit = self
-            .next_free
-            .iter_mut()
-            .min()
-            .expect("pools always have at least one unit");
+        let unit = self.next_free.iter_mut().min().expect("pools always have at least one unit");
         if *unit > now {
             return None;
         }

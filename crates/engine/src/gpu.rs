@@ -7,6 +7,7 @@ use crate::sm::SmCore;
 use crate::stats::{RunStats, SimError, StallBreakdown};
 use subcore_isa::{App, Kernel};
 use subcore_mem::MemSystem;
+use subcore_trace::{TraceSink, Tracer, WindowAggregator};
 
 /// Simulates a whole application (its kernels run back-to-back) and returns
 /// aggregate statistics.
@@ -33,6 +34,31 @@ use subcore_mem::MemSystem;
 /// # }
 /// ```
 pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<RunStats, SimError> {
+    simulate_app_traced(cfg, policies, app, Vec::new())
+}
+
+/// [`simulate_app`] with caller-supplied probe-event sinks.
+///
+/// Every sink observes the full event stream of [`StatsConfig::trace_sm`]
+/// (plus [`TraceEvent::Occupancy`] transitions of every SM). When
+/// [`StatsConfig::trace_window`] is non-zero an internal
+/// [`WindowAggregator`] also listens and its series is attached to
+/// [`RunStats::windowed`]; with `trace_window == 0` and no external sinks
+/// the probe points are disabled and this is exactly [`simulate_app`].
+///
+/// [`StatsConfig::trace_sm`]: crate::config::StatsConfig::trace_sm
+/// [`StatsConfig::trace_window`]: crate::config::StatsConfig::trace_window
+/// [`TraceEvent::Occupancy`]: subcore_trace::TraceEvent::Occupancy
+///
+/// # Errors
+///
+/// Same as [`simulate_app`].
+pub fn simulate_app_traced(
+    cfg: &GpuConfig,
+    policies: &Policies,
+    app: &App,
+    sinks: Vec<&mut dyn TraceSink>,
+) -> Result<RunStats, SimError> {
     cfg.validate();
     for kernel in app.kernels() {
         check_schedulable(cfg, kernel)?;
@@ -43,6 +69,26 @@ pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<R
     let mut mem = MemSystem::new(mem_cfg, cfg.num_sms as usize);
     let mut sms: Vec<SmCore> =
         (0..cfg.num_sms as usize).map(|i| SmCore::new(cfg, i, policies)).collect();
+
+    let mut aggregator = (cfg.stats.trace_window > 0).then(|| {
+        let (domains, banks) = match cfg.connectivity {
+            Connectivity::Partitioned => (cfg.subcores_per_sm, cfg.rf_banks_per_subcore),
+            Connectivity::FullyConnected => (1, cfg.rf_banks_per_subcore * cfg.subcores_per_sm),
+        };
+        WindowAggregator::new(
+            cfg.stats.trace_sm as u32,
+            u64::from(cfg.stats.trace_window),
+            domains,
+            banks,
+        )
+    });
+    let mut tracer = Tracer::new(Vec::new());
+    for sink in sinks {
+        tracer.attach(sink);
+    }
+    if let Some(agg) = aggregator.as_mut() {
+        tracer.attach(agg);
+    }
 
     let mut now: u64 = 0;
     let mut block_uid: u64 = 0;
@@ -60,7 +106,7 @@ pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<R
                         break;
                     }
                     let s = (rr_sm + i) % sms.len();
-                    if sms[s].try_accept(kernel, block_uid) {
+                    if sms[s].try_accept(kernel, block_uid, now, &mut tracer) {
                         next_block += 1;
                         block_uid += 1;
                     }
@@ -70,7 +116,7 @@ pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<R
 
             let mut all_idle = true;
             for sm in &mut sms {
-                sm.tick(now, &mut mem);
+                sm.tick(now, &mut mem, &mut tracer);
                 all_idle &= sm.is_idle();
             }
             now += 1;
@@ -83,21 +129,26 @@ pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<R
         }
         kernel_end_cycles.push(now);
     }
+    drop(tracer);
 
     let mut stats = RunStats {
         cycles: now,
         kernel_end_cycles,
         mem: mem.stats(),
+        windowed: aggregator.map(|agg| agg.into_series(now)),
         ..Default::default()
     };
     let mut stalls = StallBreakdown::default();
     for sm in &mut sms {
+        sm.assert_scheduler_accounting();
         stats.instructions += sm.issued_total();
         stats.issued_per_scheduler.push(sm.issued_per_scheduler());
         let (grants, conflicts) = sm.rf_stats();
         stats.rf_reads += grants;
         stats.rf_conflict_enqueues += conflicts;
         stalls.add(&sm.stalls());
+        stats.issue_cycles += sm.issue_cycles();
+        stats.active_cycles += sm.active_cycles();
         for (t, v) in stats.pipe_dispatched.iter_mut().zip(sm.pipe_dispatched()) {
             *t += v;
         }
@@ -127,10 +178,8 @@ pub fn simulate_kernel(
 }
 
 fn check_schedulable(cfg: &GpuConfig, kernel: &Kernel) -> Result<(), SimError> {
-    let err = |reason: String| SimError::KernelUnschedulable {
-        kernel: kernel.name().to_owned(),
-        reason,
-    };
+    let err =
+        |reason: String| SimError::KernelUnschedulable { kernel: kernel.name().to_owned(), reason };
     if kernel.warps_per_block() > cfg.max_warps_per_sm {
         return Err(err(format!(
             "block has {} warps but the SM holds {}",
@@ -333,12 +382,9 @@ mod tests {
     fn cycle_limit_is_enforced() {
         let mut cfg = small_cfg();
         cfg.max_cycles = 10;
-        let err = simulate_kernel(
-            &cfg,
-            &Policies::hardware_baseline(),
-            fma_kernel("long", 4, 8, 4096),
-        )
-        .unwrap_err();
+        let err =
+            simulate_kernel(&cfg, &Policies::hardware_baseline(), fma_kernel("long", 4, 8, 4096))
+                .unwrap_err();
         assert_eq!(err, SimError::CycleLimitExceeded { limit: 10 });
     }
 
@@ -359,12 +405,9 @@ mod tests {
     fn rf_trace_recorded_when_enabled() {
         let mut cfg = small_cfg();
         cfg.stats.record_rf_trace = true;
-        let stats = simulate_kernel(
-            &cfg,
-            &Policies::hardware_baseline(),
-            fma_kernel("trace", 2, 8, 64),
-        )
-        .unwrap();
+        let stats =
+            simulate_kernel(&cfg, &Policies::hardware_baseline(), fma_kernel("trace", 2, 8, 64))
+                .unwrap();
         assert_eq!(stats.rf_read_trace.len() as u64, stats.cycles);
         assert!(stats.rf_read_trace.iter().any(|&g| g > 0));
     }
@@ -404,16 +447,23 @@ mod paper_behavior_tests {
     fn fma_layout(name: &str, blocks: u32, layout: &[bool], fmas: u32) -> subcore_isa::Kernel {
         let long = ProgramBuilder::new()
             .repeat(fmas, |b| {
-                b.fma(subcore_isa::Reg(0), subcore_isa::Reg(0), subcore_isa::Reg(1), subcore_isa::Reg(2));
+                b.fma(
+                    subcore_isa::Reg(0),
+                    subcore_isa::Reg(0),
+                    subcore_isa::Reg(1),
+                    subcore_isa::Reg(2),
+                );
             })
             .barrier()
             .build();
         let empty = ProgramBuilder::new().barrier().build();
-        let programs = layout
-            .iter()
-            .map(|&c| if c { long.clone() } else { empty.clone() })
-            .collect();
-        KernelBuilder::new(name).blocks(blocks).regs_per_thread(8).per_warp_programs(programs).build()
+        let programs =
+            layout.iter().map(|&c| if c { long.clone() } else { empty.clone() }).collect();
+        KernelBuilder::new(name)
+            .blocks(blocks)
+            .regs_per_thread(8)
+            .per_warp_programs(programs)
+            .build()
     }
 
     #[test]
@@ -495,9 +545,8 @@ mod effect_tests {
             })
             .barrier()
             .build();
-        let programs = (0..16u32)
-            .map(|w| if w % 4 == 0 { tensor.clone() } else { alu.clone() })
-            .collect();
+        let programs =
+            (0..16u32).map(|w| if w % 4 == 0 { tensor.clone() } else { alu.clone() }).collect();
         let kernel = KernelBuilder::new("diverse")
             .blocks(4)
             .regs_per_thread(16)
@@ -556,9 +605,7 @@ mod effect_tests {
     /// release the barrier (CUDA semantics: exited threads don't count).
     #[test]
     fn barrier_released_when_nonparticipants_exit() {
-        let waits = ProgramBuilder::new()
-            .barrier()
-            .build();
+        let waits = ProgramBuilder::new().barrier().build();
         let computes_then_exits = ProgramBuilder::new()
             .repeat(64, |b| {
                 b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
@@ -567,12 +614,7 @@ mod effect_tests {
         let kernel = KernelBuilder::new("bar-exit")
             .blocks(1)
             .regs_per_thread(8)
-            .per_warp_programs(vec![
-                waits.clone(),
-                computes_then_exits,
-                waits.clone(),
-                waits,
-            ])
+            .per_warp_programs(vec![waits.clone(), computes_then_exits, waits.clone(), waits])
             .build();
         let cfg = GpuConfig::volta_v100().with_sms(1);
         let stats =
@@ -631,10 +673,13 @@ mod option_tests {
             .barrier()
             .build();
         let empty = ProgramBuilder::new().barrier().build();
-        let programs = (0..32u32)
-            .map(|w| if w % 4 == 0 { long.clone() } else { empty.clone() })
-            .collect();
-        KernelBuilder::new("unbal").blocks(blocks).regs_per_thread(8).per_warp_programs(programs).build()
+        let programs =
+            (0..32u32).map(|w| if w % 4 == 0 { long.clone() } else { empty.clone() }).collect();
+        KernelBuilder::new("unbal")
+            .blocks(blocks)
+            .regs_per_thread(8)
+            .per_warp_programs(programs)
+            .build()
     }
 
     #[test]
@@ -642,8 +687,9 @@ mod option_tests {
         // All compute pinned to sub-core 0: its 1-wide issue is the
         // bottleneck; Kepler-style dual issue relieves it.
         let mut cfg = GpuConfig::volta_v100().with_sms(1);
-        let single = simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
-            .unwrap();
+        let single =
+            simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
+                .unwrap();
         cfg.issue_width = 2;
         let dual = simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
             .unwrap();
@@ -661,8 +707,9 @@ mod option_tests {
         let base = simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
             .unwrap();
         cfg.work_stealing = true;
-        let steal = simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
-            .unwrap();
+        let steal =
+            simulate_kernel(&cfg, &Policies::hardware_baseline(), unbalanced_kernel(2, 256))
+                .unwrap();
         assert_eq!(base.instructions, steal.instructions, "work conserved");
         assert!(
             (steal.cycles as f64) < 0.6 * base.cycles as f64,
@@ -678,8 +725,7 @@ mod option_tests {
         // strands the short warps' slots; warp-level release reuses them.
         let mut cfg = GpuConfig::volta_v100().with_sms(1);
         let k = unbalanced_kernel(8, 128);
-        let block_level =
-            simulate_kernel(&cfg, &Policies::hardware_baseline(), k.clone()).unwrap();
+        let block_level = simulate_kernel(&cfg, &Policies::hardware_baseline(), k.clone()).unwrap();
         cfg.warp_level_dealloc = true;
         let warp_level = simulate_kernel(&cfg, &Policies::hardware_baseline(), k).unwrap();
         assert_eq!(block_level.instructions, warp_level.instructions);

@@ -60,10 +60,16 @@ mod stats;
 mod warp;
 
 pub use config::{Connectivity, ExecTimings, GpuConfig, PipeTiming, StatsConfig};
-pub use gpu::{simulate_app, simulate_kernel};
+pub use gpu::{simulate_app, simulate_app_traced, simulate_kernel};
 pub use policy::{
     AssignerFactory, GtoSelector, IssueCandidate, IssueView, LrrSelector, Policies,
     RoundRobinAssigner, SelectorFactory, SubcoreAssigner, WarpSelector,
 };
 pub use scoreboard::Scoreboard;
 pub use stats::{RunStats, SimError, StallBreakdown, ENGINE_VERSION, STATS_SCHEMA_VERSION};
+// The probe-event vocabulary and sinks live in `subcore-trace`; re-export
+// them so downstream crates need only depend on the engine.
+pub use subcore_trace::{
+    JsonlSink, NullSink, StallKind, TraceEvent, TraceSink, Tracer, WindowAggregator, WindowStats,
+    WindowedSeries, MAX_TRACED_BANKS,
+};

@@ -47,9 +47,7 @@ impl IssueView<'_> {
     /// bank's queue once per operand).
     pub fn rba_score(&self, i: usize) -> u32 {
         let c = &self.candidates[i];
-        (0..c.num_srcs as usize)
-            .map(|k| u32::from(self.bank_queue_lens[c.banks[k] as usize]))
-            .sum()
+        (0..c.num_srcs as usize).map(|k| u32::from(self.bank_queue_lens[c.banks[k] as usize])).sum()
     }
 }
 
@@ -148,11 +146,7 @@ impl WarpSelector for GtoSelector {
             .last_issued
             .and_then(|w| view.candidates.iter().position(|c| c.warp_slot == w))
             .or_else(|| {
-                view.candidates
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, c)| c.age)
-                    .map(|(i, _)| i)
+                view.candidates.iter().enumerate().min_by_key(|(_, c)| c.age).map(|(i, _)| i)
             });
         if let Some(i) = pick {
             self.last = Some(view.candidates[i].warp_slot);

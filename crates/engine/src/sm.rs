@@ -12,6 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use subcore_isa::{Kernel, MemPattern, OpClass, Pipeline, Reg};
 use subcore_mem::{coalesce, MemSystem, StreamCtx};
+use subcore_trace::{StallKind, TraceEvent, Tracer, MAX_TRACED_BANKS};
 
 /// One scheduler domain: a sub-core in partitioned mode, or the whole SM in
 /// fully-connected mode.
@@ -30,6 +31,9 @@ struct Domain {
     regs_capacity: u32,
     regs_used: u32,
     issued: u64,
+    /// Cycles in which this domain's scheduler issued at least one
+    /// instruction (the complement of `stalls` over active cycles).
+    issue_cycles: u64,
     last_issued: Option<u32>,
     stalls: StallBreakdown,
     candidates: Vec<IssueCandidate>,
@@ -96,6 +100,8 @@ pub(crate) struct SmCore {
     live_warps: u32,
     /// Sum over cycles of live resident warps.
     warp_cycles: u64,
+    /// Cycles this SM actually ticked (was non-idle).
+    active_cycles: u64,
 }
 
 impl SmCore {
@@ -134,13 +140,13 @@ impl SmCore {
                 regs_capacity: regs_cap,
                 regs_used: 0,
                 issued: 0,
+                issue_cycles: 0,
                 last_issued: None,
                 stalls: StallBreakdown::default(),
                 candidates: Vec::new(),
             })
             .collect();
-        let rf_trace =
-            (cfg.stats.record_rf_trace && cfg.stats.trace_sm == id).then(Vec::new);
+        let rf_trace = (cfg.stats.record_rf_trace && cfg.stats.trace_sm == id).then(Vec::new);
         SmCore {
             id,
             domains,
@@ -167,6 +173,7 @@ impl SmCore {
             write_masks: vec![0; num_domains as usize],
             live_warps: 0,
             warp_cycles: 0,
+            active_cycles: 0,
         }
     }
 
@@ -177,7 +184,13 @@ impl SmCore {
 
     /// Attempts to schedule one block of `kernel` on this SM. `block_uid` is
     /// a globally unique block number used to derive memory stream ids.
-    pub(crate) fn try_accept(&mut self, kernel: &Kernel, block_uid: u64) -> bool {
+    pub(crate) fn try_accept(
+        &mut self,
+        kernel: &Kernel,
+        block_uid: u64,
+        now: u64,
+        tracer: &mut Tracer<'_>,
+    ) -> bool {
         let warps = kernel.warps_per_block();
         let regs_per_warp = u32::from(kernel.regs_per_thread());
         let Some(block_slot) = self.blocks.iter().position(Option::is_none) else {
@@ -250,17 +263,24 @@ impl SmCore {
         self.shared_used += kernel.shared_mem_bytes();
         self.resident_blocks += 1;
         self.live_warps += warps;
+        tracer.emit(|| TraceEvent::Occupancy {
+            cycle: now,
+            sm: self.id as u32,
+            live_warps: self.live_warps,
+        });
         true
     }
 
     /// Advances the SM by one cycle.
-    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSystem) {
+    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSystem, tracer: &mut Tracer<'_>) {
         if self.is_idle() {
             if let Some(trace) = &mut self.rf_trace {
                 trace.push(0);
             }
             return;
         }
+        let sm = self.id as u32;
+        self.active_cycles += 1;
         self.grants_this_cycle = 0;
         self.warp_cycles += u64::from(self.live_warps);
         self.write_masks.iter_mut().for_each(|m| *m = 0);
@@ -272,6 +292,22 @@ impl SmCore {
             let mask = self.write_masks[di];
             let d = &mut self.domains[di];
             d.arbiter.snapshot();
+            if tracer.enabled() {
+                // Physical queue depths at cycle start, before this
+                // cycle's grants drain one entry per bank.
+                let mut depths = [0u16; MAX_TRACED_BANKS];
+                let nb = (d.num_banks as usize).min(MAX_TRACED_BANKS);
+                for (b, slot) in depths[..nb].iter_mut().enumerate() {
+                    *slot = d.arbiter.current_len(b).min(usize::from(u16::MAX)) as u16;
+                }
+                tracer.emit(|| TraceEvent::BankDepths {
+                    cycle: now,
+                    sm,
+                    domain: di as u32,
+                    num_banks: nb as u8,
+                    depths,
+                });
+            }
             self.grants_this_cycle += d.arbiter.grant_masked(&mut d.cus, mask);
         }
         if self.work_stealing {
@@ -281,15 +317,16 @@ impl SmCore {
         let mut finalize = std::mem::take(&mut self.finalize_scratch);
         finalize.clear();
         for di in 0..self.domains.len() {
-            self.issue_domain(di, now, &mut finalize);
+            self.issue_domain(di, now, &mut finalize, tracer);
         }
         if self.bank_stealing {
             for di in 0..self.domains.len() {
-                self.steal_banks(di, now);
+                self.steal_banks(di, now, tracer);
             }
         }
         for bs in finalize.drain(..) {
             self.free_block(bs);
+            tracer.emit(|| TraceEvent::BlockDealloc { cycle: now, sm, block_slot: bs as u32 });
         }
         self.finalize_scratch = finalize;
         self.fetch();
@@ -327,12 +364,8 @@ impl SmCore {
             warps[s as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready)
         };
         for di in 0..self.domains.len() {
-            let recipient_ready = self
-                .domains[di]
-                .warps
-                .iter()
-                .filter(|&&s| runnable(&self.warps, s))
-                .count();
+            let recipient_ready =
+                self.domains[di].warps.iter().filter(|&&s| runnable(&self.warps, s)).count();
             if recipient_ready > 0 {
                 continue;
             }
@@ -355,12 +388,8 @@ impl SmCore {
                 continue;
             }
             // Steal the donor's youngest runnable warp.
-            let Some(&slot) = self
-                .domains[donor]
-                .warps
-                .iter()
-                .rev()
-                .find(|&&s| runnable(&self.warps, s))
+            let Some(&slot) =
+                self.domains[donor].warps.iter().rev().find(|&&s| runnable(&self.warps, s))
             else {
                 continue;
             };
@@ -374,11 +403,8 @@ impl SmCore {
             if self.domains[di].regs_used + regs > self.domains[di].regs_capacity {
                 continue;
             }
-            let pos = self.domains[donor]
-                .warps
-                .iter()
-                .position(|&s| s == slot)
-                .expect("slot in donor");
+            let pos =
+                self.domains[donor].warps.iter().position(|&s| s == slot).expect("slot in donor");
             self.domains[donor].warps.remove(pos);
             self.domains[donor].regs_used -= regs;
             let new_local = self.domains[di].warps.len() as u32;
@@ -416,15 +442,10 @@ impl SmCore {
                         }
                         _ => {
                             txn_scratch.clear();
-                            let ctx = StreamCtx {
-                                stream_id: w.stream_id,
-                                dynamic_index: instr.dyn_idx,
-                            };
+                            let ctx =
+                                StreamCtx { stream_id: w.stream_id, dynamic_index: instr.dyn_idx };
                             let n = coalesce(pattern, ctx, *line_bytes, txn_scratch);
-                            if d.exec
-                                .pool_mut(Pipeline::Lsu)
-                                .try_dispatch(now, n as u64)
-                                .is_none()
+                            if d.exec.pool_mut(Pipeline::Lsu).try_dispatch(now, n as u64).is_none()
                             {
                                 continue;
                             }
@@ -444,9 +465,17 @@ impl SmCore {
         }
     }
 
-    fn issue_domain(&mut self, di: usize, now: u64, finalize: &mut Vec<usize>) {
-        let Self { domains, warps, blocks, issued_total, live_warps, warp_level_dealloc, .. } =
-            self;
+    fn issue_domain(
+        &mut self,
+        di: usize,
+        now: u64,
+        finalize: &mut Vec<usize>,
+        tracer: &mut Tracer<'_>,
+    ) {
+        let Self {
+            id, domains, warps, blocks, issued_total, live_warps, warp_level_dealloc, ..
+        } = self;
+        let sm = *id as u32;
         let d = &mut domains[di];
         let mut free_cus = d.cus.iter().filter(|c| !c.busy).count();
 
@@ -514,12 +543,12 @@ impl SmCore {
             let Some(ci) = d.selector.select(&view) else {
                 break;
             };
+            let rba_score = if tracer.enabled() { view.rba_score(ci) } else { 0 };
             let cand = candidates.swap_remove(ci);
             let slot = cand.warp_slot;
             let (decoded, block_slot) = {
                 let w = warps[slot as usize].as_mut().expect("candidate warp resident");
-                let decoded =
-                    w.ibuffer.pop_front().expect("candidate had an ibuffer head");
+                let decoded = w.ibuffer.pop_front().expect("candidate had an ibuffer head");
                 w.issued += 1;
                 (decoded, w.block_slot)
             };
@@ -527,36 +556,62 @@ impl SmCore {
             match i.op {
                 OpClass::Barrier => {
                     warps[slot as usize].as_mut().expect("resident").run = WarpRun::AtBarrier;
-                    let block =
-                        blocks[block_slot].as_mut().expect("warp's block resident");
+                    let block = blocks[block_slot].as_mut().expect("warp's block resident");
                     block.at_barrier += 1;
+                    tracer.emit(|| TraceEvent::BarrierWait {
+                        cycle: now,
+                        sm,
+                        domain: di as u32,
+                        warp_slot: slot,
+                        block_slot: block_slot as u32,
+                    });
                     if block.at_barrier == block.live_warps {
+                        let released = block.at_barrier;
                         release_barrier(block, block_slot, warps);
+                        tracer.emit(|| TraceEvent::BarrierRelease {
+                            cycle: now,
+                            sm,
+                            block_slot: block_slot as u32,
+                            released,
+                        });
                     }
                 }
                 OpClass::Exit => {
                     warps[slot as usize].as_mut().expect("resident").run = WarpRun::Exited;
                     *live_warps -= 1;
-                    let block =
-                        blocks[block_slot].as_mut().expect("warp's block resident");
+                    tracer.emit(|| TraceEvent::Occupancy {
+                        cycle: now,
+                        sm,
+                        live_warps: *live_warps,
+                    });
+                    let block = blocks[block_slot].as_mut().expect("warp's block resident");
                     block.live_warps -= 1;
                     if block.live_warps == 0 {
                         finalize.push(block_slot);
                     } else if block.at_barrier == block.live_warps && block.at_barrier > 0 {
                         release_barrier(block, block_slot, warps);
+                        tracer.emit(|| TraceEvent::BarrierRelease {
+                            cycle: now,
+                            sm,
+                            block_slot: block_slot as u32,
+                            released: block.live_warps,
+                        });
                     }
                     if *warp_level_dealloc {
                         // Xiang et al. [58]: the warp's slot and registers
                         // free immediately (shared memory and the block
                         // entry itself still wait for the whole block).
-                        let pos = d
-                            .warps
-                            .iter()
-                            .position(|&s| s == slot)
-                            .expect("warp in its domain");
+                        let pos =
+                            d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
                         d.warps.remove(pos);
                         d.regs_used -= block.regs_per_warp;
                         warps[slot as usize] = None;
+                        tracer.emit(|| TraceEvent::WarpDealloc {
+                            cycle: now,
+                            sm,
+                            domain: di as u32,
+                            warp_slot: slot,
+                        });
                     }
                 }
                 _ => {
@@ -582,32 +637,53 @@ impl SmCore {
             *issued_total += 1;
             d.last_issued = Some(slot);
             issued_any = true;
+            tracer.emit(|| TraceEvent::Issue {
+                cycle: now,
+                sm,
+                domain: di as u32,
+                warp_slot: slot,
+                rba_score,
+                bank_steal: false,
+            });
             if free_cus == 0 {
                 candidates.retain(|c| c.pipeline == Pipeline::Control);
             }
         }
         d.candidates = candidates;
 
-        if !issued_any {
-            if !saw_live && !saw_barrier {
-                d.stalls.idle += 1;
+        if issued_any {
+            d.issue_cycles += 1;
+        } else {
+            let kind = if !saw_live && !saw_barrier {
+                StallKind::Idle
             } else if blocked_scoreboard > 0 {
-                d.stalls.scoreboard += 1;
+                StallKind::Scoreboard
             } else if blocked_no_cu > 0 {
-                d.stalls.no_collector_unit += 1;
+                StallKind::NoCollectorUnit
             } else if saw_barrier && !saw_live {
-                d.stalls.barrier += 1;
+                StallKind::Barrier
             } else {
-                d.stalls.empty_ibuffer += 1;
-            }
+                StallKind::EmptyIbuffer
+            };
+            d.stalls.bump(kind);
+            tracer.emit(|| TraceEvent::Stall { cycle: now, sm, domain: di as u32, kind });
+        }
+        if blocked_no_cu > 0 {
+            tracer.emit(|| TraceEvent::CuAllocFail {
+                cycle: now,
+                sm,
+                domain: di as u32,
+                blocked_warps: blocked_no_cu,
+            });
         }
     }
 
     /// The register bank-stealing baseline \[36\]: when a bank's request queue
     /// is idle and a collector unit is free, pre-allocate the oldest ready
     /// warp whose operands touch that idle bank, ahead of normal issue.
-    fn steal_banks(&mut self, di: usize, now: u64) {
-        let Self { domains, warps, issued_total, .. } = self;
+    fn steal_banks(&mut self, di: usize, now: u64, tracer: &mut Tracer<'_>) {
+        let Self { id, domains, warps, issued_total, .. } = self;
+        let sm = *id as u32;
         let d = &mut domains[di];
         for bank in 0..d.num_banks as usize {
             if !d.arbiter.bank_idle(bank) {
@@ -663,6 +739,17 @@ impl SmCore {
             w.issued += 1;
             d.issued += 1;
             *issued_total += 1;
+            // Bank-steal issues bypass the warp scheduler (and its RBA
+            // score logic), so they carry no score and do not count as
+            // scheduler issue-cycles.
+            tracer.emit(|| TraceEvent::Issue {
+                cycle: now,
+                sm,
+                domain: di as u32,
+                warp_slot: slot,
+                rba_score: 0,
+                bank_steal: true,
+            });
         }
     }
 
@@ -672,10 +759,7 @@ impl SmCore {
             // Under warp-level deallocation the warp may already be gone —
             // and its slot may even host a *different* block's warp by now,
             // so only reclaim warps that still belong to this block.
-            if self.warps[slot as usize]
-                .as_ref()
-                .is_none_or(|w| w.block_slot != block_slot)
-            {
+            if self.warps[slot as usize].as_ref().is_none_or(|w| w.block_slot != block_slot) {
                 continue;
             }
             let w = self.warps[slot as usize].take().expect("checked above");
@@ -746,6 +830,28 @@ impl SmCore {
 
     pub(crate) fn warp_cycles(&self) -> u64 {
         self.warp_cycles
+    }
+
+    pub(crate) fn issue_cycles(&self) -> u64 {
+        self.domains.iter().map(|d| d.issue_cycles).sum()
+    }
+
+    pub(crate) fn active_cycles(&self) -> u64 {
+        self.active_cycles
+    }
+
+    /// Debug-only check of the per-scheduler accounting invariant: every
+    /// active cycle, each domain either issued or charged exactly one
+    /// stall bucket.
+    pub(crate) fn assert_scheduler_accounting(&self) {
+        for (di, d) in self.domains.iter().enumerate() {
+            debug_assert_eq!(
+                d.issue_cycles + d.stalls.total(),
+                self.active_cycles,
+                "SM {} domain {di}: issue cycles + stalls must cover every active cycle",
+                self.id
+            );
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use subcore_mem::MemStats;
 use subcore_persist::{Json, JsonCodec, JsonError};
+use subcore_trace::{StallKind, WindowedSeries};
 
 /// Version stamp written into every on-disk cache entry.
 ///
@@ -13,7 +14,10 @@ use subcore_persist::{Json, JsonCodec, JsonError};
 pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Schema version of the serialized [`RunStats`] layout.
-pub const STATS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added `issue_cycles`, `active_cycles`, and the optional `windowed`
+/// trace series.
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 /// Why a scheduler slot failed to issue in a given cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,6 +47,19 @@ impl StallBreakdown {
         self.no_collector_unit += other.no_collector_unit;
         self.scoreboard += other.scoreboard;
         self.empty_ibuffer += other.empty_ibuffer;
+    }
+
+    /// Charges one stalled scheduler-cycle to the bucket matching `kind`
+    /// (the engine classifies the cause once and uses it for both the
+    /// breakdown and the emitted [`StallKind`] probe event).
+    pub fn bump(&mut self, kind: StallKind) {
+        match kind {
+            StallKind::Idle => self.idle += 1,
+            StallKind::Barrier => self.barrier += 1,
+            StallKind::NoCollectorUnit => self.no_collector_unit += 1,
+            StallKind::Scoreboard => self.scoreboard += 1,
+            StallKind::EmptyIbuffer => self.empty_ibuffer += 1,
+        }
     }
 }
 
@@ -99,6 +116,16 @@ pub struct RunStats {
     /// Sum over cycles of live resident warps (all SMs) — divide by
     /// `cycles × SMs` for average occupancy.
     pub warp_cycles: u64,
+    /// Scheduler-cycles in which at least one instruction issued, summed
+    /// over every scheduler domain of every SM. Together with
+    /// [`RunStats::stalls`] this partitions the active scheduler-cycles
+    /// exactly: `issue_cycles + stalls.total() == active_cycles × domains`.
+    pub issue_cycles: u64,
+    /// Cycles each SM actually ticked (was non-idle), summed over SMs.
+    pub active_cycles: u64,
+    /// The windowed probe-event time-series of the traced SM; `None`
+    /// unless [`crate::StatsConfig::trace_window`] was nonzero.
+    pub windowed: Option<WindowedSeries>,
 }
 
 impl RunStats {
@@ -194,6 +221,9 @@ impl JsonCodec for RunStats {
             ("kernel_end_cycles", Json::from_u64_list(&self.kernel_end_cycles)),
             ("pipe_dispatched", Json::from_u64_list(&self.pipe_dispatched)),
             ("warp_cycles", Json::Uint(self.warp_cycles)),
+            ("issue_cycles", Json::Uint(self.issue_cycles)),
+            ("active_cycles", Json::Uint(self.active_cycles)),
+            ("windowed", self.windowed.as_ref().map_or(Json::Null, JsonCodec::to_json)),
         ])
     }
 
@@ -228,6 +258,12 @@ impl JsonCodec for RunStats {
             kernel_end_cycles: json.field("kernel_end_cycles")?.as_u64_list()?,
             pipe_dispatched,
             warp_cycles: json.field("warp_cycles")?.as_u64()?,
+            issue_cycles: json.field("issue_cycles")?.as_u64()?,
+            active_cycles: json.field("active_cycles")?.as_u64()?,
+            windowed: match json.field("windowed")? {
+                Json::Null => None,
+                other => Some(WindowedSeries::from_json(other)?),
+            },
         })
     }
 }
@@ -279,19 +315,14 @@ mod tests {
 
     #[test]
     fn cv_balanced_is_zero() {
-        let s = RunStats {
-            issued_per_scheduler: vec![vec![100, 100, 100, 100]],
-            ..Default::default()
-        };
+        let s =
+            RunStats { issued_per_scheduler: vec![vec![100, 100, 100, 100]], ..Default::default() };
         assert_eq!(s.issue_cv(), Some(0.0));
     }
 
     #[test]
     fn cv_pathological_imbalance() {
-        let s = RunStats {
-            issued_per_scheduler: vec![vec![400, 0, 0, 0]],
-            ..Default::default()
-        };
+        let s = RunStats { issued_per_scheduler: vec![vec![400, 0, 0, 0]], ..Default::default() };
         // σ of [400,0,0,0] is 173.2, μ = 100 → cv = √3 ≈ 1.732.
         let cv = s.issue_cv().unwrap();
         assert!((cv - 3f64.sqrt()).abs() < 1e-9);
@@ -320,17 +351,38 @@ mod tests {
             rf_reads: 999,
             rf_conflict_enqueues: 55,
             rf_read_trace: vec![0, 8, u16::MAX],
-            stalls: StallBreakdown { idle: 1, barrier: 2, no_collector_unit: 3, scoreboard: 4, empty_ibuffer: 5 },
+            stalls: StallBreakdown {
+                idle: 1,
+                barrier: 2,
+                no_collector_unit: 3,
+                scoreboard: 4,
+                empty_ibuffer: 5,
+            },
             mem: MemStats { l1_hits: 7, l2_misses: 9, ..Default::default() },
             kernel_end_cycles: vec![100, 200],
             pipe_dispatched: [1, 2, 3, 4, 5, 6],
             warp_cycles: 777,
+            issue_cycles: 888,
+            active_cycles: 1111,
+            windowed: Some(WindowedSeries {
+                sm: 0,
+                window: 64,
+                domains: 4,
+                banks: 2,
+                total_cycles: 128,
+                windows: Vec::new(),
+            }),
         };
         let text = stats.to_json().render();
         let back = RunStats::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, stats);
         // And the serialized form itself is deterministic.
         assert_eq!(back.to_json().render(), text);
+        // A stats block without a trace serializes the field as null.
+        let untraced = RunStats::default();
+        assert!(untraced.to_json().render().contains("\"windowed\":null"));
+        let back = RunStats::from_json(&Json::parse(&untraced.to_json().render()).unwrap());
+        assert_eq!(back.unwrap().windowed, None);
     }
 
     #[test]

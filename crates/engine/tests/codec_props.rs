@@ -1,0 +1,145 @@
+//! Property tests: every stats/trace JSON codec must round-trip exactly
+//! (`from_json(to_json(x)) == x`), including the windowed probe
+//! time-series the schema-v2 cache entries carry.
+
+use proptest::prelude::*;
+use subcore_engine::{RunStats, StallBreakdown, StallKind, WindowStats, WindowedSeries};
+use subcore_persist::JsonCodec;
+
+fn arb_stalls() -> impl Strategy<Value = StallBreakdown> {
+    (0..1u64 << 40, 0..1u64 << 40, 0..1u64 << 40, 0..1u64 << 40, 0..1u64 << 40).prop_map(
+        |(idle, barrier, no_collector_unit, scoreboard, empty_ibuffer)| StallBreakdown {
+            idle,
+            barrier,
+            no_collector_unit,
+            scoreboard,
+            empty_ibuffer,
+        },
+    )
+}
+
+/// Builds a shape-consistent series: every window's vectors sized by the
+/// series' `domains`/`banks`, with contents drawn from `pool`.
+fn series_from(
+    domains: u64,
+    banks: u64,
+    window: u64,
+    sm: u64,
+    total_cycles: u64,
+    num_windows: usize,
+    pool: Vec<u64>,
+) -> WindowedSeries {
+    let mut feed = pool.into_iter().cycle();
+    let mut take = |n: u64| -> Vec<u64> {
+        (0..n).map(|_| feed.next().expect("cycled pool is infinite")).collect()
+    };
+    let windows = (0..num_windows)
+        .map(|i| WindowStats {
+            start: i as u64 * window,
+            issued: take(domains),
+            steal_issued: take(domains),
+            rba_score_sum: take(1)[0],
+            depth_sum: take(domains * banks),
+            depth_max: take(domains * banks),
+            depth_samples: take(domains),
+            stalls: take(StallKind::COUNT as u64),
+            cu_alloc_fails: take(1)[0],
+        })
+        .collect();
+    WindowedSeries {
+        sm: sm as u32,
+        window,
+        domains: domains as u32,
+        banks: banks as u32,
+        total_cycles,
+        windows,
+    }
+}
+
+fn arb_series() -> impl Strategy<Value = WindowedSeries> {
+    (
+        1..5u64,
+        1..9u64,
+        1..1024u64,
+        0..100u64,
+        0..1u64 << 40,
+        0..6usize,
+        prop::collection::vec(0..1u64 << 30, 64..65),
+    )
+        .prop_map(|(domains, banks, window, sm, total_cycles, num_windows, pool)| {
+            series_from(domains, banks, window, sm, total_cycles, num_windows, pool)
+        })
+}
+
+fn arb_run_stats() -> impl Strategy<Value = RunStats> {
+    (
+        (
+            0..1u64 << 40,
+            0..1u64 << 40,
+            prop::collection::vec(prop::collection::vec(0..1u64 << 30, 0..5), 0..4),
+            0..1u64 << 40,
+            0..1u64 << 40,
+            prop::collection::vec(0..u16::MAX, 0..16),
+            arb_stalls(),
+            prop::collection::vec(0..1u64 << 40, 0..4),
+        ),
+        (
+            prop::collection::vec(0..1u64 << 40, 6..7),
+            0..1u64 << 40,
+            0..1u64 << 40,
+            0..1u64 << 40,
+            (0..2u64, arb_series()),
+        ),
+    )
+        .prop_map(
+            |(
+                (
+                    cycles,
+                    instructions,
+                    issued_per_scheduler,
+                    rf_reads,
+                    rf_conflict_enqueues,
+                    rf_read_trace,
+                    stalls,
+                    kernel_end_cycles,
+                ),
+                (pipes, warp_cycles, issue_cycles, active_cycles, (traced, series)),
+            )| {
+                let mut pipe_dispatched = [0u64; 6];
+                pipe_dispatched.copy_from_slice(&pipes);
+                RunStats {
+                    cycles,
+                    instructions,
+                    issued_per_scheduler,
+                    rf_reads,
+                    rf_conflict_enqueues,
+                    rf_read_trace,
+                    stalls,
+                    kernel_end_cycles,
+                    pipe_dispatched,
+                    warp_cycles,
+                    issue_cycles,
+                    active_cycles,
+                    windowed: (traced == 1).then_some(series),
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn stall_breakdown_round_trips(s in arb_stalls()) {
+        prop_assert_eq!(StallBreakdown::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn windowed_series_round_trips(s in arb_series()) {
+        prop_assert_eq!(WindowedSeries::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn run_stats_round_trip_including_windowed(s in arb_run_stats()) {
+        prop_assert_eq!(RunStats::from_json(&s.to_json()).unwrap(), s);
+    }
+}

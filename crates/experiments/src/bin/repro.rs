@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! repro <experiment>... | all [--out DIR]
+//! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
+//! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 fig18 latency banks hashtable contribution
@@ -13,6 +15,13 @@
 //! (default `results/`). Pass `--bars` to also render each table's first
 //! column as an ASCII bar chart.
 //!
+//! `trace` captures the windowed probe time-series of the target workload
+//! under each `--design` (default `baseline`) into
+//! `<out>/traces/<app>.<design>.w<N>.json`; `--events LIMIT` additionally
+//! streams up to LIMIT raw probe events to a JSONL file next to it.
+//! `trace-diff` captures two designs (default `baseline` vs `rba`) and
+//! prints where their bank-queue and issue-imbalance trajectories diverge.
+//!
 //! Simulations are memoized on disk under `<out>/.simcache/` (keyed by a
 //! content fingerprint and stamped with the engine version), so re-running
 //! an experiment replays cached results instead of simulating; pass
@@ -20,16 +29,36 @@
 //! printed on exit and the per-run breakdown written to
 //! `<out>/run_telemetry.csv`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
-use subcore_experiments::figs;
-use subcore_experiments::{init_global, SessionOptions, Table};
+use subcore_experiments::{figs, trace};
+use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
+use subcore_isa::Suite;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "latency", "banks", "hashtable", "contribution",
-    "ext-imbalance", "ext-dual-issue", "ext-memory", "ext-schedulers", "characterize",
+    "fig1",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "latency",
+    "banks",
+    "hashtable",
+    "contribution",
+    "ext-imbalance",
+    "ext-dual-issue",
+    "ext-memory",
+    "ext-schedulers",
+    "characterize",
     "topdown",
 ];
 
@@ -92,6 +121,8 @@ fn main() -> ExitCode {
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache]");
+        eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
+        eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
@@ -99,9 +130,17 @@ fn main() -> ExitCode {
         print!("{}", subcore_experiments::summary::render(&out_dir));
         return ExitCode::SUCCESS;
     }
-    let session = init_global(SessionOptions {
-        disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
-    });
+    if args[0] == "trace" || args[0] == "trace-diff" {
+        let cmd = args.remove(0);
+        let session = init_global(SessionOptions {
+            disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+        });
+        let code = run_trace_command(&cmd, args, &out_dir);
+        finish_telemetry(session, &out_dir);
+        return code;
+    }
+    let session =
+        init_global(SessionOptions { disk_cache: (!no_cache).then(|| out_dir.join(".simcache")) });
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.to_vec()
     } else {
@@ -125,12 +164,150 @@ fn main() -> ExitCode {
         }
         eprintln!("[{name}] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
     }
+    finish_telemetry(session, &out_dir);
+    ExitCode::SUCCESS
+}
+
+/// Prints the session telemetry summary and writes the per-run CSV.
+fn finish_telemetry(session: &SimSession, out_dir: &Path) {
     eprint!("{}", session.telemetry().snapshot().summary());
     let telemetry_csv = out_dir.join("run_telemetry.csv");
-    if let Err(e) = session.telemetry().write_csv(&telemetry_csv) {
-        eprintln!("failed to write {}: {e}", telemetry_csv.display());
+    match session.telemetry().write_csv(&telemetry_csv) {
+        Ok(()) => eprintln!("telemetry → {}", telemetry_csv.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", telemetry_csv.display()),
+    }
+}
+
+/// Implements `repro trace` and `repro trace-diff`.
+fn run_trace_command(cmd: &str, mut args: Vec<String>, out_dir: &Path) -> ExitCode {
+    let mut window: u32 = 1024;
+    let mut events: Option<u64> = None;
+    let mut designs: Vec<String> = Vec::new();
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs an argument"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    };
+    loop {
+        match take_value(&mut args, "--design") {
+            Ok(Some(d)) => designs.push(d),
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match take_value(&mut args, "--window") {
+        Ok(Some(w)) => match w.parse::<u32>() {
+            Ok(w) if w > 0 => window = w,
+            _ => {
+                eprintln!("--window needs a positive cycle count, got `{w}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match take_value(&mut args, "--events") {
+        Ok(Some(n)) => match n.parse::<u64>() {
+            Ok(n) => events = Some(n),
+            Err(_) => {
+                eprintln!("--events needs an event count, got `{n}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let [target] = args.as_slice() else {
+        eprintln!("usage: repro {cmd} <fig|app> [--design D]... [--window N] [--events LIMIT]");
+        return ExitCode::FAILURE;
+    };
+    let Some(app) = trace::resolve_target(target) else {
+        eprintln!(
+            "unknown trace target `{target}` (use a registry app name, `fma`, `fig3`, or `fig8`)"
+        );
+        return ExitCode::FAILURE;
+    };
+    if designs.is_empty() {
+        designs = match cmd {
+            "trace-diff" => vec!["baseline".into(), "rba".into()],
+            _ => vec!["baseline".into()],
+        };
+    }
+    if cmd == "trace-diff" && designs.len() != 2 {
+        eprintln!("trace-diff compares exactly two designs, got {}", designs.len());
         return ExitCode::FAILURE;
     }
-    eprintln!("telemetry → {}", telemetry_csv.display());
+    let mut parsed = Vec::new();
+    for label in &designs {
+        match trace::parse_design(label) {
+            Some(d) => parsed.push(d),
+            None => {
+                eprintln!("unknown design `{label}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let base = match app.suite() {
+        Suite::TpchUncompressed | Suite::TpchCompressed => tpch_base(),
+        _ => suite_base(),
+    };
+    let traces_dir = out_dir.join("traces");
+    let mut artifacts = Vec::new();
+    for &design in &parsed {
+        let art = trace::capture(&base, design, &app, window);
+        print!("{}", art.summary());
+        match art.save(&traces_dir) {
+            Ok(path) => eprintln!("trace → {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace artifact: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(limit) = events {
+            let out = traces_dir.join(format!(
+                "{}.{}.w{window}.events.jsonl",
+                app.name(),
+                design.label()
+            ));
+            match trace::capture_events(&base, design, &app, window, limit, &out) {
+                Ok(n) => eprintln!("{n} events → {}", out.display()),
+                Err(e) => {
+                    eprintln!("failed to write event trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        artifacts.push(art);
+    }
+    if cmd == "trace-diff" {
+        let report = trace::diff_report(&artifacts[0], &artifacts[1]);
+        print!("{report}");
+        let path = traces_dir.join(format!(
+            "{}.{}-vs-{}.w{window}.diff.txt",
+            app.name(),
+            artifacts[0].design,
+            artifacts[1].design
+        ));
+        match std::fs::write(&path, report) {
+            Ok(()) => eprintln!("diff → {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write diff report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -108,11 +108,25 @@ mod tests {
         let key = SimKey::from_raw(7);
         cache.store(key, &sample_stats());
         let path = cache.entry_path(key);
-        let stale = std::fs::read_to_string(&path)
-            .unwrap()
-            .replace(ENGINE_VERSION, "0.0.0-prehistoric");
+        let stale =
+            std::fs::read_to_string(&path).unwrap().replace(ENGINE_VERSION, "0.0.0-prehistoric");
         std::fs::write(&path, stale).unwrap();
         assert!(cache.load(key).is_none(), "version mismatch is a miss, not a hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_stale_schema_versions() {
+        let dir = scratch("schema");
+        let cache = DiskCache::new(&dir);
+        let key = SimKey::from_raw(11);
+        cache.store(key, &sample_stats());
+        let path = cache.entry_path(key);
+        let current = format!("\"schema_version\":{STATS_SCHEMA_VERSION}");
+        let entry = std::fs::read_to_string(&path).unwrap();
+        assert!(entry.contains(&current), "entry carries the current schema version");
+        std::fs::write(&path, entry.replace(&current, "\"schema_version\":0")).unwrap();
+        assert!(cache.load(key).is_none(), "stale schema version is a miss, not a hit");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,9 +4,9 @@
 use crate::report::Table;
 use crate::runner::{mean, parallel_map, run_design, speedup, suite_base};
 use crate::sweep::append_summaries;
+use subcore_isa::Suite;
 use subcore_sched::Design;
 use subcore_workloads::{apps_in_suite, rf_sensitive_apps, sensitive_apps};
-use subcore_isa::Suite;
 
 /// §VI-B4: RBA with score-update latencies 0–20 cycles on the RF-sensitive
 /// apps. Paper: < 0.1 % average degradation; worst case (ply-2Dcon) drops
@@ -102,8 +102,7 @@ pub fn hash_table_size() -> Table {
 /// Extra ablation (beyond the paper): how much each half of the combined
 /// design contributes, on the sensitive subset.
 pub fn contribution() -> Table {
-    let designs =
-        [Design::Rba, Design::Srr, Design::Shuffle, Design::SrrRba, Design::ShuffleRba];
+    let designs = [Design::Rba, Design::Srr, Design::Shuffle, Design::SrrRba, Design::ShuffleRba];
     crate::sweep::speedup_table(
         "abl_contribution",
         "Mechanism contribution on sensitive apps",

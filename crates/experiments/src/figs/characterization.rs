@@ -15,12 +15,7 @@ pub fn run() -> Table {
     let mut table = Table::new(
         "workload_characterization",
         "Static characterization of the 112-app registry",
-        vec![
-            "kinsts".into(),
-            "ops/inst".into(),
-            "mem-frac".into(),
-            "imbalance".into(),
-        ],
+        vec!["kinsts".into(), "ops/inst".into(), "mem-frac".into(), "imbalance".into()],
     );
     let rows = parallel_map(all_apps(), |app| {
         let profiles: Vec<KernelProfile> = app.kernels().iter().map(KernelProfile::of).collect();
@@ -28,8 +23,7 @@ pub fn run() -> Table {
         let total_block: u64 = profiles.iter().map(|p| p.block_profile.instructions).sum();
         let ops: u64 = profiles.iter().map(|p| p.block_profile.source_operands).sum();
         let mem: u64 = profiles.iter().map(|p| p.block_profile.memory_instructions).sum();
-        let imbalance =
-            profiles.iter().map(|p| p.imbalance_ratio()).fold(1.0f64, f64::max);
+        let imbalance = profiles.iter().map(|p| p.imbalance_ratio()).fold(1.0f64, f64::max);
         (
             app.name().to_owned(),
             vec![

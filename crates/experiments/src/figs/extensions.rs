@@ -70,8 +70,7 @@ pub fn imbalance_mechanisms() -> Table {
     apps.push(tpch_query(9, true));
     apps.push(barrier_free_imbalanced());
     let rows = parallel_map(apps, |app| {
-        let base_cfg =
-            if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+        let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
         let base = run_with(&base_cfg, Design::Baseline, app);
         let mut steal_cfg = base_cfg.clone();
         steal_cfg.work_stealing = true;
@@ -104,12 +103,10 @@ pub fn dual_issue() -> Table {
         "Dual-issue schedulers vs. hashed assignment on imbalanced apps",
         vec!["dual-issue".into(), "srr".into(), "srr+dual".into()],
     );
-    let mut apps: Vec<App> =
-        [4u32, 16].iter().map(|&s| fma_unbalanced_scaled(8, 96, s)).collect();
+    let mut apps: Vec<App> = [4u32, 16].iter().map(|&s| fma_unbalanced_scaled(8, 96, s)).collect();
     apps.push(tpch_query(8, false));
     let rows = parallel_map(apps, |app| {
-        let base_cfg =
-            if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+        let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
         let base = run_with(&base_cfg, Design::Baseline, app);
         let mut dual_cfg = base_cfg.clone();
         dual_cfg.issue_width = 2;
@@ -167,12 +164,7 @@ pub fn scheduler_comparison() -> Table {
     let mut table = Table::new(
         "ext_scheduler_comparison",
         "Warp-scheduler policies on RF-sensitive apps (speedup over GTO)",
-        vec![
-            "oldest-first".into(),
-            "two-level".into(),
-            "lagging-first".into(),
-            "rba".into(),
-        ],
+        vec!["oldest-first".into(), "two-level".into(), "lagging-first".into(), "rba".into()],
     );
     let apps: Vec<App> = ["pb-mriq", "rod-srad", "cg-pgrnk", "ply-3Dcon", "rod-bp"]
         .iter()

@@ -31,10 +31,8 @@ pub fn run() -> Table {
     let rows = parallel_map(SCALES.to_vec(), |&scale| {
         let app = fma_unbalanced_scaled(BLOCKS, BASE_FMAS, scale);
         let base = run_design(&suite_base(), Design::Baseline, &app);
-        let speedups = designs
-            .iter()
-            .map(|&d| speedup(&base, &run_design(&suite_base(), d, &app)))
-            .collect();
+        let speedups =
+            designs.iter().map(|&d| speedup(&base, &run_design(&suite_base(), d, &app))).collect();
         (format!("imbalance-x{scale}"), speedups)
     });
     for (label, values) in rows {

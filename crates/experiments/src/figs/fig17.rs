@@ -23,9 +23,7 @@ pub fn run() -> Table {
     let rows = parallel_map(tpch_suite(false), |app| {
         let cvs: Vec<f64> = DESIGNS
             .iter()
-            .map(|&d| {
-                run_design(&tpch_base(), d, app).issue_cv().expect("partitioned run has CV")
-            })
+            .map(|&d| run_design(&tpch_base(), d, app).issue_cv().expect("partitioned run has CV"))
             .collect();
         (app.name().to_owned(), cvs)
     });

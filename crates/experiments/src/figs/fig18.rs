@@ -12,9 +12,9 @@ use crate::report::Table;
 use crate::runner::{parallel_map, run_design, speedup};
 use subcore_engine::GpuConfig;
 use subcore_isa::App;
+use subcore_isa::Suite;
 use subcore_sched::Design;
 use subcore_workloads::{KernelParams, Mix};
-use subcore_isa::Suite;
 
 /// Reference GPU size (the paper's 80 SMs, scaled by 1/10).
 pub const REFERENCE_SMS: u32 = 8;

@@ -2,7 +2,6 @@
 
 pub mod ablations;
 pub mod characterization;
-pub mod topdown;
 pub mod extensions;
 pub mod fig01;
 pub mod fig03;
@@ -16,3 +15,4 @@ pub mod fig14;
 pub mod fig15_16;
 pub mod fig17;
 pub mod fig18;
+pub mod topdown;

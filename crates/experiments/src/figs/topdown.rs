@@ -35,12 +35,12 @@ fn breakdown(stats: &RunStats) -> Vec<f64> {
 /// Representative apps, one per behaviour class.
 fn representatives() -> Vec<App> {
     let mut apps: Vec<App> = [
-        "rod-srad",   // read-operand bound
-        "cg-pgrnk",   // register reuse + gathers
-        "pb-sad",     // streaming
-        "pb-spmv",    // irregular
+        "rod-srad",     // read-operand bound
+        "cg-pgrnk",     // register reuse + gathers
+        "pb-sad",       // streaming
+        "pb-spmv",      // irregular
         "cutlass-4096", // tensor tiled
-        "ply-gemm",   // dense compute
+        "ply-gemm",     // dense compute
     ]
     .iter()
     .map(|n| app_by_name(n).expect("registry app"))

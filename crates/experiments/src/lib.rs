@@ -37,11 +37,10 @@ pub mod session;
 pub mod summary;
 pub mod sweep;
 pub mod telemetry;
+pub mod trace;
 
-pub use report::Table;
-pub use runner::{
-    geomean, mean, parallel_map, run_design, speedup, suite_base, tpch_base,
-};
+pub use report::{csv_field, Table};
+pub use runner::{geomean, mean, parallel_map, run_design, speedup, suite_base, tpch_base};
 pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use sweep::speedup_table;
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};

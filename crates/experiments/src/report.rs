@@ -1,8 +1,22 @@
 //! Result tables: pretty printing and CSV export.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, quote, or
+/// line break are wrapped in double quotes with inner quotes doubled. Every
+/// free-form string written to a CSV (table row labels, app/design names,
+/// paths) must pass through here — a benchmark named `scan,filter` would
+/// otherwise corrupt its row.
+pub fn csv_field(s: &str) -> Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(s)
+    }
+}
 
 /// A labeled result table (one per figure/table of the paper).
 #[derive(Debug, Clone, PartialEq)]
@@ -19,11 +33,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
         Table { name: name.into(), title: title.into(), columns, rows: Vec::new() }
     }
 
@@ -39,14 +49,7 @@ impl Table {
 
     /// Renders the table as aligned text.
     pub fn render(&self) -> String {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([4])
-            .max()
-            .unwrap()
-            .max(4);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([4]).max().unwrap().max(4);
         let col_w = self.columns.iter().map(|c| c.len().max(9)).collect::<Vec<_>>();
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {}", self.name, self.title);
@@ -69,16 +72,16 @@ impl Table {
         out
     }
 
-    /// Renders the table as CSV.
+    /// Renders the table as CSV (fields escaped via [`csv_field`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "app");
         for c in &self.columns {
-            let _ = write!(out, ",{c}");
+            let _ = write!(out, ",{}", csv_field(c));
         }
         let _ = writeln!(out);
         for (label, values) in &self.rows {
-            let _ = write!(out, "{label}");
+            let _ = write!(out, "{}", csv_field(label));
             for v in values {
                 if v.is_nan() {
                     let _ = write!(out, ",");
@@ -166,6 +169,24 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_rejected() {
         sample().push_row("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn csv_field_escapes_delimiters_and_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("scan,filter"), "\"scan,filter\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn to_csv_escapes_labels_and_headers() {
+        let mut t = Table::new("f", "t", vec!["speedup, rba".into()]);
+        t.push_row("q1,lineitem", vec![1.5]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().map(str::trim_end).collect();
+        assert_eq!(lines[0], "app,\"speedup, rba\"");
+        assert_eq!(lines[1], "\"q1,lineitem\",1.500000");
     }
 
     #[test]

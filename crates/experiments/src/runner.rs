@@ -127,7 +127,10 @@ where
                         }
                         Err(payload) => {
                             my_busy += t0.elapsed();
-                            failures.lock().expect("failure list").push((i, panic_message(&*payload)));
+                            failures
+                                .lock()
+                                .expect("failure list")
+                                .push((i, panic_message(&*payload)));
                         }
                     }
                 }

@@ -178,6 +178,7 @@ impl SimSession {
                 app: app.name().to_owned(),
                 design: design.label(),
                 source: RunSource::Disk,
+                traced: base.stats.trace_window > 0,
                 wall: t0.elapsed(),
                 cycles: stats.cycles,
             });
@@ -192,6 +193,7 @@ impl SimSession {
                 app: app.name().to_owned(),
                 design: design.label(),
                 source: RunSource::Simulated,
+                traced: cfg.stats.trace_window > 0,
                 wall,
                 cycles: stats.cycles,
             });
@@ -365,8 +367,7 @@ mod tests {
 
     #[test]
     fn disk_cache_survives_session_restarts() {
-        let dir = std::env::temp_dir()
-            .join(format!("subcore-session-disk-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("subcore-session-disk-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let a = app("persisted", 8);
         let cold = SimSession::new(SessionOptions { disk_cache: Some(dir.clone()) });

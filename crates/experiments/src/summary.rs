@@ -41,10 +41,7 @@ fn lookup(dir: &Path, table: &str, row: &str, col: &str) -> f64 {
     for line in lines {
         let mut fields = line.split(',');
         if fields.next() == Some(row) {
-            return fields
-                .nth(ci - 1)
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(f64::NAN);
+            return fields.nth(ci - 1).and_then(|v| v.parse().ok()).unwrap_or(f64::NAN);
         }
     }
     f64::NAN

@@ -22,10 +22,8 @@ pub fn speedup_table(
     let jobs: Vec<App> = apps.to_vec();
     let rows = parallel_map(jobs, |app| {
         let baseline = run_design(base, Design::Baseline, app);
-        let speedups: Vec<f64> = designs
-            .iter()
-            .map(|&d| speedup(&baseline, &run_design(base, d, app)))
-            .collect();
+        let speedups: Vec<f64> =
+            designs.iter().map(|&d| speedup(&baseline, &run_design(base, d, app))).collect();
         (app.name().to_owned(), speedups)
     });
     for (label, values) in rows {
@@ -41,8 +39,7 @@ pub fn append_summaries(table: &mut Table) {
     let mut means = Vec::with_capacity(cols);
     let mut gmeans = Vec::with_capacity(cols);
     for c in 0..cols {
-        let vals: Vec<f64> =
-            table.rows.iter().map(|(_, v)| v[c]).filter(|v| !v.is_nan()).collect();
+        let vals: Vec<f64> = table.rows.iter().map(|(_, v)| v[c]).filter(|v| !v.is_nan()).collect();
         means.push(mean(&vals));
         gmeans.push(geomean(&vals));
     }

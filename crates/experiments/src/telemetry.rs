@@ -1,15 +1,19 @@
 //! Per-session run telemetry: where each result came from (fresh
 //! simulation, in-memory memo, or disk cache), how long the simulations
-//! took, and how well the worker pool was utilized.
+//! took (including probe-traced runs), and how well the worker pool was
+//! utilized.
 //!
 //! The counters live on the [`crate::session::SimSession`]; pool usage is
-//! reported by [`crate::runner::parallel_map`] through process-wide
-//! statics (the pool has no session handle, and utilization is a property
-//! of the process anyway).
+//! reported by [`crate::runner::parallel_map`] into a process-wide log
+//! (the pool has no session handle). Each [`Telemetry`] captures the log
+//! position at construction and its snapshots only cover usage reported
+//! *after* that point, so a second in-process session never inherits an
+//! earlier session's pool counters.
 
+use crate::report::csv_field;
 use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -46,6 +50,9 @@ pub struct RunRecord {
     pub design: String,
     /// Fresh simulation or disk-cache load.
     pub source: RunSource,
+    /// Whether the run had the engine's probe points enabled
+    /// (`trace_window > 0`), so its wall time includes tracing overhead.
+    pub traced: bool,
     /// Wall time spent materializing the result.
     pub wall: Duration,
     /// Simulated cycles of the result.
@@ -53,7 +60,7 @@ pub struct RunRecord {
 }
 
 /// Counter block owned by a [`crate::session::SimSession`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     runs: AtomicU64,
     memo_hits: AtomicU64,
@@ -61,7 +68,34 @@ pub struct Telemetry {
     sims: AtomicU64,
     sim_wall_nanos: AtomicU64,
     sim_cycles: AtomicU64,
+    traced_sims: AtomicU64,
+    traced_wall_nanos: AtomicU64,
     records: Mutex<Vec<RunRecord>>,
+    // Position of the process-wide pool log at construction; snapshots
+    // only report usage logged after this point.
+    pool_base_busy_nanos: u64,
+    pool_base_wall_nanos: u64,
+    pool_base_invocations: usize,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        let pool = POOL.lock().expect("pool log");
+        Telemetry {
+            runs: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            sims: AtomicU64::new(0),
+            sim_wall_nanos: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            traced_sims: AtomicU64::new(0),
+            traced_wall_nanos: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+            pool_base_busy_nanos: pool.busy_nanos,
+            pool_base_wall_nanos: pool.wall_nanos,
+            pool_base_invocations: pool.workers.len(),
+        }
+    }
 }
 
 impl Telemetry {
@@ -79,10 +113,14 @@ impl Telemetry {
     pub(crate) fn note_materialized(&self, record: RunRecord) {
         match record.source {
             RunSource::Simulated => {
+                let wall_nanos = u64::try_from(record.wall.as_nanos()).unwrap_or(u64::MAX);
                 self.sims.fetch_add(1, Ordering::Relaxed);
-                self.sim_wall_nanos
-                    .fetch_add(u64::try_from(record.wall.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+                self.sim_wall_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
                 self.sim_cycles.fetch_add(record.cycles, Ordering::Relaxed);
+                if record.traced {
+                    self.traced_sims.fetch_add(1, Ordering::Relaxed);
+                    self.traced_wall_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
+                }
             }
             RunSource::Disk => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -91,9 +129,18 @@ impl Telemetry {
         self.records.lock().expect("telemetry records").push(record);
     }
 
-    /// A point-in-time copy of the counters (plus the process-wide pool
-    /// usage statics).
+    /// A point-in-time copy of the counters, including the pool usage
+    /// reported since this `Telemetry` was created.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let (pool_busy, pool_wall, pool_max_workers) = {
+            let pool = POOL.lock().expect("pool log");
+            let since = self.pool_base_invocations.min(pool.workers.len());
+            (
+                Duration::from_nanos(pool.busy_nanos.saturating_sub(self.pool_base_busy_nanos)),
+                Duration::from_nanos(pool.wall_nanos.saturating_sub(self.pool_base_wall_nanos)),
+                pool.workers[since..].iter().copied().max().unwrap_or(0),
+            )
+        };
         TelemetrySnapshot {
             runs: self.runs.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
@@ -101,9 +148,11 @@ impl Telemetry {
             sims: self.sims.load(Ordering::Relaxed),
             sim_wall: Duration::from_nanos(self.sim_wall_nanos.load(Ordering::Relaxed)),
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
-            pool_busy: Duration::from_nanos(POOL_BUSY_NANOS.load(Ordering::Relaxed)),
-            pool_wall: Duration::from_nanos(POOL_WALL_NANOS.load(Ordering::Relaxed)),
-            pool_max_workers: POOL_MAX_WORKERS.load(Ordering::Relaxed),
+            traced_sims: self.traced_sims.load(Ordering::Relaxed),
+            traced_wall: Duration::from_nanos(self.traced_wall_nanos.load(Ordering::Relaxed)),
+            pool_busy,
+            pool_wall,
+            pool_max_workers,
         }
     }
 
@@ -112,24 +161,26 @@ impl Telemetry {
         self.records.lock().expect("telemetry records").clone()
     }
 
-    /// Writes the per-run records as CSV (`key,app,design,source,wall_ms,
-    /// cycles,cycles_per_sec`), creating parent directories as needed.
+    /// Writes the per-run records as CSV (`key,app,design,source,traced,
+    /// wall_ms,cycles,cycles_per_sec`), creating parent directories as
+    /// needed. Free-form fields are escaped via [`csv_field`].
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(out, "key,app,design,source,wall_ms,cycles,cycles_per_sec")?;
+        writeln!(out, "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec")?;
         for r in self.records() {
             let secs = r.wall.as_secs_f64();
             let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
             writeln!(
                 out,
-                "{:016x},{},{},{},{:.3},{},{:.0}",
+                "{:016x},{},{},{},{},{:.3},{},{:.0}",
                 r.key,
-                r.app,
-                r.design,
+                csv_field(&r.app),
+                csv_field(&r.design),
                 r.source.tag(),
+                r.traced,
                 secs * 1e3,
                 r.cycles,
                 rate
@@ -155,11 +206,19 @@ pub struct TelemetrySnapshot {
     pub sim_wall: Duration,
     /// Cumulative cycles simulated by fresh simulations.
     pub sim_cycles: u64,
-    /// Cumulative busy time across all pool workers.
+    /// Fresh simulations that ran with probe tracing enabled.
+    pub traced_sims: u64,
+    /// Cumulative wall time of traced fresh simulations (a subset of
+    /// `sim_wall`; the observable cost of the tracing subsystem).
+    pub traced_wall: Duration,
+    /// Cumulative busy time across all pool workers (since this session's
+    /// telemetry was created).
     pub pool_busy: Duration,
-    /// Cumulative wall time of all `parallel_map` invocations.
+    /// Cumulative wall time of `parallel_map` invocations (since this
+    /// session's telemetry was created).
     pub pool_wall: Duration,
-    /// Largest worker count any `parallel_map` invocation used.
+    /// Largest worker count any `parallel_map` invocation used (since this
+    /// session's telemetry was created).
     pub pool_max_workers: usize,
 }
 
@@ -197,6 +256,12 @@ impl TelemetrySnapshot {
         line("  memo hits", self.memo_hits.to_string());
         line("  disk-cache hits", self.disk_hits.to_string());
         line("sim wall time", format!("{:.2}s", self.sim_wall.as_secs_f64()));
+        if self.traced_sims > 0 {
+            line(
+                "  traced (probes on)",
+                format!("{} runs, {:.2}s", self.traced_sims, self.traced_wall.as_secs_f64()),
+            );
+        }
         line("sim cycles", self.sim_cycles.to_string());
         let rate = self.cycles_per_sec();
         line(
@@ -217,17 +282,27 @@ impl TelemetrySnapshot {
 }
 
 // `parallel_map` has no handle on a session, so pool usage accumulates in
-// process-wide statics and is folded into every snapshot.
-static POOL_BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
-static POOL_WALL_NANOS: AtomicU64 = AtomicU64::new(0);
-static POOL_MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+// a process-wide log. Each `Telemetry` remembers the log position at its
+// own construction and reports only what came after (see
+// `Telemetry::default`), keeping sessions in the same process independent.
+#[derive(Debug)]
+struct PoolLog {
+    busy_nanos: u64,
+    wall_nanos: u64,
+    /// Worker count of each `parallel_map` invocation, in order.
+    workers: Vec<usize>,
+}
+
+static POOL: Mutex<PoolLog> =
+    Mutex::new(PoolLog { busy_nanos: 0, wall_nanos: 0, workers: Vec::new() });
 
 /// Reports one `parallel_map` invocation's worker-pool usage.
 pub fn note_pool_usage(busy: Duration, wall: Duration, workers: usize) {
     let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-    POOL_BUSY_NANOS.fetch_add(nanos(busy), Ordering::Relaxed);
-    POOL_WALL_NANOS.fetch_add(nanos(wall), Ordering::Relaxed);
-    POOL_MAX_WORKERS.fetch_max(workers, Ordering::Relaxed);
+    let mut pool = POOL.lock().expect("pool log");
+    pool.busy_nanos = pool.busy_nanos.saturating_add(nanos(busy));
+    pool.wall_nanos = pool.wall_nanos.saturating_add(nanos(wall));
+    pool.workers.push(workers);
 }
 
 #[cfg(test)]
@@ -240,6 +315,7 @@ mod tests {
             app: "app".into(),
             design: "baseline".into(),
             source,
+            traced: false,
             wall: Duration::from_millis(wall_ms),
             cycles,
         }
@@ -293,9 +369,88 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "key,app,design,source,wall_ms,cycles,cycles_per_sec");
-        assert!(lines[1].contains(",sim,"), "got {}", lines[1]);
-        assert!(lines[2].contains(",disk,"), "got {}", lines[2]);
+        assert_eq!(lines[0], "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec");
+        assert!(lines[1].contains(",sim,false,"), "got {}", lines[1]);
+        assert!(lines[2].contains(",disk,false,"), "got {}", lines[2]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_escapes_app_and_design_names() {
+        let t = Telemetry::default();
+        t.note_materialized(RunRecord {
+            key: 1,
+            app: "scan,filter".into(),
+            design: "rba \"tuned\"".into(),
+            source: RunSource::Simulated,
+            traced: true,
+            wall: Duration::from_millis(1),
+            cycles: 10,
+        });
+        let dir =
+            std::env::temp_dir().join(format!("subcore-telemetry-esc-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let row = text.lines().nth(1).expect("one data row");
+        assert!(row.contains("\"scan,filter\""), "app not quoted: {row}");
+        assert!(row.contains("\"rba \"\"tuned\"\"\""), "design not quoted: {row}");
+        // Escaped, the row has exactly the 8 header fields: the embedded
+        // comma and quotes no longer split it.
+        let header_fields = text.lines().next().unwrap().split(',').count();
+        let mut fields = 0;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(fields + 1, header_fields, "row field count: {row}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traced_runs_counted_separately() {
+        let t = Telemetry::default();
+        let mut traced = record(RunSource::Simulated, 1_000, 30);
+        traced.traced = true;
+        t.note_materialized(traced);
+        t.note_materialized(record(RunSource::Simulated, 2_000, 50));
+        let s = t.snapshot();
+        assert_eq!(s.sims, 2);
+        assert_eq!(s.traced_sims, 1);
+        assert_eq!(s.traced_wall, Duration::from_millis(30));
+        assert_eq!(s.sim_wall, Duration::from_millis(80));
+        assert!(s.summary().contains("traced (probes on)"));
+    }
+
+    #[test]
+    fn fresh_telemetry_does_not_inherit_pool_usage() {
+        // First "session" reports distinctive pool usage…
+        note_pool_usage(Duration::from_secs(40_000), Duration::from_secs(50_000), 4096);
+        // …which a telemetry block created afterwards must not see. (Other
+        // tests may report small real pool usage concurrently, so compare
+        // against the distinctive magnitudes rather than zero.)
+        let t = Telemetry::default();
+        let s = t.snapshot();
+        assert!(
+            s.pool_busy < Duration::from_secs(40_000),
+            "inherited prior busy time: {:?}",
+            s.pool_busy
+        );
+        assert!(
+            s.pool_wall < Duration::from_secs(50_000),
+            "inherited prior wall time: {:?}",
+            s.pool_wall
+        );
+        assert!(s.pool_max_workers < 4096, "inherited prior max workers: {}", s.pool_max_workers);
+        // Usage reported after construction is visible.
+        note_pool_usage(Duration::from_secs(20_000), Duration::from_secs(30_000), 2048);
+        let s = t.snapshot();
+        assert!(s.pool_busy >= Duration::from_secs(20_000));
+        assert!(s.pool_wall >= Duration::from_secs(30_000));
+        assert!(s.pool_max_workers >= 2048, "missed post-construction usage");
     }
 }

@@ -175,10 +175,7 @@ impl KernelBuilder {
     pub fn build(self) -> Kernel {
         let programs = self.programs.expect("kernel needs a program");
         assert!(self.blocks > 0, "kernel needs at least one block");
-        assert!(
-            (1..=64).contains(&self.warps_per_block),
-            "warps per block must be in 1..=64"
-        );
+        assert!((1..=64).contains(&self.warps_per_block), "warps per block must be in 1..=64");
         assert_eq!(programs.len() as u32, self.warps_per_block);
         assert!(
             (self.regs_per_thread as usize) <= Reg::MAX_REGS,
@@ -242,7 +239,8 @@ mod tests {
             })
             .barrier()
             .build();
-        let k = KernelBuilder::new("spec").per_warp_programs(vec![b, a.clone(), a.clone(), a]).build();
+        let k =
+            KernelBuilder::new("spec").per_warp_programs(vec![b, a.clone(), a.clone(), a]).build();
         assert_eq!(k.warps_per_block(), 4);
         assert!(k.program(0).dynamic_len() > k.program(1).dynamic_len());
     }

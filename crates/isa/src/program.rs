@@ -316,10 +316,7 @@ mod tests {
 
     #[test]
     fn cursor_peek_matches_next() {
-        let p = ProgramBuilder::new()
-            .fadd(Reg(1), Reg(2), Reg(3))
-            .barrier()
-            .build();
+        let p = ProgramBuilder::new().fadd(Reg(1), Reg(2), Reg(3)).barrier().build();
         let mut c = p.cursor();
         while let Some(peeked) = c.peek() {
             let (taken, _) = c.next_instruction().unwrap();

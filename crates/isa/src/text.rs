@@ -199,15 +199,13 @@ fn parse_instr(line: &str) -> Result<Instruction, String> {
         for part in rest.split(',') {
             let part = part.trim().trim_start_matches('[').trim_end_matches(']');
             if let Some((k, v)) = part.split_once('=') {
-                let value: u64 =
-                    v.trim().parse().map_err(|_| format!("bad value in `{part}`"))?;
+                let value: u64 = v.trim().parse().map_err(|_| format!("bad value in `{part}`"))?;
                 keys.push((k.trim().to_owned(), value));
             } else {
                 let digits = part
                     .strip_prefix('r')
                     .ok_or_else(|| format!("expected register, got `{part}`"))?;
-                let n: u16 =
-                    digits.parse().map_err(|_| format!("bad register `{part}`"))?;
+                let n: u16 = digits.parse().map_err(|_| format!("bad register `{part}`"))?;
                 if n as usize >= Reg::MAX_REGS {
                     return Err(format!("register `{part}` out of range"));
                 }

@@ -123,21 +123,19 @@ mod text_roundtrip {
     }
 
     fn arb_text_program() -> impl Strategy<Value = Arc<WarpProgram>> {
-        prop::collection::vec(
-            (prop::collection::vec(arb_instr(), 1..5), 1u32..20),
-            1..4,
+        prop::collection::vec((prop::collection::vec(arb_instr(), 1..5), 1u32..20), 1..4).prop_map(
+            |segs| {
+                let mut segments: Vec<Segment> = segs
+                    .into_iter()
+                    .map(|(body, repeat)| Segment { body: body.into(), repeat })
+                    .collect();
+                segments.push(Segment {
+                    body: vec![Instruction::new(OpClass::Exit, None, &[])].into(),
+                    repeat: 1,
+                });
+                Arc::new(WarpProgram::from_segments(segments))
+            },
         )
-        .prop_map(|segs| {
-            let mut segments: Vec<Segment> = segs
-                .into_iter()
-                .map(|(body, repeat)| Segment { body: body.into(), repeat })
-                .collect();
-            segments.push(Segment {
-                body: vec![Instruction::new(OpClass::Exit, None, &[])].into(),
-                repeat: 1,
-            });
-            Arc::new(WarpProgram::from_segments(segments))
-        })
     }
 
     proptest! {

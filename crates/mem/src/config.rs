@@ -1,6 +1,5 @@
 //! Memory system configuration.
 
-
 /// Configuration of the shared memory system, defaulting to the V100-like
 /// parameters of Table II in the paper.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -82,7 +81,10 @@ impl MemConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.l1_kb > 0 && self.l2_kb > 0, "cache capacities must be nonzero");
         assert!(self.l1_assoc > 0 && self.l2_assoc > 0, "associativity must be nonzero");
-        assert!(self.l2_slices > 0 && self.dram_channels > 0, "parallel unit counts must be nonzero");
+        assert!(
+            self.l2_slices > 0 && self.dram_channels > 0,
+            "parallel unit counts must be nonzero"
+        );
         assert!(self.shared_banks > 0, "shared memory needs banks");
         assert!(self.dram_service_interval > 0, "dram service interval must be nonzero");
     }

@@ -85,9 +85,8 @@ impl MemSystem {
         let shared = (0..num_sms)
             .map(|_| SharedMemModel::new(cfg.shared_latency, cfg.shared_banks))
             .collect();
-        let l2 = (0..cfg.l2_slices)
-            .map(|_| Cache::new(cfg.l2_sets_per_slice(), cfg.l2_assoc))
-            .collect();
+        let l2 =
+            (0..cfg.l2_slices).map(|_| Cache::new(cfg.l2_sets_per_slice(), cfg.l2_assoc)).collect();
         let dram = (0..cfg.dram_channels)
             .map(|_| DramChannel::new(cfg.dram_service_interval, cfg.dram_latency))
             .collect();
@@ -195,7 +194,7 @@ mod tests {
     fn latency_spread_is_ordered() {
         let mut m = system(1);
         let cold = m.access_global(0, 0, &[42], false); // DRAM
-        let l1_hit = m.access_global(0, 0, &[42], false) ; // now in L1
+        let l1_hit = m.access_global(0, 0, &[42], false); // now in L1
         assert!(cold > l1_hit, "cold miss ({cold}) slower than L1 hit ({l1_hit})");
         let cfg = m.config().clone();
         assert_eq!(l1_hit, u64::from(cfg.l1_latency));

@@ -1,8 +1,8 @@
 //! Property-based tests of memory-model invariants.
 
 use proptest::prelude::*;
-use subcore_mem::{coalesce, Cache, DramChannel, MemConfig, MemSystem, StreamCtx};
 use subcore_isa::MemPattern;
+use subcore_mem::{coalesce, Cache, DramChannel, MemConfig, MemSystem, StreamCtx};
 
 proptest! {
     /// Any contiguous working set that fits in the cache (≤ ways per set)

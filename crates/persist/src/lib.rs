@@ -158,9 +158,7 @@ impl Json {
     pub fn as_u64(&self) -> Result<u64, JsonError> {
         match self {
             Json::Uint(u) => Ok(*u),
-            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
-                Ok(*n as u64)
-            }
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
             other => err(format!("expected unsigned integer, found {other:?}")),
         }
     }

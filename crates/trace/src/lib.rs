@@ -1,0 +1,921 @@
+//! Runtime-gated tracing for the subcore simulator.
+//!
+//! The engine's hot loops are instrumented with *probe points* that emit
+//! [`TraceEvent`]s into a [`Tracer`]. A tracer with no sinks attached is
+//! the common case and costs exactly one branch per probe: [`Tracer::emit`]
+//! takes the event as a closure, so with tracing disabled the event is
+//! never even constructed — no allocation, no formatting, no copies.
+//!
+//! Two production sinks ship with the crate:
+//!
+//! - [`WindowAggregator`] folds the event stream into a
+//!   [`WindowedSeries`] of fixed-width cycle windows (per-sub-core issue
+//!   rate, per-bank mean/max queue depth, stall mix) — the compact
+//!   time-series attached to `RunStats` when tracing is enabled via
+//!   `StatsConfig::trace_window`.
+//! - [`JsonlSink`] writes every event as one JSON object per line, for
+//!   bounded deep dives into a few thousand cycles of a run.
+//!
+//! Both the events and the windowed series round-trip through the
+//! `subcore-persist` JSON codecs, so traces are plain artifacts that
+//! external tooling can parse.
+
+use std::io::Write;
+use subcore_persist::{Json, JsonCodec, JsonError};
+
+/// Upper bound on register banks per scheduler domain the fixed-size
+/// [`TraceEvent::BankDepths`] payload can carry. The engine's writeback
+/// bank masks are `u32` bitfields, so ≤ 32 banks per domain is already an
+/// engine-wide invariant; the fully-connected V100 model uses 8.
+pub const MAX_TRACED_BANKS: usize = 32;
+
+/// Why a scheduler failed to issue in a cycle (mirrors the engine's
+/// `StallBreakdown` buckets, in the same priority order the engine
+/// classifies them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// No resident live warps at all.
+    Idle,
+    /// All live warps waiting at a block barrier.
+    Barrier,
+    /// Ready instructions existed but every collector unit was busy.
+    NoCollectorUnit,
+    /// Warps had instructions but all were scoreboard-blocked.
+    Scoreboard,
+    /// Warps were runnable but instruction buffers were empty.
+    EmptyIbuffer,
+}
+
+impl StallKind {
+    /// Number of stall kinds (the width of a stall-mix histogram).
+    pub const COUNT: usize = 5;
+
+    /// All kinds, in dense-index order.
+    pub const ALL: [StallKind; StallKind::COUNT] = [
+        StallKind::Idle,
+        StallKind::Barrier,
+        StallKind::NoCollectorUnit,
+        StallKind::Scoreboard,
+        StallKind::EmptyIbuffer,
+    ];
+
+    /// Dense index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            StallKind::Idle => 0,
+            StallKind::Barrier => 1,
+            StallKind::NoCollectorUnit => 2,
+            StallKind::Scoreboard => 3,
+            StallKind::EmptyIbuffer => 4,
+        }
+    }
+
+    /// Stable lowercase tag used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::Idle => "idle",
+            StallKind::Barrier => "barrier",
+            StallKind::NoCollectorUnit => "no_collector_unit",
+            StallKind::Scoreboard => "scoreboard",
+            StallKind::EmptyIbuffer => "empty_ibuffer",
+        }
+    }
+
+    /// Inverse of [`StallKind::label`].
+    pub fn from_label(s: &str) -> Option<StallKind> {
+        StallKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+}
+
+/// One probe event emitted by the engine.
+///
+/// Every variant carries the simulated `cycle` and the emitting `sm`;
+/// sub-core-level events also carry the scheduler `domain` (always 0 on a
+/// fully-connected SM, which has a single domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A warp instruction issued. `rba_score` is the chosen candidate's
+    /// register-bank-aware score (sum of its source operands' bank queue
+    /// lengths, as the scheduler saw them); `bank_steal` marks issues made
+    /// by the bank-stealing pre-allocation path rather than the scheduler,
+    /// whose score logic it bypasses (their `rba_score` is reported as 0).
+    Issue { cycle: u64, sm: u32, domain: u32, warp_slot: u32, rba_score: u32, bank_steal: bool },
+    /// Per-bank register-read queue depths of one domain, sampled at the
+    /// start of the cycle (before this cycle's grants drain them). Only the
+    /// first `num_banks` entries of `depths` are meaningful.
+    BankDepths { cycle: u64, sm: u32, domain: u32, num_banks: u8, depths: [u16; MAX_TRACED_BANKS] },
+    /// A scheduler cycle in which nothing issued, with the stall cause the
+    /// engine charged (exactly one per domain per non-issuing active cycle).
+    Stall { cycle: u64, sm: u32, domain: u32, kind: StallKind },
+    /// Ready instructions were blocked because every collector unit was
+    /// busy (`blocked_warps` of them), whether or not something else issued.
+    CuAllocFail { cycle: u64, sm: u32, domain: u32, blocked_warps: u32 },
+    /// The SM's live-warp count changed (block accepted or a warp exited).
+    Occupancy { cycle: u64, sm: u32, live_warps: u32 },
+    /// A warp arrived at its block barrier.
+    BarrierWait { cycle: u64, sm: u32, domain: u32, warp_slot: u32, block_slot: u32 },
+    /// The last warp arrived; `released` warps woke up.
+    BarrierRelease { cycle: u64, sm: u32, block_slot: u32, released: u32 },
+    /// A warp's slot and registers freed early (warp-level deallocation).
+    WarpDealloc { cycle: u64, sm: u32, domain: u32, warp_slot: u32 },
+    /// A whole block's resources (shared memory, remaining slots) freed.
+    BlockDealloc { cycle: u64, sm: u32, block_slot: u32 },
+}
+
+impl TraceEvent {
+    /// The simulated cycle the event occurred in.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Issue { cycle, .. }
+            | TraceEvent::BankDepths { cycle, .. }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::CuAllocFail { cycle, .. }
+            | TraceEvent::Occupancy { cycle, .. }
+            | TraceEvent::BarrierWait { cycle, .. }
+            | TraceEvent::BarrierRelease { cycle, .. }
+            | TraceEvent::WarpDealloc { cycle, .. }
+            | TraceEvent::BlockDealloc { cycle, .. } => cycle,
+        }
+    }
+
+    /// The emitting SM.
+    pub fn sm(&self) -> u32 {
+        match *self {
+            TraceEvent::Issue { sm, .. }
+            | TraceEvent::BankDepths { sm, .. }
+            | TraceEvent::Stall { sm, .. }
+            | TraceEvent::CuAllocFail { sm, .. }
+            | TraceEvent::Occupancy { sm, .. }
+            | TraceEvent::BarrierWait { sm, .. }
+            | TraceEvent::BarrierRelease { sm, .. }
+            | TraceEvent::WarpDealloc { sm, .. }
+            | TraceEvent::BlockDealloc { sm, .. } => sm,
+        }
+    }
+
+    /// Stable event-type tag (the `"ev"` field of the JSON form).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Issue { .. } => "issue",
+            TraceEvent::BankDepths { .. } => "bank_depths",
+            TraceEvent::Stall { .. } => "stall",
+            TraceEvent::CuAllocFail { .. } => "cu_alloc_fail",
+            TraceEvent::Occupancy { .. } => "occupancy",
+            TraceEvent::BarrierWait { .. } => "barrier_wait",
+            TraceEvent::BarrierRelease { .. } => "barrier_release",
+            TraceEvent::WarpDealloc { .. } => "warp_dealloc",
+            TraceEvent::BlockDealloc { .. } => "block_dealloc",
+        }
+    }
+}
+
+impl JsonCodec for TraceEvent {
+    fn to_json(&self) -> Json {
+        let base = |cycle: u64, sm: u32| {
+            vec![
+                ("ev".to_owned(), Json::Str(self.tag().to_owned())),
+                ("cycle".to_owned(), Json::Uint(cycle)),
+                ("sm".to_owned(), Json::Uint(u64::from(sm))),
+            ]
+        };
+        let mut fields = base(self.cycle(), self.sm());
+        let mut push = |k: &str, v: Json| fields.push((k.to_owned(), v));
+        match *self {
+            TraceEvent::Issue { domain, warp_slot, rba_score, bank_steal, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                push("warp_slot", Json::Uint(u64::from(warp_slot)));
+                push("rba_score", Json::Uint(u64::from(rba_score)));
+                push("bank_steal", Json::Bool(bank_steal));
+            }
+            TraceEvent::BankDepths { domain, num_banks, ref depths, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                let live = &depths[..usize::from(num_banks).min(MAX_TRACED_BANKS)];
+                push("depths", Json::Arr(live.iter().map(|&d| Json::Uint(u64::from(d))).collect()));
+            }
+            TraceEvent::Stall { domain, kind, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                push("kind", Json::Str(kind.label().to_owned()));
+            }
+            TraceEvent::CuAllocFail { domain, blocked_warps, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                push("blocked_warps", Json::Uint(u64::from(blocked_warps)));
+            }
+            TraceEvent::Occupancy { live_warps, .. } => {
+                push("live_warps", Json::Uint(u64::from(live_warps)));
+            }
+            TraceEvent::BarrierWait { domain, warp_slot, block_slot, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                push("warp_slot", Json::Uint(u64::from(warp_slot)));
+                push("block_slot", Json::Uint(u64::from(block_slot)));
+            }
+            TraceEvent::BarrierRelease { block_slot, released, .. } => {
+                push("block_slot", Json::Uint(u64::from(block_slot)));
+                push("released", Json::Uint(u64::from(released)));
+            }
+            TraceEvent::WarpDealloc { domain, warp_slot, .. } => {
+                push("domain", Json::Uint(u64::from(domain)));
+                push("warp_slot", Json::Uint(u64::from(warp_slot)));
+            }
+            TraceEvent::BlockDealloc { block_slot, .. } => {
+                push("block_slot", Json::Uint(u64::from(block_slot)));
+            }
+        }
+        Json::Obj(fields.into_iter().collect())
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let u32_of = |name: &str| -> Result<u32, JsonError> {
+            let v = json.field(name)?.as_u64()?;
+            u32::try_from(v).map_err(|_| JsonError { msg: format!("{name} {v} exceeds u32") })
+        };
+        let cycle = json.field("cycle")?.as_u64()?;
+        let sm = u32_of("sm")?;
+        let tag = json.field("ev")?.as_str()?.to_owned();
+        Ok(match tag.as_str() {
+            "issue" => TraceEvent::Issue {
+                cycle,
+                sm,
+                domain: u32_of("domain")?,
+                warp_slot: u32_of("warp_slot")?,
+                rba_score: u32_of("rba_score")?,
+                bank_steal: json.field("bank_steal")?.as_bool()?,
+            },
+            "bank_depths" => {
+                let list = json.field("depths")?.as_u64_list()?;
+                if list.len() > MAX_TRACED_BANKS {
+                    return Err(JsonError {
+                        msg: format!("{} banks exceeds the {MAX_TRACED_BANKS} cap", list.len()),
+                    });
+                }
+                let mut depths = [0u16; MAX_TRACED_BANKS];
+                for (slot, &v) in depths.iter_mut().zip(&list) {
+                    *slot = u16::try_from(v)
+                        .map_err(|_| JsonError { msg: format!("depth {v} exceeds u16") })?;
+                }
+                TraceEvent::BankDepths {
+                    cycle,
+                    sm,
+                    domain: u32_of("domain")?,
+                    num_banks: list.len() as u8,
+                    depths,
+                }
+            }
+            "stall" => TraceEvent::Stall {
+                cycle,
+                sm,
+                domain: u32_of("domain")?,
+                kind: {
+                    let label = json.field("kind")?.as_str()?;
+                    StallKind::from_label(label)
+                        .ok_or_else(|| JsonError { msg: format!("unknown stall kind `{label}`") })?
+                },
+            },
+            "cu_alloc_fail" => TraceEvent::CuAllocFail {
+                cycle,
+                sm,
+                domain: u32_of("domain")?,
+                blocked_warps: u32_of("blocked_warps")?,
+            },
+            "occupancy" => TraceEvent::Occupancy { cycle, sm, live_warps: u32_of("live_warps")? },
+            "barrier_wait" => TraceEvent::BarrierWait {
+                cycle,
+                sm,
+                domain: u32_of("domain")?,
+                warp_slot: u32_of("warp_slot")?,
+                block_slot: u32_of("block_slot")?,
+            },
+            "barrier_release" => TraceEvent::BarrierRelease {
+                cycle,
+                sm,
+                block_slot: u32_of("block_slot")?,
+                released: u32_of("released")?,
+            },
+            "warp_dealloc" => TraceEvent::WarpDealloc {
+                cycle,
+                sm,
+                domain: u32_of("domain")?,
+                warp_slot: u32_of("warp_slot")?,
+            },
+            "block_dealloc" => {
+                TraceEvent::BlockDealloc { cycle, sm, block_slot: u32_of("block_slot")? }
+            }
+            other => return Err(JsonError { msg: format!("unknown trace event `{other}`") }),
+        })
+    }
+}
+
+/// A consumer of [`TraceEvent`]s.
+pub trait TraceSink {
+    /// Receives one event. Probe order within a cycle follows the engine's
+    /// pipeline order (writeback → collect → issue → finalize).
+    fn event(&mut self, ev: &TraceEvent);
+}
+
+/// A sink that drops every event — useful as an explicit placeholder where
+/// a `&mut dyn TraceSink` is required but tracing is off. (The zero-cost
+/// disabled path is a [`Tracer`] with *no* sinks, which skips event
+/// construction entirely.)
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&mut self, _ev: &TraceEvent) {}
+}
+
+/// The engine's handle to zero or more [`TraceSink`]s.
+///
+/// `emit` takes a closure so the disabled path — an empty sink list — is a
+/// single predictable branch and the event value is never built. Probe
+/// sites that need preparatory work beyond building the event (e.g.
+/// gathering bank depths into an array) should guard it with
+/// [`Tracer::enabled`].
+#[derive(Default)]
+pub struct Tracer<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer with no sinks: every `emit` is a no-op branch.
+    pub fn disabled() -> Self {
+        Tracer { sinks: Vec::new() }
+    }
+
+    /// A tracer fanning out to `sinks`.
+    pub fn new(sinks: Vec<&'a mut dyn TraceSink>) -> Self {
+        Tracer { sinks }
+    }
+
+    /// Adds one more sink.
+    pub fn attach(&mut self, sink: &'a mut dyn TraceSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Whether any sink is attached (probe sites use this to gate event
+    /// preparation that the `emit` closure alone cannot defer).
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Emits the event produced by `make` to every sink. With no sinks
+    /// attached, `make` is never called — the hot-path cost is one branch.
+    #[inline(always)]
+    pub fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if !self.sinks.is_empty() {
+            self.fan_out(make());
+        }
+    }
+
+    #[cold]
+    fn fan_out(&mut self, ev: TraceEvent) {
+        for sink in self.sinks.iter_mut() {
+            sink.event(&ev);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("sinks", &self.sinks.len()).finish()
+    }
+}
+
+/// Aggregate of one fixed-width cycle window of one SM's event stream.
+///
+/// Per-bank vectors are flattened `[domain × banks_per_domain]`, indexed
+/// `domain * banks + bank`. All fields are integers so the serialized form
+/// is exact and deterministic; derived rates live in methods on
+/// [`WindowedSeries`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// First cycle covered by this window.
+    pub start: u64,
+    /// Scheduler issues per domain (bank-steal issues excluded).
+    pub issued: Vec<u64>,
+    /// Bank-steal pre-allocation issues per domain.
+    pub steal_issued: Vec<u64>,
+    /// Sum of the RBA scores of scheduler-issued instructions (divide by
+    /// the issue count for the mean chosen-candidate score).
+    pub rba_score_sum: u64,
+    /// Sum of sampled queue depths per flattened bank slot.
+    pub depth_sum: Vec<u64>,
+    /// Maximum sampled queue depth per flattened bank slot.
+    pub depth_max: Vec<u64>,
+    /// Depth samples taken per domain (one per active cycle).
+    pub depth_samples: Vec<u64>,
+    /// Stall-cycle counts, indexed by [`StallKind::index`], all domains.
+    pub stalls: Vec<u64>,
+    /// Cycles in which ready instructions lost collector-unit allocation.
+    pub cu_alloc_fails: u64,
+}
+
+impl WindowStats {
+    fn empty(start: u64, domains: u32, banks: u32) -> Self {
+        let d = domains as usize;
+        WindowStats {
+            start,
+            issued: vec![0; d],
+            steal_issued: vec![0; d],
+            rba_score_sum: 0,
+            depth_sum: vec![0; d * banks as usize],
+            depth_max: vec![0; d * banks as usize],
+            depth_samples: vec![0; d],
+            stalls: vec![0; StallKind::COUNT],
+            cu_alloc_fails: 0,
+        }
+    }
+
+    /// Total scheduler issues across domains.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+
+    /// Mean sampled queue depth across every bank of every domain, or
+    /// `None` if the window holds no samples (SM idle throughout).
+    pub fn mean_depth(&self) -> Option<f64> {
+        let samples: u64 = self.depth_samples.iter().sum();
+        if samples == 0 {
+            return None;
+        }
+        let banks_per_domain = self.depth_sum.len() / self.depth_samples.len().max(1);
+        let sum: u64 = self.depth_sum.iter().sum();
+        // Each sampled cycle contributes one depth per bank of its domain.
+        Some(sum as f64 / (samples * banks_per_domain as u64) as f64)
+    }
+
+    /// Largest sampled queue depth in the window.
+    pub fn max_depth(&self) -> u64 {
+        self.depth_max.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Coefficient of variation of per-domain issue counts (`None` for a
+    /// single domain or a window with no issues).
+    pub fn issue_cv(&self) -> Option<f64> {
+        if self.issued.len() < 2 {
+            return None;
+        }
+        let total = self.total_issued();
+        if total == 0 {
+            return None;
+        }
+        let n = self.issued.len() as f64;
+        let mean = total as f64 / n;
+        let var = self.issued.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        Some(var.sqrt() / mean)
+    }
+}
+
+impl JsonCodec for WindowStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("start", Json::Uint(self.start)),
+            ("issued", Json::from_u64_list(&self.issued)),
+            ("steal_issued", Json::from_u64_list(&self.steal_issued)),
+            ("rba_score_sum", Json::Uint(self.rba_score_sum)),
+            ("depth_sum", Json::from_u64_list(&self.depth_sum)),
+            ("depth_max", Json::from_u64_list(&self.depth_max)),
+            ("depth_samples", Json::from_u64_list(&self.depth_samples)),
+            ("stalls", Json::from_u64_list(&self.stalls)),
+            ("cu_alloc_fails", Json::Uint(self.cu_alloc_fails)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(WindowStats {
+            start: json.field("start")?.as_u64()?,
+            issued: json.field("issued")?.as_u64_list()?,
+            steal_issued: json.field("steal_issued")?.as_u64_list()?,
+            rba_score_sum: json.field("rba_score_sum")?.as_u64()?,
+            depth_sum: json.field("depth_sum")?.as_u64_list()?,
+            depth_max: json.field("depth_max")?.as_u64_list()?,
+            depth_samples: json.field("depth_samples")?.as_u64_list()?,
+            stalls: json.field("stalls")?.as_u64_list()?,
+            cu_alloc_fails: json.field("cu_alloc_fails")?.as_u64()?,
+        })
+    }
+}
+
+/// The windowed time-series one traced SM produced over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowedSeries {
+    /// The SM the series describes.
+    pub sm: u32,
+    /// Window width in cycles.
+    pub window: u64,
+    /// Scheduler domains on the SM (sub-cores, or 1 when fully connected).
+    pub domains: u32,
+    /// Register banks per domain.
+    pub banks: u32,
+    /// Total simulated cycles of the run the series was cut from.
+    pub total_cycles: u64,
+    /// The windows, in time order, covering `0..total_cycles`. Windows in
+    /// which the SM was idle are present but empty (zero samples).
+    pub windows: Vec<WindowStats>,
+}
+
+impl WindowedSeries {
+    /// Mean sampled bank-queue depth over the whole run (sampled cycles
+    /// only — idle windows do not dilute it).
+    pub fn mean_bank_depth(&self) -> f64 {
+        let samples: u64 = self.windows.iter().flat_map(|w| w.depth_samples.iter()).sum::<u64>()
+            * u64::from(self.banks);
+        if samples == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.windows.iter().flat_map(|w| w.depth_sum.iter()).sum();
+        sum as f64 / samples as f64
+    }
+
+    /// Largest sampled bank-queue depth anywhere in the run.
+    pub fn max_bank_depth(&self) -> u64 {
+        self.windows.iter().map(WindowStats::max_depth).max().unwrap_or(0)
+    }
+
+    /// Total scheduler issues over the run.
+    pub fn total_issued(&self) -> u64 {
+        self.windows.iter().map(WindowStats::total_issued).sum()
+    }
+
+    /// Mean per-window issue CV, over windows that have one.
+    pub fn mean_issue_cv(&self) -> Option<f64> {
+        let cvs: Vec<f64> = self.windows.iter().filter_map(WindowStats::issue_cv).collect();
+        if cvs.is_empty() {
+            None
+        } else {
+            Some(cvs.iter().sum::<f64>() / cvs.len() as f64)
+        }
+    }
+}
+
+impl JsonCodec for WindowedSeries {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("sm", Json::Uint(u64::from(self.sm))),
+            ("window", Json::Uint(self.window)),
+            ("domains", Json::Uint(u64::from(self.domains))),
+            ("banks", Json::Uint(u64::from(self.banks))),
+            ("total_cycles", Json::Uint(self.total_cycles)),
+            ("windows", Json::Arr(self.windows.iter().map(JsonCodec::to_json).collect())),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let u32_of = |name: &str| -> Result<u32, JsonError> {
+            let v = json.field(name)?.as_u64()?;
+            u32::try_from(v).map_err(|_| JsonError { msg: format!("{name} {v} exceeds u32") })
+        };
+        Ok(WindowedSeries {
+            sm: u32_of("sm")?,
+            window: json.field("window")?.as_u64()?,
+            domains: u32_of("domains")?,
+            banks: u32_of("banks")?,
+            total_cycles: json.field("total_cycles")?.as_u64()?,
+            windows: json
+                .field("windows")?
+                .as_arr()?
+                .iter()
+                .map(WindowStats::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Folds one SM's event stream into a [`WindowedSeries`] of fixed-width
+/// cycle windows. Events from other SMs are ignored, so a single
+/// aggregator can sit on a multi-SM tracer.
+#[derive(Debug)]
+pub struct WindowAggregator {
+    sm: u32,
+    window: u64,
+    domains: u32,
+    banks: u32,
+    windows: Vec<WindowStats>,
+}
+
+impl WindowAggregator {
+    /// An aggregator for `sm` with `window`-cycle windows, over a domain
+    /// grid of `domains × banks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `banks` exceeds [`MAX_TRACED_BANKS`].
+    pub fn new(sm: u32, window: u64, domains: u32, banks: u32) -> Self {
+        assert!(window > 0, "window width must be nonzero");
+        assert!(banks as usize <= MAX_TRACED_BANKS, "at most {MAX_TRACED_BANKS} banks per domain");
+        WindowAggregator { sm, window, domains, banks, windows: Vec::new() }
+    }
+
+    fn at(&mut self, cycle: u64) -> &mut WindowStats {
+        let idx = (cycle / self.window) as usize;
+        while self.windows.len() <= idx {
+            let start = self.windows.len() as u64 * self.window;
+            self.windows.push(WindowStats::empty(start, self.domains, self.banks));
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Closes the aggregation, padding empty windows up to `total_cycles`,
+    /// and returns the series.
+    pub fn into_series(mut self, total_cycles: u64) -> WindowedSeries {
+        if total_cycles > 0 {
+            self.at(total_cycles - 1);
+        }
+        WindowedSeries {
+            sm: self.sm,
+            window: self.window,
+            domains: self.domains,
+            banks: self.banks,
+            total_cycles,
+            windows: self.windows,
+        }
+    }
+}
+
+impl TraceSink for WindowAggregator {
+    fn event(&mut self, ev: &TraceEvent) {
+        if ev.sm() != self.sm {
+            return;
+        }
+        let banks = self.banks as usize;
+        match *ev {
+            TraceEvent::Issue { cycle, domain, rba_score, bank_steal, .. } => {
+                let w = self.at(cycle);
+                let d = domain as usize;
+                if bank_steal {
+                    w.steal_issued[d] += 1;
+                } else {
+                    w.issued[d] += 1;
+                    w.rba_score_sum += u64::from(rba_score);
+                }
+            }
+            TraceEvent::BankDepths { cycle, domain, num_banks, ref depths, .. } => {
+                let w = self.at(cycle);
+                let d = domain as usize;
+                w.depth_samples[d] += 1;
+                let n = usize::from(num_banks).min(banks);
+                for (b, &depth) in depths[..n].iter().enumerate() {
+                    let slot = d * banks + b;
+                    w.depth_sum[slot] += u64::from(depth);
+                    w.depth_max[slot] = w.depth_max[slot].max(u64::from(depth));
+                }
+            }
+            TraceEvent::Stall { cycle, kind, .. } => {
+                self.at(cycle).stalls[kind.index()] += 1;
+            }
+            TraceEvent::CuAllocFail { cycle, .. } => {
+                self.at(cycle).cu_alloc_fails += 1;
+            }
+            // Occupancy/barrier/dealloc transitions are deep-dive events;
+            // the windowed series does not aggregate them.
+            _ => {}
+        }
+    }
+}
+
+/// Writes every event as one JSON object per line (JSONL), optionally
+/// stopping after a cap — deep dives want the first few thousand cycles,
+/// not gigabytes.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    limit: Option<u64>,
+    written: u64,
+    failed: bool,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// An unbounded writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, limit: None, written: 0, failed: false }
+    }
+
+    /// A writer that silently drops events after the first `limit`.
+    pub fn with_limit(out: W, limit: u64) -> Self {
+        JsonlSink { out, limit: Some(limit), written: 0, failed: false }
+    }
+
+    /// Events written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether an I/O error truncated the trace (tracing never fails the
+    /// simulation; a broken sink just stops recording).
+    pub fn failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        if self.failed || self.limit.is_some_and(|l| self.written >= l) {
+            return;
+        }
+        if writeln!(self.out, "{}", ev.to_json().render()).is_err() {
+            self.failed = true;
+            return;
+        }
+        self.written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depths(vals: &[u16]) -> [u16; MAX_TRACED_BANKS] {
+        let mut d = [0u16; MAX_TRACED_BANKS];
+        d[..vals.len()].copy_from_slice(vals);
+        d
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let mut t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut built = false;
+        t.emit(|| {
+            built = true;
+            TraceEvent::Occupancy { cycle: 0, sm: 0, live_warps: 1 }
+        });
+        assert!(!built, "the event closure must not run with no sinks");
+    }
+
+    #[test]
+    fn tracer_fans_out_to_all_sinks() {
+        #[derive(Default)]
+        struct Counter(u64);
+        impl TraceSink for Counter {
+            fn event(&mut self, _ev: &TraceEvent) {
+                self.0 += 1;
+            }
+        }
+        let mut a = Counter::default();
+        let mut b = Counter::default();
+        {
+            let mut t = Tracer::new(vec![&mut a, &mut b]);
+            assert!(t.enabled());
+            t.emit(|| TraceEvent::Occupancy { cycle: 1, sm: 0, live_warps: 4 });
+            t.emit(|| TraceEvent::Occupancy { cycle: 2, sm: 0, live_warps: 3 });
+        }
+        assert_eq!((a.0, b.0), (2, 2));
+    }
+
+    #[test]
+    fn stall_kind_labels_round_trip() {
+        for kind in StallKind::ALL {
+            assert_eq!(StallKind::from_label(kind.label()), Some(kind));
+            assert_eq!(StallKind::ALL[kind.index()], kind);
+        }
+        assert_eq!(StallKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            TraceEvent::Issue {
+                cycle: 7,
+                sm: 1,
+                domain: 2,
+                warp_slot: 9,
+                rba_score: 5,
+                bank_steal: false,
+            },
+            TraceEvent::Issue {
+                cycle: 8,
+                sm: 0,
+                domain: 0,
+                warp_slot: 1,
+                rba_score: 0,
+                bank_steal: true,
+            },
+            TraceEvent::BankDepths {
+                cycle: 3,
+                sm: 0,
+                domain: 1,
+                num_banks: 2,
+                depths: depths(&[4, 0]),
+            },
+            TraceEvent::Stall { cycle: 4, sm: 0, domain: 3, kind: StallKind::Scoreboard },
+            TraceEvent::CuAllocFail { cycle: 5, sm: 0, domain: 0, blocked_warps: 3 },
+            TraceEvent::Occupancy { cycle: 6, sm: 2, live_warps: 16 },
+            TraceEvent::BarrierWait { cycle: 9, sm: 0, domain: 1, warp_slot: 5, block_slot: 0 },
+            TraceEvent::BarrierRelease { cycle: 10, sm: 0, block_slot: 0, released: 8 },
+            TraceEvent::WarpDealloc { cycle: 11, sm: 0, domain: 0, warp_slot: 5 },
+            TraceEvent::BlockDealloc { cycle: 12, sm: 0, block_slot: 1 },
+        ];
+        for ev in events {
+            let text = ev.to_json().render();
+            let back = TraceEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, ev, "round-trip of {text}");
+        }
+        assert!(TraceEvent::from_json(&Json::obj([("ev", Json::Str("bogus".into()))])).is_err());
+    }
+
+    #[test]
+    fn aggregator_buckets_by_window_and_pads_gaps() {
+        let mut agg = WindowAggregator::new(0, 10, 2, 2);
+        agg.event(&TraceEvent::Issue {
+            cycle: 3,
+            sm: 0,
+            domain: 0,
+            warp_slot: 0,
+            rba_score: 4,
+            bank_steal: false,
+        });
+        agg.event(&TraceEvent::BankDepths {
+            cycle: 3,
+            sm: 0,
+            domain: 1,
+            num_banks: 2,
+            depths: depths(&[5, 1]),
+        });
+        agg.event(&TraceEvent::Stall { cycle: 25, sm: 0, domain: 1, kind: StallKind::Idle });
+        // Foreign SM: ignored.
+        agg.event(&TraceEvent::Issue {
+            cycle: 3,
+            sm: 9,
+            domain: 0,
+            warp_slot: 0,
+            rba_score: 0,
+            bank_steal: false,
+        });
+        let series = agg.into_series(40);
+        assert_eq!(series.windows.len(), 4);
+        assert_eq!(series.windows[0].issued, vec![1, 0]);
+        assert_eq!(series.windows[0].rba_score_sum, 4);
+        // Domain 1's banks occupy flattened slots 2 and 3.
+        assert_eq!(series.windows[0].depth_sum, vec![0, 0, 5, 1]);
+        assert_eq!(series.windows[0].depth_max, vec![0, 0, 5, 1]);
+        assert_eq!(series.windows[0].depth_samples, vec![0, 1]);
+        assert_eq!(series.windows[1].total_issued(), 0, "gap window is empty");
+        assert_eq!(series.windows[2].stalls[StallKind::Idle.index()], 1);
+        assert_eq!(series.windows[3].start, 30);
+        assert_eq!(series.total_issued(), 1);
+        assert_eq!(series.max_bank_depth(), 5);
+        // 1 sampled cycle × 2 banks → mean = (5 + 1) / 2.
+        assert!((series.mean_bank_depth() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_issue_cv_matches_definition() {
+        let mut w = WindowStats::empty(0, 4, 2);
+        w.issued = vec![400, 0, 0, 0];
+        assert!((w.issue_cv().unwrap() - 3f64.sqrt()).abs() < 1e-9);
+        w.issued = vec![5, 5, 5, 5];
+        assert_eq!(w.issue_cv(), Some(0.0));
+        let single = WindowStats::empty(0, 1, 2);
+        assert_eq!(single.issue_cv(), None);
+    }
+
+    #[test]
+    fn series_round_trips_through_json() {
+        let mut agg = WindowAggregator::new(1, 8, 2, 2);
+        for cycle in 0..20 {
+            agg.event(&TraceEvent::BankDepths {
+                cycle,
+                sm: 1,
+                domain: (cycle % 2) as u32,
+                num_banks: 2,
+                depths: depths(&[(cycle % 5) as u16, 1]),
+            });
+            if cycle % 3 == 0 {
+                agg.event(&TraceEvent::Issue {
+                    cycle,
+                    sm: 1,
+                    domain: 0,
+                    warp_slot: 2,
+                    rba_score: 1,
+                    bank_steal: false,
+                });
+            }
+        }
+        let series = agg.into_series(20);
+        let text = series.to_json().render();
+        let back = WindowedSeries::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, series);
+        assert_eq!(back.to_json().render(), text, "serialized form is deterministic");
+    }
+
+    #[test]
+    fn jsonl_sink_respects_limit_and_counts() {
+        let mut sink = JsonlSink::with_limit(Vec::new(), 2);
+        let ev = TraceEvent::Occupancy { cycle: 0, sm: 0, live_warps: 1 };
+        for _ in 0..5 {
+            sink.event(&ev);
+        }
+        assert_eq!(sink.written(), 2);
+        assert!(!sink.failed());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            TraceEvent::from_json(&Json::parse(line).unwrap()).unwrap();
+        }
+    }
+}

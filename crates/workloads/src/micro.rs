@@ -55,7 +55,8 @@ impl FmaLayout {
     }
 
     /// All three layouts, in Fig. 3 order.
-    pub const ALL: [FmaLayout; 3] = [FmaLayout::Baseline, FmaLayout::Balanced, FmaLayout::Unbalanced];
+    pub const ALL: [FmaLayout; 3] =
+        [FmaLayout::Baseline, FmaLayout::Balanced, FmaLayout::Unbalanced];
 
     /// Label used in reports.
     pub fn label(self) -> &'static str {
@@ -99,9 +100,8 @@ pub fn fma_unbalanced_scaled(blocks: u32, base_fmas: u32, imbalance: u32) -> App
     let body = fma_body();
     let compute = looped_program(&body, base_fmas / 4 * imbalance.max(1), true);
     let light = looped_program(&body, base_fmas / 4, true);
-    let programs = (0..32u32)
-        .map(|w| if w % 4 == 0 { compute.clone() } else { light.clone() })
-        .collect();
+    let programs =
+        (0..32u32).map(|w| if w % 4 == 0 { compute.clone() } else { light.clone() }).collect();
     let kernel = KernelBuilder::new(format!("fma-unbal-x{imbalance}"))
         .blocks(blocks)
         .regs_per_thread(8)
@@ -120,8 +120,7 @@ mod tests {
         assert_eq!(FmaLayout::Balanced.warps_per_block(), 32);
         assert_eq!(FmaLayout::Unbalanced.warps_per_block(), 32);
         // Unbalanced: compute at 0, 4, 8, ... (first column of Fig. 4).
-        let compute: Vec<u32> =
-            (0..32).filter(|&w| FmaLayout::Unbalanced.is_compute(w)).collect();
+        let compute: Vec<u32> = (0..32).filter(|&w| FmaLayout::Unbalanced.is_compute(w)).collect();
         assert_eq!(compute, vec![0, 4, 8, 12, 16, 20, 24, 28]);
         // Balanced: compute at 0..8.
         let compute: Vec<u32> = (0..32).filter(|&w| FmaLayout::Balanced.is_compute(w)).collect();

@@ -137,10 +137,7 @@ mod tests {
     fn eight_suites_represented() {
         let apps = all_apps();
         for suite in Suite::ALL {
-            assert!(
-                apps.iter().any(|a| a.suite() == suite),
-                "suite {suite} has no apps"
-            );
+            assert!(apps.iter().any(|a| a.suite() == suite), "suite {suite} has no apps");
         }
     }
 

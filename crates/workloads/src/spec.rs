@@ -9,11 +9,11 @@
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 use subcore_isa::{
     App, Instruction, Kernel, KernelBuilder, MemPattern, OpClass, ProgramBuilder, Reg, Suite,
     WarpProgram,
 };
-use std::sync::Arc;
 
 /// Instruction-mix weights. Each weight is the relative probability of
 /// drawing that op class for the next body slot; all-zero mixes are invalid.
@@ -282,8 +282,7 @@ impl KernelParams {
                 // Runs of eight same-parity-register instructions: a greedy
                 // warp floods one bank for several issues in a row, which
                 // is what gives a bank-aware scheduler something to dodge.
-                let class: Vec<u32> =
-                    (0..src_span).filter(|r| r % 2 == (slot / 8) % 2).collect();
+                let class: Vec<u32> = (0..src_span).filter(|r| r % 2 == (slot / 8) % 2).collect();
                 let r = class[(structured_cursor as usize) % class.len()];
                 structured_cursor += 1;
                 Reg(r as u8)
@@ -340,7 +339,11 @@ impl KernelParams {
             let sp = slot as u32;
             let region = (slot % 4) as u16;
             let instr = if class == 0 {
-                Instruction::new(OpClass::FmaF32, Some(dst()), &[src(rng, sp), src(rng, sp), src(rng, sp)])
+                Instruction::new(
+                    OpClass::FmaF32,
+                    Some(dst()),
+                    &[src(rng, sp), src(rng, sp), src(rng, sp)],
+                )
             } else if class == 1 {
                 Instruction::new(OpClass::ArithF32, Some(dst()), &[src(rng, sp), src(rng, sp)])
             } else if class == 2 {
@@ -350,7 +353,11 @@ impl KernelParams {
             } else if class == 4 {
                 Instruction::new(OpClass::Special, Some(dst()), &[src(rng, sp)])
             } else if class == 5 {
-                Instruction::new(OpClass::TensorOp, Some(dst()), &[src(rng, sp), src(rng, sp), src(rng, sp)])
+                Instruction::new(
+                    OpClass::TensorOp,
+                    Some(dst()),
+                    &[src(rng, sp), src(rng, sp), src(rng, sp)],
+                )
             } else if class == 6 {
                 Instruction::mem(
                     OpClass::LoadGlobal,

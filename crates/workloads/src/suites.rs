@@ -18,7 +18,7 @@
 //!   mostly *insensitive* to partitioning (they anchor the "no improvement,
 //!   no degradation" half of Figs. 9/10).
 
-use crate::spec::{AppParams, Imbalance, KernelParams, Mix, MemShape};
+use crate::spec::{AppParams, Imbalance, KernelParams, MemShape, Mix};
 use subcore_isa::{App, Suite};
 
 /// Broad behaviour class of a synthetic app; maps to mix + memory shape.
@@ -60,7 +60,14 @@ const fn row(name: &'static str, class: Class, size: u32, span: u8) -> Row {
     Row { name, class, size, span, imbalance: Imbalance::None }
 }
 
-const fn row_imb(name: &'static str, class: Class, size: u32, span: u8, period: u32, factor: u32) -> Row {
+const fn row_imb(
+    name: &'static str,
+    class: Class,
+    size: u32,
+    span: u8,
+    period: u32,
+    factor: u32,
+) -> Row {
     Row { name, class, size, span, imbalance: Imbalance::EveryNth { period, factor } }
 }
 
@@ -217,8 +224,8 @@ fn build_row(row: &Row, suite: Suite, index: u64) -> App {
     p.body_len = 8;
     p.iters = 24 * row.size;
     p.imbalance = row.imbalance;
-    p.seed = 0x5117e5
-        ^ (index + (suite_discriminant(suite) << 8)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    p.seed =
+        0x5117e5 ^ (index + (suite_discriminant(suite) << 8)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     class_params(row.class, &mut p);
     if row.span >= 4 {
         p.reg_span = row.span;
@@ -237,8 +244,7 @@ fn build_row(row: &Row, suite: Suite, index: u64) -> App {
         gather.mem = MemShape { irregular_span: 1 << 14, ..MemShape::default() };
         gather.seed = p.seed ^ 0x6a7;
         p.name = format!("{}-update", row.name);
-        return AppParams { name: row.name.to_owned(), suite, kernels: vec![gather, p] }
-            .build();
+        return AppParams { name: row.name.to_owned(), suite, kernels: vec![gather, p] }.build();
     }
     AppParams::single(row.name, suite, p).build()
 }
@@ -257,11 +263,7 @@ fn suite_rows(suite: Suite) -> &'static [Row] {
 
 /// Builds all apps of one (non-TPC-H) suite.
 pub fn suite_apps(suite: Suite) -> Vec<App> {
-    suite_rows(suite)
-        .iter()
-        .enumerate()
-        .map(|(i, r)| build_row(r, suite, i as u64 + 1))
-        .collect()
+    suite_rows(suite).iter().enumerate().map(|(i, r)| build_row(r, suite, i as u64 + 1)).collect()
 }
 
 /// Names of every app in a (non-TPC-H) suite.
@@ -329,11 +331,7 @@ mod tests {
     fn apps_build_and_are_nontrivial() {
         for s in [Suite::Parboil, Suite::CuGraph, Suite::Cutlass] {
             for app in suite_apps(s) {
-                assert!(
-                    app.total_dynamic_instructions() > 10_000,
-                    "{} is too small",
-                    app.name()
-                );
+                assert!(app.total_dynamic_instructions() > 10_000, "{} is too small", app.name());
             }
         }
     }

@@ -35,28 +35,28 @@ pub const NUM_QUERIES: u32 = 22;
 /// aggregations) get small factors.
 const QUERY_SHAPE: [(u32, u32, u32, u32); NUM_QUERIES as usize] = [
     // (join_factor, join_w, scan_w, agg_w)            query
-    (2, 2, 4, 2),   // q1  - scan + aggregate heavy
-    (3, 3, 2, 1),   // q2  - multi-join
-    (3, 3, 3, 1),   // q3
-    (3, 2, 3, 1),   // q4
-    (4, 3, 2, 1),  // q5  - 6-table join
-    (2, 1, 4, 1),   // q6  - pure scan/filter
-    (3, 3, 2, 1),   // q7
-    (4, 4, 2, 1),  // q8  - worst balance in the paper (CV 1.01)
-    (4, 4, 2, 1),  // q9  - largest join tree
-    (3, 3, 3, 1),   // q10
-    (3, 2, 2, 1),   // q11
-    (3, 2, 3, 1),   // q12
-    (3, 3, 2, 1),   // q13
-    (3, 2, 3, 1),   // q14
-    (3, 2, 3, 1),   // q15
-    (3, 3, 2, 1),   // q16
-    (4, 3, 2, 1),  // q17
-    (4, 4, 2, 1),  // q18
-    (3, 2, 3, 1),   // q19
-    (3, 3, 2, 1),   // q20
-    (4, 4, 2, 1),  // q21 - heavy exists/anti-join
-    (3, 2, 2, 1),   // q22
+    (2, 2, 4, 2), // q1  - scan + aggregate heavy
+    (3, 3, 2, 1), // q2  - multi-join
+    (3, 3, 3, 1), // q3
+    (3, 2, 3, 1), // q4
+    (4, 3, 2, 1), // q5  - 6-table join
+    (2, 1, 4, 1), // q6  - pure scan/filter
+    (3, 3, 2, 1), // q7
+    (4, 4, 2, 1), // q8  - worst balance in the paper (CV 1.01)
+    (4, 4, 2, 1), // q9  - largest join tree
+    (3, 3, 3, 1), // q10
+    (3, 2, 2, 1), // q11
+    (3, 2, 3, 1), // q12
+    (3, 3, 2, 1), // q13
+    (3, 2, 3, 1), // q14
+    (3, 2, 3, 1), // q15
+    (3, 3, 2, 1), // q16
+    (4, 3, 2, 1), // q17
+    (4, 4, 2, 1), // q18
+    (3, 2, 3, 1), // q19
+    (3, 3, 2, 1), // q20
+    (4, 4, 2, 1), // q21 - heavy exists/anti-join
+    (3, 2, 2, 1), // q22
 ];
 
 /// Long-warp factor of the snappy decompression kernel in the compressed

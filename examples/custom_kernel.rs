@@ -62,8 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.cycles,
         32.0 * base.rf_reads_per_cycle_per_sm()
     );
-    for design in [Design::Rba, Design::ShuffleRba, Design::CuScaling(4), Design::FullyConnected]
-    {
+    for design in [Design::Rba, Design::ShuffleRba, Design::CuScaling(4), Design::FullyConnected] {
         let stats = subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
         println!(
             "  {:16} {:+6.1}%",

@@ -52,15 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         32.0 * baseline.rf_reads_per_cycle()
     );
 
-    for design in [
-        Design::Rba,
-        Design::Srr,
-        Design::Shuffle,
-        Design::ShuffleRba,
-        Design::FullyConnected,
-    ] {
-        let stats =
-            subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
+    for design in
+        [Design::Rba, Design::Srr, Design::Shuffle, Design::ShuffleRba, Design::FullyConnected]
+    {
+        let stats = subcore_engine::simulate_app(&design.config(&gpu), &design.policies(), &app)?;
         println!(
             "{:16} {:>8} cycles  speedup {:+.1}%",
             design.label(),

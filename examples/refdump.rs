@@ -1,0 +1,12 @@
+use subcore_engine::{simulate_kernel, GpuConfig, Policies};
+use subcore_persist::JsonCodec;
+fn main() {
+    let cfg = GpuConfig::volta_v100().with_sms(2);
+    let stats = simulate_kernel(
+        &cfg,
+        &Policies::hardware_baseline(),
+        subcore_isa::fma_kernel("ref", 6, 8, 128),
+    )
+    .unwrap();
+    println!("{}", stats.to_json().render());
+}

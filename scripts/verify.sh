@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Repo verification gate: the tier-1 build+test check plus a zero-warning
-# clippy pass over every target. Run from the repo root:
+# Repo verification gate: the tier-1 build+test check, formatting, a
+# zero-warning clippy pass over every target, and a tracing smoke test.
+# Run from the repo root:
 #
 #   scripts/verify.sh
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -15,5 +19,11 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Tracing smoke test: a tiny traced run must produce a non-empty windowed
+# series, and the traced run's RunStats must be bit-identical to the
+# untraced run's (probes observe, never perturb).
+echo "==> trace smoke test"
+cargo test -q -p subcore-integration --test trace_smoke
 
 echo "verify: OK"

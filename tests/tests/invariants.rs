@@ -12,12 +12,12 @@ use subcore_workloads::{AppParams, Imbalance, KernelParams, MemShape, Mix};
 /// Strategy: a small but diverse random kernel.
 fn arb_kernel() -> impl Strategy<Value = KernelParams> {
     (
-        1u32..6,       // blocks
-        1u32..17,      // warps per block
-        4u8..20,       // reg span
-        1u32..5,       // body_len / 4
-        1u32..17,      // iters
-        0u8..3,        // mix selector
+        1u32..6,  // blocks
+        1u32..17, // warps per block
+        4u8..20,  // reg span
+        1u32..5,  // body_len / 4
+        1u32..17, // iters
+        0u8..3,   // mix selector
         prop_oneof![
             Just(Imbalance::None),
             (2u32..5, 2u32..9).prop_map(|(p, f)| Imbalance::EveryNth { period: p, factor: f }),
@@ -125,6 +125,28 @@ proptest! {
         }
     }
 
+    /// Every active scheduler-cycle is attributed exactly once: it either
+    /// issued or was charged to one stall bucket, so
+    /// `issue_cycles + stalls.total() == active_cycles × domains` under
+    /// every design and workload.
+    #[test]
+    fn stall_accounting_covers_active_cycles(kernel in arb_kernel(), design in arb_design()) {
+        let app = AppParams::single("prop", Suite::Micro, kernel).build();
+        let cfg = design.config(&test_gpu());
+        let stats = simulate_app(&cfg, &design.policies(), &app).expect("simulates");
+        let domains = stats.issued_per_scheduler[0].len() as u64;
+        prop_assert_eq!(
+            stats.issue_cycles + stats.stalls.total(),
+            stats.active_cycles * domains,
+            "active cycles must be exactly partitioned into issue and stall cycles"
+        );
+        // A cycle issuing n instructions counts once, so issue cycles never
+        // exceed instructions (bank-steal issues bypass the scheduler and
+        // are not issue cycles).
+        prop_assert!(stats.issue_cycles <= stats.instructions);
+        prop_assert!(stats.active_cycles <= stats.cycles * u64::from(cfg.num_sms));
+    }
+
     /// Balanced assignment policies never differ from the baseline in
     /// total work, only in time.
     #[test]
@@ -140,6 +162,28 @@ proptest! {
             let s = simulate_app(&design.config(&test_gpu()), &design.policies(), &app)
                 .expect("simulates");
             prop_assert_eq!(s.instructions, base.instructions);
+        }
+    }
+}
+
+/// The issue/stall accounting invariant on real registry workloads (the
+/// property test above covers random kernels; this pins it on the suite
+/// apps each scheduler actually runs in the figures).
+#[test]
+fn stall_accounting_holds_on_registry_apps() {
+    for name in ["pb-sgemm", "rod-bp"] {
+        let app = subcore_workloads::app_by_name(name).expect("registry app");
+        for design in [Design::Baseline, Design::Rba, Design::FullyConnected, Design::BankStealing]
+        {
+            let cfg = design.config(&test_gpu());
+            let stats = simulate_app(&cfg, &design.policies(), &app).expect("simulates");
+            let domains = stats.issued_per_scheduler[0].len() as u64;
+            assert_eq!(
+                stats.issue_cycles + stats.stalls.total(),
+                stats.active_cycles * domains,
+                "{name} under {}: scheduler accounting drift",
+                design.label()
+            );
         }
     }
 }

@@ -18,8 +18,7 @@ fn subcore_imbalance_penalty() {
     assert!((3.0..4.6).contains(&ratio), "partitioned penalty {ratio:.2} (paper: 3.9)");
 
     let fc_base = run(Design::FullyConnected, &fma_microbenchmark(FmaLayout::Baseline, 4, 512));
-    let fc_unbal =
-        run(Design::FullyConnected, &fma_microbenchmark(FmaLayout::Unbalanced, 4, 512));
+    let fc_unbal = run(Design::FullyConnected, &fma_microbenchmark(FmaLayout::Unbalanced, 4, 512));
     let fc_ratio = fc_unbal.cycles as f64 / fc_base.cycles as f64;
     assert!(fc_ratio < 1.35, "monolithic SM smooths imbalance, got {fc_ratio:.2}");
 }
@@ -78,10 +77,7 @@ fn tpch_q8_story() {
     let base = run(Design::Baseline, &app);
     let srr = run(Design::Srr, &app);
     let speedup = base.cycles as f64 / srr.cycles as f64;
-    assert!(
-        (1.15..1.55).contains(&speedup),
-        "q8 SRR speedup {speedup:.2} (paper: 1.31)"
-    );
+    assert!((1.15..1.55).contains(&speedup), "q8 SRR speedup {speedup:.2} (paper: 1.31)");
     let cv_base = base.issue_cv().unwrap();
     let cv_srr = srr.issue_cv().unwrap();
     assert!(cv_srr < cv_base / 3.0, "SRR collapses issue CV: {cv_base:.2} → {cv_srr:.2}");
@@ -93,10 +89,7 @@ fn bank_stealing_is_marginal() {
     for name in ["pb-mriq", "rod-srad"] {
         let app = app_by_name(name).unwrap();
         let s = speedup_over_baseline(Design::BankStealing, &app);
-        assert!(
-            (0.93..1.12).contains(&s),
-            "{name}: bank stealing should be marginal, got {s:.3}"
-        );
+        assert!((0.93..1.12).contains(&s), "{name}: bank stealing should be marginal, got {s:.3}");
     }
 }
 
@@ -109,10 +102,7 @@ fn rba_score_latency_tolerance() {
     let fresh = speedup_over_baseline(Design::RbaLatency(0), &app);
     let stale = speedup_over_baseline(Design::RbaLatency(20), &app);
     assert!(fresh > 1.1, "RBA works at latency 0: {fresh:.2}");
-    assert!(
-        stale > 1.05,
-        "20-cycle-stale scores keep a clear win: {fresh:.2} → {stale:.2}"
-    );
+    assert!(stale > 1.05, "20-cycle-stale scores keep a clear win: {fresh:.2} → {stale:.2}");
     assert!(stale < fresh, "staleness cannot help");
 }
 

@@ -50,12 +50,9 @@ fn representative_apps_run_under_all_designs() {
 #[test]
 fn whole_registry_simulates() {
     for app in all_apps() {
-        let stats = simulate_app(
-            &Design::Baseline.config(&test_gpu()),
-            &Design::Baseline.policies(),
-            &app,
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let stats =
+            simulate_app(&Design::Baseline.config(&test_gpu()), &Design::Baseline.policies(), &app)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
         assert_eq!(stats.instructions, app.total_dynamic_instructions(), "{}", app.name());
         assert!(stats.cycles > 1_000, "{} is implausibly small", app.name());
     }

@@ -1,8 +1,8 @@
 //! End-to-end: a kernel authored in the SASS-like text format parses,
 //! disassembles, and simulates identically to its builder-API equivalent.
 
-use subcore_integration::{run, test_gpu};
 use subcore_engine::simulate_app;
+use subcore_integration::{run, test_gpu};
 use subcore_isa::{
     disassemble_kernel, parse_program, App, KernelBuilder, ProgramBuilder, Reg, Suite,
 };

@@ -69,7 +69,11 @@ impl Criterion {
     }
 
     /// Runs an ungrouped benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
         let cfg = self.clone();
         run_benchmark(&cfg, id.as_ref(), None, f);
         self
@@ -91,7 +95,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.as_ref());
         let cfg = self.cri.clone();
         run_benchmark(&cfg, &full, self.throughput, f);
@@ -167,9 +175,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         }
         None => String::new(),
     };
-    eprintln!(
-        "{id:<40} median {median:>10.3?}  (min {min:.3?}, max {max:.3?}){rate}"
-    );
+    eprintln!("{id:<40} median {median:>10.3?}  (min {min:.3?}, max {max:.3?}){rate}");
 }
 
 /// Declares a benchmark group function, optionally with a custom

@@ -161,7 +161,9 @@ mod tests {
     fn seeds_produce_distinct_streams() {
         let mut a = SmallRng::seed_from_u64(1);
         let mut b = SmallRng::seed_from_u64(2);
-        let same = (0..64).filter(|_| a.random_range(0u64..1 << 32) == b.random_range(0u64..1 << 32)).count();
+        let same = (0..64)
+            .filter(|_| a.random_range(0u64..1 << 32) == b.random_range(0u64..1 << 32))
+            .count();
         assert!(same < 4, "distinct seeds should diverge");
     }
 
