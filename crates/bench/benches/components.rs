@@ -1,5 +1,7 @@
 //! Microbenchmarks of the simulator's building blocks.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

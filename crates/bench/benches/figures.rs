@@ -2,6 +2,8 @@
 //! scaled-down version of the same workload × design code path that the
 //! `repro` binary uses at full size.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

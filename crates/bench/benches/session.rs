@@ -4,6 +4,8 @@
 //! of the session — repeated figure sweeps should cost hash lookups, not
 //! simulations.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;

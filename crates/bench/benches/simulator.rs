@@ -2,6 +2,8 @@
 //! representative workload shapes, the number that bounds every experiment
 //! sweep's runtime.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;

@@ -7,6 +7,8 @@
 //! full-size figure regeneration lives in the `subcore-experiments` crate's
 //! `repro` binary.
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::{simulate_app, GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;

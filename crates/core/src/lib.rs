@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod assign;
 mod classic;
 mod design;
@@ -54,3 +56,6 @@ pub use assign::{HashTableAssigner, ShuffleAssigner, ShuffleMode, SkewedRoundRob
 pub use classic::{LaggingWarpSelector, OldestFirstSelector, TwoLevelSelector};
 pub use design::{Design, PolicyClass};
 pub use rba::RbaSelector;
+// The register→bank swizzle the RBA score is computed over; re-exported so
+// static analyses built on the scheduling crate use the exact engine mapping.
+pub use subcore_engine::bank_of_register;

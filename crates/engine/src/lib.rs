@@ -49,6 +49,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod collector;
 mod config;
 mod exec;
@@ -66,6 +68,7 @@ pub use policy::{
     RoundRobinAssigner, SelectorFactory, SubcoreAssigner, WarpSelector,
 };
 pub use scoreboard::Scoreboard;
+pub use sm::bank_of_register;
 pub use stats::{RunStats, SimError, StallBreakdown, ENGINE_VERSION, STATS_SCHEMA_VERSION};
 // The probe-event vocabulary and sinks live in `subcore-trace`; re-export
 // them so downstream crates need only depend on the engine.

@@ -39,15 +39,26 @@ struct Domain {
     candidates: Vec<IssueCandidate>,
 }
 
+/// Register → bank swizzle: `(reg + 3·local_warp_index) % num_banks`, the
+/// GPGPU-Sim/Volta-style warp-staggered mapping. The ×3 stagger (co-prime
+/// with every bank count used here) spreads *consecutively allocated*
+/// warps across distinct bank windows; for the 2-bank sub-core it reduces
+/// to plain parity staggering (3·l ≡ l mod 2).
+///
+/// This is the single source of truth for the operand→bank mapping: the
+/// dynamic engine (collector-unit operand reads, the RBA score) and the
+/// static analyzer (`subcore-lint` bank-pressure histograms) both call it,
+/// so the static model can never drift from the simulated hardware.
+#[inline]
+#[must_use]
+pub fn bank_of_register(reg: Reg, local_warp_index: u32, num_banks: u32) -> u8 {
+    ((reg.index() as u32 + 3 * local_warp_index) % num_banks) as u8
+}
+
 impl Domain {
-    /// Register → bank swizzle: `(reg + 3·local_warp_index) % banks`, the
-    /// GPGPU-Sim/Volta-style warp-staggered mapping. The ×3 stagger (co-prime
-    /// with every bank count used here) spreads *consecutively allocated*
-    /// warps across distinct bank windows; for the 2-bank sub-core it
-    /// reduces to plain parity staggering (3·l ≡ l mod 2).
     #[inline]
     fn bank_of(&self, reg: Reg, local_warp_index: u32) -> u8 {
-        ((reg.index() as u32 + 3 * local_warp_index) % self.num_banks) as u8
+        bank_of_register(reg, local_warp_index, self.num_banks)
     }
 
     fn free_cu(&self) -> Option<usize> {

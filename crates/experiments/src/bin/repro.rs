@@ -6,6 +6,8 @@
 //! repro <experiment>... | all [--out DIR]
 //! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
+//! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
+//! repro lint --calibrate [<app>...] [--window N] [--json]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 fig18 latency banks hashtable contribution
@@ -22,6 +24,12 @@
 //! `trace-diff` captures two designs (default `baseline` vs `rba`) and
 //! prints where their bank-queue and issue-imbalance trajectories diverge.
 //!
+//! `lint` statically analyzes workloads (dataflow, bank pressure,
+//! divergence, configuration) without simulating; `--all` covers the full
+//! registry and is the verify-gate invocation. `lint --calibrate` ranks
+//! apps by static bank pressure and correlates the ranking against traced
+//! mean bank-queue depths.
+//!
 //! Simulations are memoized on disk under `<out>/.simcache/` (keyed by a
 //! content fingerprint and stamped with the engine version), so re-running
 //! an experiment replays cached results instead of simulating; pass
@@ -29,12 +37,16 @@
 //! printed on exit and the per-run breakdown written to
 //! `<out>/run_telemetry.csv`.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
-use subcore_experiments::{figs, trace};
+use subcore_experiments::{figs, lint, trace};
 use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
 use subcore_isa::Suite;
+use subcore_persist::Json;
+use subcore_sched::Design;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1",
@@ -123,12 +135,25 @@ fn main() -> ExitCode {
         eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache]");
         eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
+        eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
+        eprintln!("       repro lint --calibrate [<app>...] [--window N] [--json]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
     if args.iter().any(|a| a == "summary") {
         print!("{}", subcore_experiments::summary::render(&out_dir));
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "lint" {
+        args.remove(0);
+        // `--calibrate` simulates through the session; plain lint never
+        // touches the simulator, so the cache simply stays cold.
+        let session = init_global(SessionOptions {
+            disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+        });
+        let code = run_lint_command(args);
+        finish_telemetry(session, &out_dir);
+        return code;
     }
     if args[0] == "trace" || args[0] == "trace-diff" {
         let cmd = args.remove(0);
@@ -175,6 +200,144 @@ fn finish_telemetry(session: &SimSession, out_dir: &Path) {
     match session.telemetry().write_csv(&telemetry_csv) {
         Ok(()) => eprintln!("telemetry → {}", telemetry_csv.display()),
         Err(e) => eprintln!("failed to write {}: {e}", telemetry_csv.display()),
+    }
+}
+
+/// Implements `repro lint` (and `repro lint --calibrate`).
+fn run_lint_command(mut args: Vec<String>) -> ExitCode {
+    let take_flag = |args: &mut Vec<String>, flag: &str| -> bool {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            args.remove(i);
+            true
+        } else {
+            false
+        }
+    };
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs an argument"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    };
+    let all = take_flag(&mut args, "--all");
+    let json = take_flag(&mut args, "--json");
+    let deny_warnings = take_flag(&mut args, "--deny-warnings");
+    let calibrate = take_flag(&mut args, "--calibrate");
+    let mut design = Design::Baseline;
+    match take_value(&mut args, "--design") {
+        Ok(Some(label)) => match trace::parse_design(&label) {
+            Some(d) => design = d,
+            None => {
+                eprintln!("unknown design `{label}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut window: u32 = 2048;
+    match take_value(&mut args, "--window") {
+        Ok(Some(w)) => match w.parse::<u32>() {
+            Ok(w) if w > 0 => window = w,
+            _ => {
+                eprintln!("--window needs a positive cycle count, got `{w}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if calibrate {
+        let names: Vec<&str> = if args.is_empty() {
+            lint::CALIBRATION_APPS.to_vec()
+        } else {
+            args.iter().map(String::as_str).collect()
+        };
+        for name in &names {
+            if trace::resolve_target(name).is_none() {
+                eprintln!("unknown calibration app `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+        let report = lint::calibrate(&names, window);
+        if json {
+            println!("{}", report.to_json().render());
+        } else {
+            print!("{}", report.render());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let apps: Vec<subcore_isa::App> = if all {
+        if !args.is_empty() {
+            eprintln!("--all lints the whole registry; drop the app arguments: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        subcore_workloads::all_apps()
+    } else {
+        if args.is_empty() {
+            eprintln!("usage: repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
+            return ExitCode::FAILURE;
+        }
+        let mut apps = Vec::new();
+        for name in &args {
+            let Some(app) = trace::resolve_target(name) else {
+                eprintln!(
+                    "unknown lint target `{name}` (use a registry app name, `fma`, `fig3`, or `fig8`)"
+                );
+                return ExitCode::FAILURE;
+            };
+            apps.push(app);
+        }
+        apps
+    };
+
+    let mut totals = lint::LintTotals::default();
+    let mut reports_json = Vec::new();
+    for app in &apps {
+        let report = lint::lint_app(design, app);
+        totals.add(&report);
+        if json {
+            reports_json.push(report.to_json());
+        } else {
+            // In registry-wide mode, skip apps with nothing above info
+            // level and keep info findings out of the way.
+            let show_info = !all;
+            let body = report.render(show_info);
+            if !body.is_empty() || !all {
+                println!(
+                    "== {} (design {}): {} errors, {} warnings, {} allowed, {} info",
+                    report.app,
+                    report.design,
+                    report.errors(),
+                    report.unallowed_warnings(),
+                    report.allowed(),
+                    report.infos()
+                );
+                print!("{body}");
+            }
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(reports_json).render());
+    } else {
+        let verdict = if totals.passes(deny_warnings) { "PASS" } else { "FAIL" };
+        println!("lint {}: {}", verdict, totals.render());
+    }
+    if totals.passes(deny_warnings) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

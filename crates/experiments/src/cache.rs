@@ -1,4 +1,4 @@
-//! On-disk result cache: one JSON file per [`SimKey`](crate::session::SimKey)
+//! On-disk result cache: one JSON file per [`SimKey`]
 //! under `results/.simcache/`, so repeated `repro` invocations skip
 //! simulations entirely.
 //!

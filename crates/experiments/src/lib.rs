@@ -29,8 +29,11 @@
 //! `results/.simcache/` when the `repro` binary enables it — and collects
 //! per-run [`telemetry`].
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod figs;
+pub mod lint;
 pub mod report;
 pub mod runner;
 pub mod session;

@@ -43,6 +43,8 @@
 //! assert_eq!(kernel.warps_per_block(), 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analysis;
 mod app;
 mod instr;
@@ -59,7 +61,7 @@ pub use kernel::{fma_kernel, Kernel, KernelBuilder, LaunchDims};
 pub use op::{OpClass, Pipeline};
 pub use program::{Cursor, ProgramBuilder, Segment, WarpProgram};
 pub use reg::Reg;
-pub use text::{disassemble_kernel, parse_program, write_program, ParseError};
+pub use text::{disassemble_kernel, parse_program, write_program, ParseError, SourcePos};
 
 /// Number of threads in a warp. Fixed at 32 to match every NVIDIA
 /// architecture the paper discusses.

@@ -37,18 +37,45 @@ use crate::{Instruction, MemPattern, OpClass, Reg, Segment, WarpProgram};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// A position in a program listing: 1-based line and column.
+///
+/// Shared by [`ParseError`] and the `subcore-lint` diagnostics so the
+/// parser and the linter render source locations identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset within the line).
+    pub col: usize,
+}
+
+impl std::fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
 /// Error produced when parsing a program listing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number of the offending line.
     pub line: usize,
+    /// 1-based column of the offending token within the line.
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
+impl ParseError {
+    /// The position of the offending token.
+    pub fn pos(&self) -> SourcePos {
+        SourcePos { line: self.line, col: self.col }
+    }
+}
+
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "{}: {}", self.pos(), self.message)
     }
 }
 
@@ -133,11 +160,14 @@ pub fn parse_program(text: &str) -> Result<Arc<WarpProgram>, ParseError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
+        let content = raw.split('#').next().unwrap_or("");
+        let line = content.trim();
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| ParseError { line: lineno, message };
+        // 1-based column of the first non-blank character on the line.
+        let base_col = content.len() - content.trim_start().len() + 1;
+        let err = |message: String| ParseError { line: lineno, col: base_col, message };
 
         if let Some(rest) = line.strip_prefix(".repeat") {
             if block.is_some() {
@@ -168,7 +198,11 @@ pub fn parse_program(text: &str) -> Result<Arc<WarpProgram>, ParseError> {
             continue;
         }
 
-        let instr = parse_instr(line).map_err(err)?;
+        let instr = parse_instr(line).map_err(|(off, message)| ParseError {
+            line: lineno,
+            col: base_col + off,
+            message,
+        })?;
         ends_with_exit = instr.op == OpClass::Exit;
         match &mut block {
             Some((_, body)) => body.push(instr),
@@ -176,7 +210,11 @@ pub fn parse_program(text: &str) -> Result<Arc<WarpProgram>, ParseError> {
         }
     }
     if block.is_some() {
-        return Err(ParseError { line: text.lines().count(), message: "unclosed .repeat".into() });
+        return Err(ParseError {
+            line: text.lines().count(),
+            col: 1,
+            message: "unclosed .repeat".into(),
+        });
     }
     if !ends_with_exit {
         current.push(Instruction::new(OpClass::Exit, None, &[]));
@@ -187,45 +225,59 @@ pub fn parse_program(text: &str) -> Result<Arc<WarpProgram>, ParseError> {
     Ok(Arc::new(WarpProgram::from_segments(segments)))
 }
 
-fn parse_instr(line: &str) -> Result<Instruction, String> {
-    let (op_text, rest) = match line.split_once(' ') {
-        Some((o, r)) => (o, r.trim()),
+/// Parses one instruction line. Errors carry the 0-based byte offset of
+/// the offending token within `line` so the caller can turn it into a
+/// column.
+fn parse_instr(line: &str) -> Result<Instruction, (usize, String)> {
+    let (op_text, rest_raw) = match line.split_once(' ') {
+        Some((o, r)) => (o, r),
         None => (line, ""),
     };
-    let op = parse_op(op_text)?;
+    let op = parse_op(op_text).map_err(|m| (0, m))?;
     let mut regs: Vec<Reg> = Vec::new();
     let mut keys: Vec<(String, u64)> = Vec::new();
-    if !rest.is_empty() {
-        for part in rest.split(',') {
-            let part = part.trim().trim_start_matches('[').trim_end_matches(']');
-            if let Some((k, v)) = part.split_once('=') {
-                let value: u64 = v.trim().parse().map_err(|_| format!("bad value in `{part}`"))?;
-                keys.push((k.trim().to_owned(), value));
-            } else {
-                let digits = part
-                    .strip_prefix('r')
-                    .ok_or_else(|| format!("expected register, got `{part}`"))?;
-                let n: u16 = digits.parse().map_err(|_| format!("bad register `{part}`"))?;
-                if n as usize >= Reg::MAX_REGS {
-                    return Err(format!("register `{part}` out of range"));
-                }
-                regs.push(Reg(n as u8));
-            }
+    // Offset of the current comma-separated part within `line`.
+    let mut part_off = op_text.len() + 1;
+    for part_raw in rest_raw.split(',') {
+        if rest_raw.trim().is_empty() {
+            break;
         }
+        let trimmed = part_raw.trim();
+        let inner = trimmed.trim_start_matches('[');
+        // Column of the token itself: skip leading blanks and any `[`.
+        let tok_off = part_off
+            + (part_raw.len() - part_raw.trim_start().len())
+            + (trimmed.len() - inner.len());
+        let part = inner.trim_end_matches(']');
+        if let Some((k, v)) = part.split_once('=') {
+            let value: u64 =
+                v.trim().parse().map_err(|_| (tok_off, format!("bad value in `{part}`")))?;
+            keys.push((k.trim().to_owned(), value));
+        } else {
+            let digits = part
+                .strip_prefix('r')
+                .ok_or_else(|| (tok_off, format!("expected register, got `{part}`")))?;
+            let n: u16 = digits.parse().map_err(|_| (tok_off, format!("bad register `{part}`")))?;
+            if n as usize >= Reg::MAX_REGS {
+                return Err((tok_off, format!("register `{part}` out of range")));
+            }
+            regs.push(Reg(n as u8));
+        }
+        part_off += part_raw.len() + 1;
     }
     let key = |name: &str| keys.iter().find(|(k, _)| k == name).map(|&(_, v)| v);
 
     let (dst, srcs): (Option<Reg>, &[Reg]) = match op {
         OpClass::Barrier | OpClass::Exit => {
             if !regs.is_empty() {
-                return Err(format!("{op} takes no operands"));
+                return Err((0, format!("{op} takes no operands")));
             }
             (None, &[])
         }
         OpClass::StoreGlobal | OpClass::StoreShared => (None, &regs[..]),
         _ => {
             if regs.is_empty() {
-                return Err(format!("{op} needs a destination register"));
+                return Err((0, format!("{op} needs a destination register")));
             }
             (Some(regs[0]), &regs[1..])
         }
@@ -240,7 +292,10 @@ fn parse_instr(line: &str) -> Result<Instruction, String> {
         OpClass::Barrier | OpClass::Exit => 0..=0,
     };
     if !expected_srcs.contains(&srcs.len()) {
-        return Err(format!("{op} expects {expected_srcs:?} source registers, got {}", srcs.len()));
+        return Err((
+            0,
+            format!("{op} expects {expected_srcs:?} source registers, got {}", srcs.len()),
+        ));
     }
 
     if op.is_mem() {
@@ -261,7 +316,7 @@ fn parse_instr(line: &str) -> Result<Instruction, String> {
         };
         let shared_op = matches!(op, OpClass::LoadShared | OpClass::StoreShared);
         if shared_op != matches!(pattern, MemPattern::SharedConflict { .. }) {
-            return Err(format!("{op} has the wrong address-space pattern"));
+            return Err((0, format!("{op} has the wrong address-space pattern")));
         }
         Ok(Instruction::mem(op, dst, srcs, pattern))
     } else {
@@ -361,6 +416,29 @@ mod tests {
         assert!(err.message.contains("source registers"));
         let err = parse_program("iadd r1, r999, r3").unwrap_err();
         assert!(err.message.contains("bad register") || err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn errors_carry_columns() {
+        // The bad operand `r999` starts at column 10 of the line.
+        let err = parse_program("iadd r1, r999, r3").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 10));
+        assert_eq!(err.pos(), SourcePos { line: 1, col: 10 });
+        assert_eq!(err.to_string(), format!("line 1, col 10: {}", err.message));
+
+        // Leading indentation and `[` brackets shift the column.
+        let err = parse_program("iadd r1, r2, r3\n    ldg r1, [x7], region=1").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 14));
+        assert!(err.message.contains("expected register"));
+
+        // A bad opcode points at the start of the statement.
+        let err = parse_program("  bogus r1").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+
+        // Register out of range points at the register, not the line.
+        let err = parse_program("ffma r300, r0, r1, r2").unwrap_err();
+        assert_eq!(err.col, 6);
+        assert!(err.message.contains("out of range"));
     }
 
     #[test]

@@ -74,6 +74,126 @@ proptest! {
     }
 }
 
+mod profile_consistency {
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use subcore_isa::{
+        Instruction, MemPattern, OpClass, ProgramProfile, Reg, Segment, WarpProgram,
+    };
+
+    /// Instructions spanning several pipelines, operand arities, and the
+    /// memory flag, so every `ProgramProfile` field is exercised.
+    fn arb_mixed_instr() -> impl Strategy<Value = Instruction> {
+        let r = || (0u8..32).prop_map(Reg);
+        prop_oneof![
+            (r(), r(), r(), r()).prop_map(|(d, a, b, c)| Instruction::new(
+                OpClass::FmaF32,
+                Some(d),
+                &[a, b, c]
+            )),
+            (r(), r(), r()).prop_map(|(d, a, b)| Instruction::new(
+                OpClass::ArithI32,
+                Some(d),
+                &[a, b]
+            )),
+            (r(), r()).prop_map(|(d, a)| Instruction::new(OpClass::Special, Some(d), &[a])),
+            Just(Instruction::new(OpClass::Barrier, None, &[])),
+            (r(), r()).prop_map(|(d, a)| Instruction::mem(
+                OpClass::LoadGlobal,
+                Some(d),
+                &[a],
+                MemPattern::Coalesced { region: 0, step: 128 }
+            )),
+            (r(), r()).prop_map(|(data, a)| Instruction::mem(
+                OpClass::StoreGlobal,
+                None,
+                &[data, a],
+                MemPattern::Coalesced { region: 1, step: 128 }
+            )),
+        ]
+    }
+
+    /// Programs with zero-repeat segments (dead code the profile must
+    /// skip), down to the smallest constructible shape: exit only.
+    /// (`WarpProgram::from_segments` requires the trailing exit, so a
+    /// wholly-empty body is unrepresentable.)
+    fn arb_mixed_program() -> impl Strategy<Value = Arc<WarpProgram>> {
+        prop::collection::vec((prop::collection::vec(arb_mixed_instr(), 1..6), 0u32..20), 0..6)
+            .prop_map(|segs| {
+                let mut segments: Vec<Segment> = segs
+                    .into_iter()
+                    .map(|(body, repeat)| Segment { body: body.into(), repeat })
+                    .collect();
+                segments.push(Segment {
+                    body: vec![Instruction::new(OpClass::Exit, None, &[])].into(),
+                    repeat: 1,
+                });
+                Arc::new(WarpProgram::from_segments(segments))
+            })
+    }
+
+    /// The profile a full dynamic replay would produce.
+    fn walk_profile(program: &Arc<WarpProgram>) -> (u64, [u64; 7], u64, u64) {
+        let mut cursor = program.cursor();
+        let (mut instrs, mut per_pipe, mut srcs, mut mems) = (0u64, [0u64; 7], 0u64, 0u64);
+        while let Some((instr, _)) = cursor.next_instruction() {
+            instrs += 1;
+            per_pipe[instr.op.pipeline().index()] += 1;
+            srcs += instr.num_sources() as u64;
+            if instr.op.is_mem() {
+                mems += 1;
+            }
+        }
+        (instrs, per_pipe, srcs, mems)
+    }
+
+    proptest! {
+        /// `ProgramProfile::of` (O(static size), weighting bodies by their
+        /// repeat counts) agrees field-for-field with a full `Cursor` walk
+        /// over the dynamic stream — including zero-repeat segments, which
+        /// both must skip.
+        #[test]
+        fn profile_agrees_with_cursor_walk(program in arb_mixed_program()) {
+            let profile = ProgramProfile::of(&program);
+            let (instrs, per_pipe, srcs, mems) = walk_profile(&program);
+            prop_assert_eq!(profile.instructions, instrs);
+            prop_assert_eq!(profile.per_pipeline, per_pipe);
+            prop_assert_eq!(profile.source_operands, srcs);
+            prop_assert_eq!(profile.memory_instructions, mems);
+            prop_assert_eq!(profile.instructions, program.dynamic_len());
+        }
+    }
+
+    fn exit_segment() -> Segment {
+        Segment { body: vec![Instruction::new(OpClass::Exit, None, &[])].into(), repeat: 1 }
+    }
+
+    #[test]
+    fn minimal_program_profiles_to_one_exit() {
+        // The smallest constructible program: exit only.
+        let minimal = Arc::new(WarpProgram::from_segments(vec![exit_segment()]));
+        let profile = ProgramProfile::of(&minimal);
+        assert_eq!(profile.instructions, 1);
+        assert_eq!(profile.source_operands, 0);
+        assert_eq!(profile.memory_instructions, 0);
+        let (instrs, per_pipe, srcs, mems) = walk_profile(&minimal);
+        assert_eq!((instrs, srcs, mems), (1, 0, 0));
+        assert_eq!(profile.per_pipeline, per_pipe);
+    }
+
+    #[test]
+    fn zero_repeat_segments_contribute_nothing() {
+        let instr = Instruction::new(OpClass::FmaF32, Some(Reg(0)), &[Reg(1), Reg(2)]);
+        let dead = Arc::new(WarpProgram::from_segments(vec![
+            Segment { body: vec![instr].into(), repeat: 0 },
+            exit_segment(),
+        ]));
+        let minimal = Arc::new(WarpProgram::from_segments(vec![exit_segment()]));
+        assert_eq!(ProgramProfile::of(&dead), ProgramProfile::of(&minimal));
+        assert_eq!(walk_profile(&dead), walk_profile(&minimal));
+    }
+}
+
 mod text_roundtrip {
     use proptest::prelude::*;
     use std::sync::Arc;

@@ -1,0 +1,262 @@
+//! Bank-pressure pass: static operand-read histograms under the engine's
+//! register→bank mapping — the static analog of the dynamic RBA score.
+//!
+//! The pass replays each warp's program *statically* (weighting segment
+//! bodies by their repeat counts) and assigns every source operand to the
+//! bank [`subcore_engine::bank_of_register`] would read it from, using the
+//! same warp→sub-core placement the round-robin assigner produces for a
+//! single block. Two hazards are flagged:
+//!
+//! * **L010** (warning) — some warp's hottest bank receives at least
+//!   `bank_skew_threshold`× the mean per-bank operand load. With the
+//!   2-bank sub-core file, all-reads-on-one-bank is exactly 2.0×.
+//! * **L011** (warning) — multi-operand instructions systematically read
+//!   several operands from the *same* bank (excess serialization above the
+//!   unavoidable `ceil(sources/banks)` floor). This is the pattern the
+//!   collector units serialize on and the RBA scheduler routes around.
+
+use crate::diag::{codes, Diagnostic, Location, Severity};
+use crate::LintOptions;
+use subcore_engine::{bank_of_register, Connectivity, GpuConfig};
+use subcore_isa::Kernel;
+
+/// Static bank-pressure summary for one kernel under one configuration.
+///
+/// Also the input to `repro lint --calibrate`, which rank-correlates
+/// [`BankPressure::score`] against traced mean bank-queue depths.
+#[derive(Debug, Clone)]
+pub struct BankPressure {
+    /// Banks visible to one scheduler domain.
+    pub banks: u32,
+    /// Operand reads per bank, aggregated over all warps of one block.
+    pub per_bank: Vec<u64>,
+    /// Warp slot with the most skewed private histogram.
+    pub worst_warp: u32,
+    /// That warp's hottest-bank / mean-bank load ratio.
+    pub worst_warp_skew: f64,
+    /// Dynamic instructions (per block) with ≥ 2 register sources.
+    pub multi_src_instrs: u64,
+    /// Same-bank operand pairings beyond the unavoidable floor.
+    pub excess_serialization: u64,
+    /// Total dynamic instructions per block.
+    pub dynamic_instrs: u64,
+    /// Total dynamic source-operand reads per block.
+    pub source_reads: u64,
+    /// Dynamic memory instructions per block.
+    pub memory_instrs: u64,
+}
+
+impl BankPressure {
+    /// Computes the static histogram for `kernel` under `cfg`.
+    ///
+    /// Warp placement mirrors the engine's round-robin assigner for a
+    /// single block: warp `w` lands on sub-core `w % S` as local warp
+    /// `w / S`. In fully-connected mode one domain owns every bank and
+    /// local indices are the block-local warp ids.
+    pub fn of(kernel: &Kernel, cfg: &GpuConfig) -> Self {
+        let (subcores, banks) = match cfg.connectivity {
+            Connectivity::Partitioned => (cfg.subcores_per_sm.max(1), cfg.rf_banks_per_subcore),
+            Connectivity::FullyConnected => (1, cfg.total_banks()),
+        };
+        let banks = banks.max(1);
+        let mut agg = vec![0u64; banks as usize];
+        let mut worst_warp = 0u32;
+        let mut worst_warp_skew = 0.0f64;
+        let mut multi_src_instrs = 0u64;
+        let mut excess = 0u64;
+        let mut dynamic_instrs = 0u64;
+        let mut source_reads = 0u64;
+        let mut memory_instrs = 0u64;
+
+        for w in 0..kernel.warps_per_block() {
+            let local = w / subcores;
+            let mut hist = vec![0u64; banks as usize];
+            for seg in kernel.program(w).segments() {
+                let times = u64::from(seg.repeat);
+                if times == 0 {
+                    continue;
+                }
+                for instr in seg.body.iter() {
+                    dynamic_instrs += times;
+                    if instr.mem.is_some() {
+                        memory_instrs += times;
+                    }
+                    let mut per_instr = vec![0u64; banks as usize];
+                    let mut n_srcs = 0u64;
+                    for src in instr.sources() {
+                        let bank = bank_of_register(src, local, banks) as usize;
+                        hist[bank] += times;
+                        per_instr[bank] += 1;
+                        source_reads += times;
+                        n_srcs += 1;
+                    }
+                    if n_srcs >= 2 {
+                        multi_src_instrs += times;
+                        let floor = n_srcs.div_ceil(u64::from(banks));
+                        let max = per_instr.iter().copied().max().unwrap_or(0);
+                        excess += max.saturating_sub(floor) * times;
+                    }
+                }
+            }
+            let total: u64 = hist.iter().sum();
+            if total > 0 {
+                let mean = total as f64 / banks as f64;
+                let skew = *hist.iter().max().unwrap() as f64 / mean;
+                if skew > worst_warp_skew {
+                    worst_warp_skew = skew;
+                    worst_warp = w;
+                }
+            }
+            for (a, h) in agg.iter_mut().zip(&hist) {
+                *a += h;
+            }
+        }
+
+        BankPressure {
+            banks,
+            per_bank: agg,
+            worst_warp,
+            worst_warp_skew,
+            multi_src_instrs,
+            excess_serialization: excess,
+            dynamic_instrs,
+            source_reads,
+            memory_instrs,
+        }
+    }
+
+    /// Fraction of multi-operand instructions' same-bank pairings above the
+    /// unavoidable floor: 0.0 = perfectly spread, 1.0 = every multi-operand
+    /// instruction fully serialized on one bank.
+    pub fn clustering(&self) -> f64 {
+        if self.multi_src_instrs == 0 {
+            0.0
+        } else {
+            self.excess_serialization as f64 / self.multi_src_instrs as f64
+        }
+    }
+
+    /// Scalar used by `lint --calibrate` to rank kernels: operand reads per
+    /// dynamic instruction, inflated by in-bank clustering and discounted
+    /// by the memory fraction (memory-bound kernels issue operand reads
+    /// more slowly, so their banks queue less).
+    pub fn score(&self) -> f64 {
+        if self.dynamic_instrs == 0 {
+            return 0.0;
+        }
+        let reads_per_instr = self.source_reads as f64 / self.dynamic_instrs as f64;
+        let mem_fraction = self.memory_instrs as f64 / self.dynamic_instrs as f64;
+        reads_per_instr * (1.0 + self.clustering()) * (1.0 - mem_fraction)
+    }
+}
+
+/// Runs the bank-pressure pass over `kernel`, appending diagnostics.
+pub fn check(kernel: &Kernel, cfg: &GpuConfig, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    let p = BankPressure::of(kernel, cfg);
+    if p.worst_warp_skew >= opts.bank_skew_threshold {
+        out.push(Diagnostic::new(
+            codes::BANK_SKEW,
+            Severity::Warning,
+            Location::kernel(kernel.name()).warps(p.worst_warp, p.worst_warp),
+            format!(
+                "hottest register bank receives {:.2}x the mean operand load across {} banks \
+                 (threshold {:.2}); reads will serialize on that bank's port",
+                p.worst_warp_skew, p.banks, opts.bank_skew_threshold
+            ),
+        ));
+    }
+    if p.multi_src_instrs > 0 && p.clustering() >= opts.clustering_threshold {
+        out.push(Diagnostic::new(
+            codes::BANK_CLUSTERING,
+            Severity::Warning,
+            Location::kernel(kernel.name()),
+            format!(
+                "operands cluster in-bank: {:.0}% of multi-operand instructions read extra \
+                 operands from one bank beyond the unavoidable minimum (threshold {:.0}%); \
+                 the static analog of a high RBA score",
+                p.clustering() * 100.0,
+                opts.clustering_threshold * 100.0
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintOptions;
+    use subcore_isa::{KernelBuilder, ProgramBuilder, Reg};
+
+    fn volta() -> GpuConfig {
+        GpuConfig::volta_v100()
+    }
+
+    /// All operands even → every read lands on bank 0 for warp 0 (local
+    /// index 0 under round-robin placement).
+    fn one_bank_kernel() -> Kernel {
+        let p = ProgramBuilder::new()
+            .repeat(32, |b| {
+                b.fma(Reg(1), Reg(0), Reg(2), Reg(4));
+                b.iadd(Reg(3), Reg(6), Reg(8));
+            })
+            .build();
+        KernelBuilder::new("onebank").regs_per_thread(16).uniform_program(p).build()
+    }
+
+    /// Operands alternate parity → reads spread across both banks and
+    /// multi-operand instructions split their sources.
+    fn spread_kernel() -> Kernel {
+        let p = ProgramBuilder::new()
+            .repeat(32, |b| {
+                b.fma(Reg(8), Reg(0), Reg(1), Reg(2));
+                b.iadd(Reg(9), Reg(3), Reg(4));
+            })
+            .build();
+        KernelBuilder::new("spread").regs_per_thread(16).uniform_program(p).build()
+    }
+
+    #[test]
+    fn same_bank_operands_fire_skew_and_clustering() {
+        let mut out = Vec::new();
+        check(&one_bank_kernel(), &volta(), &LintOptions::default(), &mut out);
+        let codes_found: Vec<_> = out.iter().map(|d| d.code).collect();
+        assert!(codes_found.contains(&codes::BANK_SKEW), "{codes_found:?}");
+        assert!(codes_found.contains(&codes::BANK_CLUSTERING), "{codes_found:?}");
+    }
+
+    #[test]
+    fn spread_operands_stay_quiet() {
+        let mut out = Vec::new();
+        check(&spread_kernel(), &volta(), &LintOptions::default(), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn histogram_matches_hand_count() {
+        // One fma per iteration, warp 0 (local 0): sources r0, r2, r4 all
+        // land on bank 0 of the 2-bank file.
+        let p = BankPressure::of(&one_bank_kernel(), &volta());
+        assert_eq!(p.banks, 2);
+        // The single warp puts all 5 reads/iter × 32 iters on bank 0.
+        assert_eq!(p.per_bank, vec![5 * 32, 0]);
+        assert_eq!(p.per_bank.iter().sum::<u64>(), p.source_reads);
+        assert!((p.clustering() - 1.0).abs() < 1e-9, "fully clustered: {}", p.clustering());
+        assert!((p.worst_warp_skew - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_connected_pools_every_bank() {
+        let cfg = volta().fully_connected();
+        let p = BankPressure::of(&one_bank_kernel(), &cfg);
+        assert_eq!(p.banks, cfg.total_banks());
+        // 8 pooled banks: r0, r2, r4 now hit banks 0, 2, 4 — no excess.
+        assert_eq!(p.excess_serialization, 0);
+    }
+
+    #[test]
+    fn score_ranks_clustered_above_spread() {
+        let clustered = BankPressure::of(&one_bank_kernel(), &volta());
+        let spread = BankPressure::of(&spread_kernel(), &volta());
+        assert!(clustered.score() > spread.score());
+    }
+}

@@ -1,0 +1,190 @@
+//! Configuration-validation pass: impossible `Design`/`GpuConfig`
+//! combinations rejected with diagnostics instead of panics.
+//!
+//! [`subcore_engine::GpuConfig::validate`] asserts; this pass mirrors
+//! every one of its invariants (plus tracing- and design-parameter checks
+//! the engine only discovers mid-run) as structured diagnostics, so a bad
+//! configuration is reported *before* anything simulates:
+//!
+//! * **L030** (error) — a resource count is zero.
+//! * **L031** (error) — warp slots don't divide evenly among sub-core
+//!   schedulers.
+//! * **L032** (warning) — the trace window is longer than `max_cycles`,
+//!   so a windowed trace would never complete a single window.
+//! * **L033** (error) — the traced SM index is out of range.
+//! * **L034** (error) — a parameterized design point carries a zero
+//!   parameter (e.g. a 0-entry shuffle hash table or 0-bank file).
+//! * **L035** (error) — a kernel's blocks can never be scheduled (shared
+//!   memory or warp demand exceeds what one SM owns).
+
+use crate::diag::{codes, Diagnostic, Location, Severity};
+use subcore_engine::GpuConfig;
+use subcore_isa::Kernel;
+use subcore_sched::Design;
+
+fn error(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(code, Severity::Error, Location::default(), message)
+}
+
+/// Checks the SM/design combination itself (no kernel involved).
+pub fn check_config(cfg: &GpuConfig, design: Design, out: &mut Vec<Diagnostic>) {
+    let zero_checks: [(&str, u32); 9] = [
+        ("num_sms", cfg.num_sms),
+        ("subcores_per_sm", cfg.subcores_per_sm),
+        ("rf_banks_per_subcore", cfg.rf_banks_per_subcore),
+        ("cus_per_subcore", cfg.cus_per_subcore),
+        ("rf_regs_per_subcore", cfg.rf_regs_per_subcore),
+        ("ibuffer_depth", cfg.ibuffer_depth),
+        ("issue_width", cfg.issue_width),
+        ("max_blocks_per_sm", cfg.max_blocks_per_sm),
+        ("max_warps_per_sm", cfg.max_warps_per_sm),
+    ];
+    for (name, value) in zero_checks {
+        if value == 0 {
+            out.push(error(codes::CFG_ZERO_RESOURCE, format!("`{name}` must be nonzero")));
+        }
+    }
+    if cfg.subcores_per_sm > 0 && !cfg.max_warps_per_sm.is_multiple_of(cfg.subcores_per_sm) {
+        out.push(error(
+            codes::CFG_RAGGED_SLOTS,
+            format!(
+                "{} warp slots do not divide evenly among {} sub-core schedulers",
+                cfg.max_warps_per_sm, cfg.subcores_per_sm
+            ),
+        ));
+    }
+    if cfg.stats.trace_window > 0 {
+        if u64::from(cfg.stats.trace_window) > cfg.max_cycles {
+            out.push(Diagnostic::new(
+                codes::CFG_TRACE_WINDOW,
+                Severity::Warning,
+                Location::default(),
+                format!(
+                    "trace window of {} cycles exceeds the {}-cycle simulation limit; \
+                     no window would ever complete",
+                    cfg.stats.trace_window, cfg.max_cycles
+                ),
+            ));
+        }
+        if cfg.stats.trace_sm >= cfg.num_sms as usize {
+            out.push(error(
+                codes::CFG_TRACE_SM,
+                format!(
+                    "traced SM {} does not exist (the GPU has {} SMs)",
+                    cfg.stats.trace_sm, cfg.num_sms
+                ),
+            ));
+        }
+    }
+    let bad_param = match design {
+        Design::ShuffleTable(0) => Some("shuffle hash table needs at least one entry"),
+        Design::CuScaling(0) => Some("collector-unit scaling needs at least one unit"),
+        Design::RbaBanks(0) | Design::Banks(0) => Some("bank sweep needs at least one bank"),
+        _ => None,
+    };
+    if let Some(why) = bad_param {
+        out.push(error(
+            codes::CFG_DESIGN_PARAM,
+            format!("design `{}` has an invalid parameter: {why}", design.label()),
+        ));
+    }
+}
+
+/// Checks that `kernel`'s blocks can be scheduled at all under `cfg`.
+pub fn check_kernel_fit(kernel: &Kernel, cfg: &GpuConfig, out: &mut Vec<Diagnostic>) {
+    let mut unschedulable = |message: String| {
+        out.push(Diagnostic::new(
+            codes::CFG_UNSCHEDULABLE,
+            Severity::Error,
+            Location::kernel(kernel.name()),
+            message,
+        ));
+    };
+    if kernel.warps_per_block() > cfg.max_warps_per_sm {
+        unschedulable(format!(
+            "a block needs {} warp slots but an SM has {}",
+            kernel.warps_per_block(),
+            cfg.max_warps_per_sm
+        ));
+    }
+    if kernel.shared_mem_bytes() > cfg.shared_mem_per_sm {
+        unschedulable(format!(
+            "a block claims {} B of shared memory but an SM has {} B",
+            kernel.shared_mem_bytes(),
+            cfg.shared_mem_per_sm
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_isa::{KernelBuilder, ProgramBuilder};
+
+    fn config_codes(cfg: &GpuConfig, design: Design) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        check_config(cfg, design, &mut out);
+        out.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn valid_presets_are_quiet() {
+        for cfg in [GpuConfig::volta_v100(), GpuConfig::ampere_a100(), GpuConfig::turing_like()] {
+            assert!(config_codes(&cfg, Design::Baseline).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_collector_units_diagnosed_without_panic() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.cus_per_subcore = 0;
+        assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_ZERO_RESOURCE));
+    }
+
+    #[test]
+    fn ragged_warp_slots_are_an_error() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.max_warps_per_sm = 63; // 63 slots across 4 schedulers
+        assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_RAGGED_SLOTS));
+    }
+
+    #[test]
+    fn oversized_trace_window_is_flagged() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.max_cycles = 10_000;
+        cfg.stats.trace_window = 20_000;
+        assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_TRACE_WINDOW));
+    }
+
+    #[test]
+    fn traced_sm_must_exist() {
+        let mut cfg = GpuConfig::volta_v100().with_sms(2);
+        cfg.stats.trace_window = 1024;
+        cfg.stats.trace_sm = 5;
+        assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_TRACE_SM));
+    }
+
+    #[test]
+    fn zero_design_parameters_are_errors() {
+        let cfg = GpuConfig::volta_v100();
+        for design in [Design::ShuffleTable(0), Design::CuScaling(0), Design::Banks(0)] {
+            assert!(config_codes(&cfg, design).contains(&codes::CFG_DESIGN_PARAM), "{design:?}");
+        }
+        assert!(!config_codes(&cfg, Design::ShuffleTable(32)).contains(&codes::CFG_DESIGN_PARAM));
+    }
+
+    #[test]
+    fn impossible_blocks_are_unschedulable() {
+        let p = ProgramBuilder::new().barrier().build();
+        let k = KernelBuilder::new("huge")
+            .warps_per_block(64)
+            .shared_mem_bytes(u32::MAX)
+            .uniform_program(p)
+            .build();
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.max_warps_per_sm = 32;
+        let mut out = Vec::new();
+        check_kernel_fit(&k, &cfg, &mut out);
+        assert_eq!(out.iter().filter(|d| d.code == codes::CFG_UNSCHEDULABLE).count(), 2);
+    }
+}

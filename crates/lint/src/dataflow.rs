@@ -1,0 +1,258 @@
+//! Dataflow pass: register def/use accounting per warp program.
+//!
+//! Emits:
+//!
+//! * **L001** (error) — an operand names a register at or above the
+//!   kernel's declared `regs_per_thread`; the register was never
+//!   allocated, so the engine would read/write another warp's slice.
+//! * **L002** (warning) — a register written exactly once in the whole
+//!   program (static occurrence × segment repeat) and never read. A
+//!   single stray write is the classic typo shape; registers written
+//!   *repeatedly* but never read are the generator's intentional
+//!   WAW-pressure sinks and are not flagged.
+//! * **L003** (error) — one warp's registers exceed the per-sub-core
+//!   register file, so a warp can never be scheduled.
+//! * **L004** (info) — the declared register count far exceeds the
+//!   registers the program touches (≥ 4× and ≥ 24 registers of slack),
+//!   costing occupancy for nothing.
+//! * **L005** (info) — registers read before their first write (live-in
+//!   values, e.g. accumulator initial values).
+
+use crate::diag::{codes, Diagnostic, Location, Severity};
+use crate::{program_groups, LintOptions};
+use subcore_engine::GpuConfig;
+use subcore_isa::{Kernel, Reg};
+
+/// Per-register def/use tally for one warp program.
+#[derive(Clone, Copy, Default)]
+struct RegFacts {
+    /// Dynamic write count (static occurrences × segment repeat),
+    /// saturating.
+    writes: u64,
+    /// Dynamic read count, saturating.
+    reads: u64,
+    /// Whether the first access in program order was a read.
+    first_is_read: bool,
+    /// Whether the register has been accessed at all.
+    seen: bool,
+    /// Segment index of the (first) write, for the L002 location.
+    write_segment: usize,
+}
+
+/// Runs the dataflow pass over every distinct program of `kernel`.
+pub fn check(kernel: &Kernel, cfg: &GpuConfig, opts: &LintOptions, out: &mut Vec<Diagnostic>) {
+    // L003: a single warp that cannot fit in a sub-core register file.
+    if u32::from(kernel.regs_per_thread()) > cfg.rf_regs_per_subcore {
+        out.push(Diagnostic::new(
+            codes::RF_CAPACITY,
+            Severity::Error,
+            Location::kernel(kernel.name()),
+            format!(
+                "one warp needs {} registers per lane but a sub-core register file holds {}; \
+                 no warp of this kernel can ever be scheduled",
+                kernel.regs_per_thread(),
+                cfg.rf_regs_per_subcore
+            ),
+        ));
+    }
+
+    let declared = u32::from(kernel.regs_per_thread());
+    let mut max_used: u32 = 0;
+    for (first, last, program) in program_groups(kernel) {
+        let mut facts = [RegFacts::default(); Reg::MAX_REGS];
+        let mut out_of_range: Vec<(Reg, usize)> = Vec::new();
+        for (seg_idx, seg) in program.segments().iter().enumerate() {
+            if seg.repeat == 0 {
+                continue; // never executes
+            }
+            for instr in seg.body.iter() {
+                // Reads are tallied before the write so `a = a + b` marks
+                // `a` as read-first (a live-in accumulator).
+                for src in instr.sources() {
+                    let f = &mut facts[src.index()];
+                    if !f.seen {
+                        f.seen = true;
+                        f.first_is_read = true;
+                    }
+                    f.reads = f.reads.saturating_add(u64::from(seg.repeat));
+                    if src.index() as u32 >= declared
+                        && !out_of_range.iter().any(|&(r, _)| r == src)
+                    {
+                        out_of_range.push((src, seg_idx));
+                    }
+                }
+                if let Some(dst) = instr.dst {
+                    let f = &mut facts[dst.index()];
+                    f.seen = true;
+                    if f.writes == 0 {
+                        f.write_segment = seg_idx;
+                    }
+                    f.writes = f.writes.saturating_add(u64::from(seg.repeat));
+                    if dst.index() as u32 >= declared
+                        && !out_of_range.iter().any(|&(r, _)| r == dst)
+                    {
+                        out_of_range.push((dst, seg_idx));
+                    }
+                }
+            }
+        }
+
+        for (reg, seg_idx) in out_of_range {
+            out.push(Diagnostic::new(
+                codes::REG_OUT_OF_RANGE,
+                Severity::Error,
+                Location::kernel(kernel.name()).warps(first, last).segment(seg_idx),
+                format!("operand {reg} is outside the kernel's {declared}-register allocation"),
+            ));
+        }
+
+        let mut live_in: Vec<Reg> = Vec::new();
+        for (idx, &f) in facts.iter().enumerate() {
+            if !f.seen {
+                continue;
+            }
+            max_used = max_used.max(idx as u32 + 1);
+            let reg = Reg(idx as u8);
+            if f.writes == 1 && f.reads == 0 {
+                out.push(Diagnostic::new(
+                    codes::DEAD_WRITE,
+                    Severity::Warning,
+                    Location::kernel(kernel.name()).warps(first, last).segment(f.write_segment),
+                    format!("{reg} is written once but never read (dead write; likely a typo)"),
+                ));
+            }
+            if f.first_is_read && f.writes > 0 {
+                live_in.push(reg);
+            }
+        }
+        if !live_in.is_empty() {
+            let names: Vec<String> = live_in.iter().map(|r| r.to_string()).collect();
+            out.push(Diagnostic::new(
+                codes::READ_BEFORE_WRITE,
+                Severity::Info,
+                Location::kernel(kernel.name()).warps(first, last),
+                format!(
+                    "registers {} are read before their first write (live-in accumulators)",
+                    names.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // L004: declared allocation far beyond anything the program touches.
+    if max_used > 0
+        && declared >= opts.over_alloc_ratio * max_used
+        && declared - max_used >= opts.over_alloc_slack
+    {
+        out.push(Diagnostic::new(
+            codes::OVER_ALLOCATED,
+            Severity::Info,
+            Location::kernel(kernel.name()),
+            format!(
+                "kernel declares {declared} registers per thread but only touches {max_used}; \
+                 the unused allocation costs occupancy"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_isa::{KernelBuilder, ProgramBuilder, Reg};
+
+    fn lint(kernel: &Kernel) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check(kernel, &GpuConfig::volta_v100(), &LintOptions::default(), &mut out);
+        out
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn out_of_range_operand_is_an_error() {
+        let p = ProgramBuilder::new().fma(Reg(3), Reg(0), Reg(40), Reg(2)).build();
+        let k = KernelBuilder::new("bad").regs_per_thread(8).uniform_program(p).build();
+        let diags = lint(&k);
+        let hit = diags.iter().find(|d| d.code == codes::REG_OUT_OF_RANGE).expect("fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("r40"), "{}", hit.message);
+        assert_eq!(hit.location.warps, Some((0, 0)));
+    }
+
+    #[test]
+    fn single_dead_write_is_a_warning() {
+        let p = ProgramBuilder::new()
+            .iadd(Reg(3), Reg(0), Reg(1)) // r3 written once, never read: typo shape
+            .fma(Reg(2), Reg(0), Reg(1), Reg(2))
+            .build();
+        let k = KernelBuilder::new("dead").regs_per_thread(8).uniform_program(p).build();
+        let diags = lint(&k);
+        let hit = diags.iter().find(|d| d.code == codes::DEAD_WRITE).expect("fires");
+        assert!(hit.message.contains("r3"), "{}", hit.message);
+    }
+
+    #[test]
+    fn repeated_writes_are_not_dead_writes() {
+        // The generator's WAW-sink idiom: a never-read destination inside a
+        // repeat block is written every iteration — intentional, not a typo.
+        let p = ProgramBuilder::new()
+            .repeat(16, |b| {
+                b.iadd(Reg(3), Reg(0), Reg(1));
+            })
+            .build();
+        let k = KernelBuilder::new("sink").regs_per_thread(8).uniform_program(p).build();
+        assert!(!codes_of(&lint(&k)).contains(&codes::DEAD_WRITE));
+    }
+
+    #[test]
+    fn rf_capacity_overflow_is_an_error() {
+        let p = ProgramBuilder::new().fma(Reg(0), Reg(0), Reg(1), Reg(2)).build();
+        let k = KernelBuilder::new("fat").regs_per_thread(200).uniform_program(p).build();
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.rf_regs_per_subcore = 128;
+        let mut out = Vec::new();
+        check(&k, &cfg, &LintOptions::default(), &mut out);
+        assert!(codes_of(&out).contains(&codes::RF_CAPACITY));
+    }
+
+    #[test]
+    fn over_allocation_is_an_info() {
+        let p = ProgramBuilder::new().fma(Reg(3), Reg(0), Reg(1), Reg(2)).build();
+        let k = KernelBuilder::new("fat").regs_per_thread(64).uniform_program(p).build();
+        let diags = lint(&k);
+        let hit = diags.iter().find(|d| d.code == codes::OVER_ALLOCATED).expect("fires");
+        assert_eq!(hit.severity, Severity::Info);
+    }
+
+    #[test]
+    fn accumulators_surface_as_live_in_info() {
+        let p = ProgramBuilder::new()
+            .repeat(8, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2)); // r0 read then written
+            })
+            .build();
+        let k = KernelBuilder::new("acc").regs_per_thread(8).uniform_program(p).build();
+        let diags = lint(&k);
+        let hit = diags.iter().find(|d| d.code == codes::READ_BEFORE_WRITE).expect("fires");
+        assert_eq!(hit.severity, Severity::Info);
+        assert!(hit.message.contains("r0"), "{}", hit.message);
+    }
+
+    #[test]
+    fn zero_repeat_segments_are_ignored() {
+        use std::sync::Arc;
+        use subcore_isa::{Instruction, OpClass, Segment, WarpProgram};
+        let dead = Segment {
+            body: vec![Instruction::new(OpClass::ArithI32, Some(Reg(3)), &[Reg(0), Reg(1)])].into(),
+            repeat: 0,
+        };
+        let exit =
+            Segment { body: vec![Instruction::new(OpClass::Exit, None, &[])].into(), repeat: 1 };
+        let p = Arc::new(WarpProgram::from_segments(vec![dead, exit]));
+        let k = KernelBuilder::new("zr").regs_per_thread(8).uniform_program(p).build();
+        assert!(!codes_of(&lint(&k)).contains(&codes::DEAD_WRITE));
+    }
+}

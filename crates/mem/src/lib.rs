@@ -26,6 +26,8 @@
 //! assert!(t2 - t1 < t1, "L1 hits are much faster than cold misses");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod coalesce;
 mod config;

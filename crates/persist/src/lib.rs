@@ -17,6 +17,8 @@
 //! `f64` for everything else — because a single `f64` lane would silently
 //! corrupt large cycle counters.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

@@ -30,6 +30,8 @@
 //! assert!(rba.area / base.area < 1.02);     // RBA is nearly free
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Absolute cost of one design point (arbitrary but consistent units:
 /// area in equivalent SRAM-bit units, power in mW-class units).
 #[derive(Debug, Clone, Copy, PartialEq)]

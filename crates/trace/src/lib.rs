@@ -20,6 +20,8 @@
 //! `subcore-persist` JSON codecs, so traces are plain artifacts that
 //! external tooling can parse.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write;
 use subcore_persist::{Json, JsonCodec, JsonError};
 

@@ -26,12 +26,16 @@
 //! assert_eq!(micro.kernels().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
+mod lint_allow;
 mod micro;
 mod registry;
 mod spec;
 mod suites;
 mod tpch;
 
+pub use lint_allow::{lint_allowances, LintAllowance};
 pub use micro::{
     fma_microbenchmark, fma_microbenchmark_kernel, fma_unbalanced_scaled, FmaLayout, DEFAULT_FMAS,
 };

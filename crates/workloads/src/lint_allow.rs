@@ -1,0 +1,151 @@
+//! Explicit per-app lint allowances for the registry's *intentional*
+//! stressors.
+//!
+//! Several registry workloads deliberately embody the hazards the paper
+//! studies: same-bank operand layouts that stress the register-file
+//! arbiter (the RBA motivation), and warp-specialized blocks whose long
+//! warps pile onto one sub-core under round-robin assignment (the
+//! SRR/Shuffle motivation). `repro lint` must keep *diagnosing* those
+//! kernels — the rules are not weakened — but the verify gate suppresses
+//! each known stressor through an explicit entry here, carrying the reason
+//! it is intentional. Anything the analyzer flags that is *not* listed is
+//! a genuine violation and fails `repro lint --all --deny-warnings`.
+//!
+//! The lists mirror the generator parameters in `suites.rs`/`tpch.rs`:
+//! `structured_banks` rows get the bank-pressure codes, `Imbalance` rows
+//! get the divergence codes. A registry change that adds an unintentional
+//! hazard therefore still fails the gate.
+
+/// One allow-list entry: `codes` are suppressed for `app`, with a recorded
+/// `reason`. Errors are never suppressible (see `subcore-lint`).
+#[derive(Debug, Clone)]
+pub struct LintAllowance {
+    /// Registry app name (e.g. `"pb-mriq"`, `"tpcU-q4"`).
+    pub app: String,
+    /// Diagnostic codes suppressed for this app.
+    pub codes: &'static [&'static str],
+    /// Why the hazard is intentional.
+    pub reason: &'static str,
+}
+
+/// Bank-pressure codes: L010 skewed histogram, L011 in-bank clustering.
+const BANK_CODES: &[&str] = &["L010", "L011"];
+/// Divergence codes: L020 warp specialization, L021 round-robin pathology.
+const DIVERGENCE_CODES: &[&str] = &["L020", "L021"];
+
+/// `structured_banks` rows: operands are laid out run-by-run on the same
+/// bank parity, modelling bank-unaware compiler register allocation.
+const STRUCTURED_BANK_APPS: &[&str] = &[
+    "pb-mriq",
+    "pb-mrig",
+    "rod-lavaMD",
+    "rod-bp",
+    "rod-srad",
+    "rod-heartwall",
+    "ply-2Dcon",
+    "ply-3Dcon",
+    "ply-corr",
+    "ply-cov",
+    "db-rnn-tr",
+    "db-rnn-inf",
+    "db-lstm-tr",
+    "db-lstm-inf",
+    "cg-lou",
+    "cg-bfs",
+    "cg-sssp",
+    "cg-pgrnk",
+    "cg-wcc",
+    "cg-katz",
+    "cg-hits",
+    "cg-jaccard",
+    "cg-tri",
+    "cg-core",
+    "cg-leiden",
+    "cg-ecg",
+];
+
+/// `Imbalance::EveryNth` suite rows: periodically specialized blocks.
+const IMBALANCED_SUITE_APPS: &[&str] = &["rod-heartwall", "rod-nw", "db-rnn-tr", "db-rnn-inf"];
+
+/// Apps whose generated register spans happen to collapse onto one bank
+/// parity under the warp-staggered swizzle, tripping L011 without being
+/// deliberate stressors. The instruction streams are behavior-pinned by the
+/// headline-figure tolerances, so the layouts cannot be "fixed" — each
+/// incidental case is recorded here instead. (`tpcU-q8` spans two kernels.)
+const INCIDENTAL_CLUSTER_APPS: &[&str] = &[
+    "tpcU-q8", "tpcU-q13", "tpcU-q19", "tpcC-q4", "tpcC-q10", "tpcC-q14", "tpcC-q16", "pb-sgemm",
+    "rod-bfs", "ply-bicg",
+];
+
+const BANK_REASON: &str =
+    "intentional same-bank operand layout (models bank-unaware register allocation; RBA stressor)";
+const DIVERGENCE_REASON: &str =
+    "intentional warp specialization (long-warp tail; SRR/Shuffle stressor)";
+const TPCH_REASON: &str =
+    "TPC-H join/decompress warps are specialized by design (paper Figs. 15-17; SRR stressor)";
+const INCIDENTAL_CLUSTER_REASON: &str = "register span collapses onto one bank parity under the \
+     warp-staggered swizzle; stream is behavior-pinned by the headline tolerances";
+
+/// The full registry allow-list consumed by `repro lint` and the verify
+/// gate.
+pub fn lint_allowances() -> Vec<LintAllowance> {
+    let mut out = Vec::new();
+    for &app in STRUCTURED_BANK_APPS {
+        out.push(LintAllowance { app: app.to_owned(), codes: BANK_CODES, reason: BANK_REASON });
+    }
+    for &app in IMBALANCED_SUITE_APPS {
+        out.push(LintAllowance {
+            app: app.to_owned(),
+            codes: DIVERGENCE_CODES,
+            reason: DIVERGENCE_REASON,
+        });
+    }
+    for &app in INCIDENTAL_CLUSTER_APPS {
+        out.push(LintAllowance {
+            app: app.to_owned(),
+            codes: &["L011"],
+            reason: INCIDENTAL_CLUSTER_REASON,
+        });
+    }
+    // Every TPC-H query, both database variants: the join (and snappy
+    // decompress) kernels give a quarter of the warps several times the
+    // work.
+    for variant in ["tpcU", "tpcC"] {
+        for q in 1..=22 {
+            out.push(LintAllowance {
+                app: format!("{variant}-q{q}"),
+                codes: DIVERGENCE_CODES,
+                reason: TPCH_REASON,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::app_by_name;
+
+    #[test]
+    fn every_allowance_names_a_registry_app() {
+        for allowance in lint_allowances() {
+            assert!(
+                app_by_name(&allowance.app).is_some(),
+                "stale allow-list entry: {}",
+                allowance.app
+            );
+            assert!(!allowance.codes.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_duplicate_app_code_pairs() {
+        let all = lint_allowances();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert!(a.app != b.app || a.codes != b.codes, "duplicate allowance for {}", a.app);
+            }
+        }
+    }
+}

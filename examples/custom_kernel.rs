@@ -8,6 +8,8 @@
 //! format is documented in `subcore_isa::parse_program`; this example shows
 //! how to take a program from text to a full design-space comparison.
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::GpuConfig;
 use subcore_isa::{parse_program, App, KernelBuilder, KernelProfile, Suite};
 use subcore_sched::Design;

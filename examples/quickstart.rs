@@ -5,6 +5,8 @@
 //! cargo run --release -p subcore-examples --bin quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::GpuConfig;
 use subcore_isa::{App, KernelBuilder, ProgramBuilder, Reg, Suite};
 use subcore_sched::Design;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 use subcore_engine::{simulate_kernel, GpuConfig, Policies};
 use subcore_persist::JsonCodec;
 fn main() {

@@ -10,6 +10,8 @@
 //! cargo run --release -p subcore-examples --bin register_pressure
 //! ```
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::GpuConfig;
 use subcore_power::CostModel;
 use subcore_sched::Design;

@@ -10,6 +10,8 @@
 //! cargo run --release -p subcore-examples --bin sm_partitioning_study
 //! ```
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::{GpuConfig, GtoSelector, Policies};
 use subcore_sched::{Design, HashTableAssigner};
 use subcore_workloads::{fma_microbenchmark, fma_unbalanced_scaled, FmaLayout};

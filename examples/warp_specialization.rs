@@ -11,6 +11,8 @@
 //! cargo run --release -p subcore-examples --bin warp_specialization
 //! ```
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::GpuConfig;
 use subcore_sched::Design;
 use subcore_workloads::tpch_query;

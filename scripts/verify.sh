@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repo verification gate: the tier-1 build+test check, formatting, a
-# zero-warning clippy pass over every target, and a tracing smoke test.
+# zero-warning clippy pass over every target, a zero-warning doc build,
+# the registry lint gate, and a tracing smoke test.
 # Run from the repo root:
 #
 #   scripts/verify.sh
@@ -19,6 +20,16 @@ cargo test -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo '==> RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps'
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Static analysis gate: the shipped registry must be free of lint errors
+# and every warning covered by an explicit allow-list entry (see
+# crates/workloads/src/lint_allow.rs).
+echo "==> repro lint --all --deny-warnings"
+cargo run --quiet --release -p subcore-experiments --bin repro -- lint --all --deny-warnings \
+    > /dev/null
 
 # Tracing smoke test: a tiny traced run must produce a non-empty windowed
 # series, and the traced run's RunStats must be bit-identical to the

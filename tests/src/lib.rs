@@ -1,5 +1,7 @@
 //! Shared helpers for the cross-crate integration tests.
 
+#![forbid(unsafe_code)]
+
 use subcore_engine::{simulate_app, GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;

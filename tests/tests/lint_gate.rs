@@ -1,0 +1,81 @@
+//! The `repro lint` verify gate in integration-test form: the shipped
+//! registry must be free of lint errors, every warning must be covered by
+//! an explicit allow-list entry, and broken configurations must come back
+//! as diagnostics — never panics.
+
+use subcore_engine::GpuConfig;
+use subcore_experiments::lint::{lint_app, LintTotals};
+use subcore_lint::{codes, Linter, Severity};
+use subcore_sched::Design;
+use subcore_workloads::{all_apps, lint_allowances};
+
+/// The exact condition `scripts/verify.sh` enforces with
+/// `repro lint --all --deny-warnings`: zero errors and zero unallowed
+/// warnings across all 112 registry apps.
+#[test]
+fn registry_passes_deny_warnings_gate() {
+    let mut totals = LintTotals::default();
+    for app in all_apps() {
+        let report = lint_app(Design::Baseline, &app);
+        assert!(
+            report.passes(true),
+            "{} fails the deny-warnings lint gate:\n{}",
+            app.name(),
+            report.render(false)
+        );
+        totals.add(&report);
+    }
+    assert_eq!(totals.apps, 112);
+    assert_eq!(totals.errors, 0);
+    assert_eq!(totals.warnings, 0);
+}
+
+/// The gate suppresses stressors via the allow-list; the rules themselves
+/// still fire. Every structured-bank stressor must carry an allowed L011.
+#[test]
+fn stressors_are_diagnosed_not_silenced() {
+    for name in ["pb-mriq", "cg-pgrnk", "db-lstm-tr"] {
+        let app = all_apps().into_iter().find(|a| a.name() == name).expect("registry app");
+        let report = lint_app(Design::Baseline, &app);
+        let clustered = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::BANK_CLUSTERING)
+            .unwrap_or_else(|| panic!("{name} should still trip L011"));
+        assert!(clustered.allowed.is_some(), "{name}'s L011 must be allowed, not absent");
+    }
+}
+
+/// Allowances never reach error severity: a hypothetical registry app with
+/// a hard error fails the gate regardless of its allow-list entries.
+#[test]
+fn allowances_never_cover_errors() {
+    for allowance in lint_allowances() {
+        for code in allowance.codes {
+            assert!(
+                !matches!(*code, codes::REG_OUT_OF_RANGE | codes::RF_CAPACITY),
+                "allow-list must not name error codes ({code} for {})",
+                allowance.app
+            );
+        }
+    }
+}
+
+/// Impossible configurations become diagnostics, not panics, and errors
+/// gate even without `--deny-warnings`.
+#[test]
+fn broken_configs_diagnose_without_panicking() {
+    let mut cfg = GpuConfig::volta_v100();
+    cfg.rf_banks_per_subcore = 0;
+    cfg.cus_per_subcore = 0;
+    cfg.max_warps_per_sm = 63;
+    cfg.stats.trace_sm = 99;
+    cfg.stats.trace_window = 1 << 20;
+    cfg.max_cycles = 1024;
+    let diags = Linter::new(cfg, Design::Baseline).lint_config();
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+    let found: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    for expected in [codes::CFG_ZERO_RESOURCE, codes::CFG_RAGGED_SLOTS, codes::CFG_TRACE_SM] {
+        assert!(found.contains(&expected), "missing {expected} in {found:?}");
+    }
+}
