@@ -74,6 +74,27 @@ impl ExecTimings {
     }
 }
 
+/// Which engine core drives the simulation loop.
+///
+/// Both modes are required to produce bit-identical [`crate::RunStats`]
+/// (including the windowed trace series); the event-driven core exists
+/// purely as a throughput optimization and the polled core as its oracle.
+/// The differential test suite (`tests/tests/engine_modes.rs`) holds the
+/// two paths to `assert_eq!` equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// The event-aware fast path (default): each scheduler domain iterates
+    /// only its ready list, and when a cycle provably changes no
+    /// architectural state the loop jumps `now` forward to the next wakeup
+    /// (memory completion, warp stall expiry, or execution-unit free),
+    /// synthesizing the skipped cycles' stall attribution exactly.
+    #[default]
+    EventDriven,
+    /// The original poll-everything reference loop: every SM ticks every
+    /// cycle and every scheduler domain rescans all of its warp slots.
+    Reference,
+}
+
 /// Statistics collection knobs.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct StatsConfig {
@@ -158,6 +179,9 @@ pub struct GpuConfig {
     pub stats: StatsConfig,
     /// Hard safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Which engine core runs the simulation (bit-identical results either
+    /// way; see [`EngineMode`]).
+    pub engine_mode: EngineMode,
 }
 
 impl GpuConfig {
@@ -186,6 +210,7 @@ impl GpuConfig {
             mem: MemConfig::volta_like(),
             stats: StatsConfig::default(),
             max_cycles: 500_000_000,
+            engine_mode: EngineMode::default(),
         }
     }
 
@@ -267,6 +292,13 @@ impl GpuConfig {
         self
     }
 
+    /// Selects the engine core ([`EngineMode::EventDriven`] is the
+    /// default; [`EngineMode::Reference`] re-enables the polled oracle).
+    pub fn with_engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine_mode = mode;
+        self
+    }
+
     /// A deterministic 64-bit content fingerprint of the complete
     /// configuration (including the memory system, pipeline timings, and
     /// statistics knobs).
@@ -340,6 +372,16 @@ mod tests {
         assert_eq!(c.warp_slots_per_scheduler(), 16);
         assert_eq!(c.mem.l2_kb, 6 * 1024);
         c.validate();
+    }
+
+    #[test]
+    fn engine_mode_defaults_to_event_driven_and_splits_fingerprints() {
+        let fast = GpuConfig::volta_v100();
+        assert_eq!(fast.engine_mode, EngineMode::EventDriven);
+        let reference = fast.clone().with_engine_mode(EngineMode::Reference);
+        // The two modes must never alias in content-addressed caches.
+        assert_ne!(fast.fingerprint(), reference.fingerprint());
+        reference.validate();
     }
 
     #[test]

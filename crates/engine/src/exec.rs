@@ -44,6 +44,13 @@ impl UnitPool {
     pub(crate) fn dispatched(&self) -> u64 {
         self.dispatched
     }
+
+    /// Cycle at which the earliest-free unit of this pool next accepts an
+    /// instruction (the skip-ahead wake horizon for a collected instruction
+    /// waiting on an occupied pipeline).
+    pub(crate) fn earliest_free(&self) -> u64 {
+        *self.next_free.iter().min().expect("pools always have at least one unit")
+    }
 }
 
 /// All six pipeline pools for one scheduler domain.
@@ -80,6 +87,16 @@ impl ExecPools {
     pub(crate) fn pool_mut(&mut self, p: Pipeline) -> &mut UnitPool {
         assert!(p != Pipeline::Control);
         &mut self.pools[p.index()]
+    }
+
+    /// Cycle at which pipeline `p` next has a free unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Pipeline::Control`].
+    pub(crate) fn earliest_free(&self, p: Pipeline) -> u64 {
+        assert!(p != Pipeline::Control);
+        self.pools[p.index()].earliest_free()
     }
 
     /// Total instructions dispatched across all pools.

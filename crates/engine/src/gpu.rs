@@ -1,7 +1,7 @@
 //! Top-level GPU: thread-block scheduler, kernel sequencing, and the main
 //! simulation loop.
 
-use crate::config::{Connectivity, GpuConfig};
+use crate::config::{Connectivity, EngineMode, GpuConfig};
 use crate::policy::Policies;
 use crate::sm::SmCore;
 use crate::stats::{RunStats, SimError, StallBreakdown};
@@ -82,6 +82,11 @@ pub fn simulate_app_traced(
             banks,
         )
     });
+    // Quiescent-span skip-ahead is exact for RunStats (including the
+    // cycle-keyed, SM-filtered windowed series), but external sinks observe
+    // the raw cross-SM event interleaving, which per-SM synthesis reorders
+    // — so their presence pins the engine to cycle-by-cycle polling.
+    let allow_skip = cfg.engine_mode == EngineMode::EventDriven && sinks.is_empty();
     let mut tracer = Tracer::new(Vec::new());
     for sink in sinks {
         tracer.attach(sink);
@@ -98,6 +103,7 @@ pub fn simulate_app_traced(
     for kernel in app.kernels() {
         let mut next_block: u32 = 0;
         loop {
+            let mut changed = false;
             // Thread-block scheduler: offer at most one block per SM per
             // cycle, rotating the starting SM for fairness.
             if next_block < kernel.blocks() {
@@ -109,6 +115,7 @@ pub fn simulate_app_traced(
                     if sms[s].try_accept(kernel, block_uid, now, &mut tracer) {
                         next_block += 1;
                         block_uid += 1;
+                        changed = true;
                     }
                 }
                 rr_sm = (rr_sm + 1) % sms.len();
@@ -116,7 +123,7 @@ pub fn simulate_app_traced(
 
             let mut all_idle = true;
             for sm in &mut sms {
-                sm.tick(now, &mut mem, &mut tracer);
+                changed |= sm.tick(now, &mut mem, &mut tracer);
                 all_idle &= sm.is_idle();
             }
             now += 1;
@@ -125,6 +132,37 @@ pub fn simulate_app_traced(
             }
             if next_block >= kernel.blocks() && all_idle {
                 break;
+            }
+            if allow_skip && !changed {
+                // Nothing moved this cycle, so every cycle until the
+                // earliest wake point repeats it verbatim: admission offers
+                // keep failing identically (failed plans stay stashed), the
+                // memory system is passive, and each SM only re-charges the
+                // same stall classification. Synthesize those cycles
+                // wholesale and jump to the wake point. The tick just run
+                // was at `now - 1`, so hints are computed relative to it.
+                let mut target = u64::MAX;
+                for sm in &sms {
+                    target = target.min(sm.wake_hint(now - 1));
+                }
+                // A MAX target (barrier deadlock in a malformed kernel) runs
+                // into the cycle limit exactly as the polled loop would.
+                let target = target.min(cfg.max_cycles.saturating_add(1));
+                if target > now {
+                    let skipped = target - now;
+                    for sm in &mut sms {
+                        sm.account_skipped(now, skipped, &mut tracer);
+                    }
+                    if next_block < kernel.blocks() {
+                        // The block scheduler would have rotated once per
+                        // polled cycle.
+                        rr_sm = (rr_sm + skipped as usize) % sms.len();
+                    }
+                    now = target;
+                    if now > cfg.max_cycles {
+                        return Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles });
+                    }
+                }
             }
         }
         kernel_end_cycles.push(now);

@@ -61,7 +61,7 @@ mod sm;
 mod stats;
 mod warp;
 
-pub use config::{Connectivity, ExecTimings, GpuConfig, PipeTiming, StatsConfig};
+pub use config::{Connectivity, EngineMode, ExecTimings, GpuConfig, PipeTiming, StatsConfig};
 pub use gpu::{simulate_app, simulate_app_traced, simulate_kernel};
 pub use policy::{
     AssignerFactory, GtoSelector, IssueCandidate, IssueView, LrrSelector, Policies,

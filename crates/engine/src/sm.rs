@@ -1,15 +1,31 @@
 //! The streaming multiprocessor model: scheduler domains (sub-cores or one
 //! fully-connected pool), operand collection, execution, and the
 //! block-granularity resource lifecycle.
+//!
+//! # Event-aware fast path
+//!
+//! Under [`EngineMode::EventDriven`] each domain additionally maintains a
+//! *ready list* (`Domain::active`): the subsequence of its warp table whose
+//! warps are in [`WarpRun::Ready`]. The issue and fetch stages scan only
+//! that list instead of the full table, and [`SmCore::tick`] reports
+//! whether the cycle changed any architectural state so the top-level loop
+//! can fast-forward over quiescent spans (see [`SmCore::wake_hint`] and
+//! [`SmCore::account_skipped`]). Ready lists are maintained lazily: any
+//! operation that changes a warp's run state marks its domain dirty, and
+//! the list is rebuilt from the warp table (preserving insertion order, so
+//! candidate order — and therefore every scheduling decision — is
+//! bit-identical to the polled reference) the next time it is read.
+//!
+//! [`EngineMode::EventDriven`]: crate::config::EngineMode::EventDriven
 
 use crate::collector::{Arbiter, CollectorUnit};
-use crate::config::{Connectivity, GpuConfig};
+use crate::config::{Connectivity, EngineMode, GpuConfig};
 use crate::exec::ExecPools;
 use crate::policy::{IssueCandidate, IssueView, Policies, SubcoreAssigner, WarpSelector};
 use crate::stats::StallBreakdown;
 use crate::warp::{DecodedInstr, WarpContext, WarpRun};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use subcore_isa::{Kernel, MemPattern, OpClass, Pipeline, Reg};
 use subcore_mem::{coalesce, MemSystem, StreamCtx};
 use subcore_trace::{StallKind, TraceEvent, Tracer, MAX_TRACED_BANKS};
@@ -21,6 +37,10 @@ struct Domain {
     selector: Box<dyn WarpSelector>,
     /// Warp slots pinned to this domain (insertion order).
     warps: Vec<u32>,
+    /// Ready list: the slots of `warps` whose warp is [`WarpRun::Ready`],
+    /// in the same order. Only maintained in event-driven mode; rebuilt
+    /// on demand when the domain's dirty flag is set.
+    active: Vec<u32>,
     cus: Vec<CollectorUnit>,
     arbiter: Arbiter,
     exec: ExecPools,
@@ -37,6 +57,12 @@ struct Domain {
     last_issued: Option<u32>,
     stalls: StallBreakdown,
     candidates: Vec<IssueCandidate>,
+    /// The stall classification of the most recent non-issuing cycle:
+    /// `(kind, warps blocked on collector units)`. During a quiescent span
+    /// every cycle reproduces this classification exactly (nothing that
+    /// feeds it can change without the tick reporting a state change), so
+    /// skip-ahead replays it per synthesized cycle.
+    stall_snapshot: (StallKind, u32),
 }
 
 /// Register → bank swizzle: `(reg + 3·local_warp_index) % num_banks`, the
@@ -63,6 +89,17 @@ impl Domain {
 
     fn free_cu(&self) -> Option<usize> {
         self.cus.iter().position(|c| !c.busy)
+    }
+}
+
+/// Rebuilds a domain's ready list from its warp table, preserving table
+/// order so issue-candidate order matches the polled reference exactly.
+fn rebuild_active(d: &mut Domain, warps: &[Option<WarpContext>]) {
+    d.active.clear();
+    for &slot in &d.warps {
+        if warps[slot as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready) {
+            d.active.push(slot);
+        }
     }
 }
 
@@ -113,6 +150,19 @@ pub(crate) struct SmCore {
     warp_cycles: u64,
     /// Cycles this SM actually ticked (was non-idle).
     active_cycles: u64,
+    /// Event-driven mode: maintain ready lists and report state changes.
+    fast: bool,
+    /// Per-domain count of warps parked at a barrier (fast mode; feeds the
+    /// stall classification without scanning non-ready warps).
+    barrier_counts: Vec<u32>,
+    /// Per-domain "ready list is stale" flags (fast mode).
+    active_dirty: Vec<bool>,
+    /// Scratch for per-domain warp demand during block admission.
+    demand_scratch: Vec<u32>,
+    /// Recycled instruction buffers from deallocated warps, reused on the
+    /// next block admission to keep the accept path allocation-free in
+    /// steady state.
+    ibuf_pool: Vec<VecDeque<DecodedInstr>>,
 }
 
 impl SmCore {
@@ -142,6 +192,7 @@ impl SmCore {
             .map(|_| Domain {
                 selector: (policies.selector)(),
                 warps: Vec::new(),
+                active: Vec::new(),
                 cus: (0..cus).map(|_| CollectorUnit::empty()).collect(),
                 arbiter: Arbiter::new(banks, cfg.score_update_latency),
                 exec: ExecPools::new(&cfg.exec, exec_scale),
@@ -155,6 +206,7 @@ impl SmCore {
                 last_issued: None,
                 stalls: StallBreakdown::default(),
                 candidates: Vec::new(),
+                stall_snapshot: (StallKind::Idle, 0),
             })
             .collect();
         let rf_trace = (cfg.stats.record_rf_trace && cfg.stats.trace_sm == id).then(Vec::new);
@@ -185,6 +237,11 @@ impl SmCore {
             live_warps: 0,
             warp_cycles: 0,
             active_cycles: 0,
+            fast: cfg.engine_mode == EngineMode::EventDriven,
+            barrier_counts: vec![0; num_domains as usize],
+            active_dirty: vec![false; num_domains as usize],
+            demand_scratch: Vec::new(),
+            ibuf_pool: Vec::new(),
         }
     }
 
@@ -216,7 +273,9 @@ impl SmCore {
             .take()
             .unwrap_or_else(|| self.assigner.assign_block(warps, self.domains.len() as u32));
         debug_assert_eq!(plan.len(), warps as usize);
-        let mut demand = vec![0u32; self.domains.len()];
+        let mut demand = std::mem::take(&mut self.demand_scratch);
+        demand.clear();
+        demand.resize(self.domains.len(), 0);
         for &d in &plan {
             demand[d as usize] += 1;
         }
@@ -224,6 +283,7 @@ impl SmCore {
             d.warps.len() as u32 + n <= d.warp_capacity
                 && d.regs_used + n * regs_per_warp <= d.regs_capacity
         });
+        self.demand_scratch = demand;
         if !feasible {
             // Keep the plan: the assigner's warp counter must stay
             // consistent with what will eventually be placed.
@@ -240,20 +300,25 @@ impl SmCore {
             let slot = free_iter as u32;
             let program = kernel.program(w as u32);
             let local_index = self.domains[dom as usize].warps.len() as u32;
+            let ibuffer = match self.ibuf_pool.pop() {
+                Some(mut b) => {
+                    b.clear();
+                    b
+                }
+                None => VecDeque::with_capacity(self.ibuffer_depth),
+            };
             let ctx = WarpContext {
-                slot,
-                stream_id: block_uid * 64 + w as u64,
-                block_slot,
-                warp_in_block: w as u32,
-                domain: dom,
-                local_index,
-                age: self.age_counter,
-                cursor: program.cursor(),
-                ibuffer: std::collections::VecDeque::with_capacity(self.ibuffer_depth),
-                scoreboard: crate::scoreboard::Scoreboard::new(),
                 run: WarpRun::Ready,
-                outstanding: 0,
                 stall_until: 0,
+                ibuffer,
+                scoreboard: crate::scoreboard::Scoreboard::new(),
+                age: self.age_counter,
+                local_index,
+                domain: dom,
+                cursor: program.cursor(),
+                outstanding: 0,
+                block_slot,
+                stream_id: block_uid * 64 + w as u64,
                 issued: 0,
             };
             self.age_counter += 1;
@@ -261,6 +326,9 @@ impl SmCore {
             let d = &mut self.domains[dom as usize];
             d.warps.push(slot);
             d.regs_used += regs_per_warp;
+            if self.fast {
+                self.active_dirty[dom as usize] = true;
+            }
             slots.push(slot);
             free_iter += 1;
         }
@@ -282,20 +350,26 @@ impl SmCore {
         true
     }
 
-    /// Advances the SM by one cycle.
-    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSystem, tracer: &mut Tracer<'_>) {
+    /// Advances the SM by one cycle. Returns `true` if any architectural
+    /// state changed — a completion retired, a bank granted, a warp moved,
+    /// an instruction dispatched or issued (or *could have been* selected:
+    /// a non-empty candidate list counts conservatively, since selectors
+    /// may carry internal state), or a fetch filled an ibuffer slot. A
+    /// `false` return means the very same tick would repeat verbatim every
+    /// cycle until the wake point reported by [`SmCore::wake_hint`].
+    pub(crate) fn tick(&mut self, now: u64, mem: &mut MemSystem, tracer: &mut Tracer<'_>) -> bool {
         if self.is_idle() {
             if let Some(trace) = &mut self.rf_trace {
                 trace.push(0);
             }
-            return;
+            return false;
         }
         let sm = self.id as u32;
         self.active_cycles += 1;
         self.grants_this_cycle = 0;
         self.warp_cycles += u64::from(self.live_warps);
         self.write_masks.iter_mut().for_each(|m| *m = 0);
-        self.writeback(now);
+        let mut changed = self.writeback(now);
         // Operand collection: snapshot queue lengths (the scheduler's view),
         // then grant one request per bank (skipping banks whose port a
         // writeback consumed, when write contention is modeled).
@@ -321,18 +395,19 @@ impl SmCore {
             }
             self.grants_this_cycle += d.arbiter.grant_masked(&mut d.cus, mask);
         }
+        changed |= self.grants_this_cycle > 0;
         if self.work_stealing {
-            self.steal_warps(now);
+            changed |= self.steal_warps(now);
         }
-        self.dispatch(now, mem);
+        changed |= self.dispatch(now, mem);
         let mut finalize = std::mem::take(&mut self.finalize_scratch);
         finalize.clear();
         for di in 0..self.domains.len() {
-            self.issue_domain(di, now, &mut finalize, tracer);
+            changed |= self.issue_domain(di, now, &mut finalize, tracer);
         }
         if self.bank_stealing {
             for di in 0..self.domains.len() {
-                self.steal_banks(di, now, tracer);
+                changed |= self.steal_banks(di, now, tracer);
             }
         }
         for bs in finalize.drain(..) {
@@ -340,18 +415,120 @@ impl SmCore {
             tracer.emit(|| TraceEvent::BlockDealloc { cycle: now, sm, block_slot: bs as u32 });
         }
         self.finalize_scratch = finalize;
-        self.fetch();
+        changed |= self.fetch();
         if let Some(trace) = &mut self.rf_trace {
             trace.push(self.grants_this_cycle.min(u32::from(u16::MAX)) as u16);
         }
+        changed
     }
 
-    fn writeback(&mut self, now: u64) {
+    /// The earliest future cycle at which this SM's state can change on its
+    /// own, given that the tick at `now` changed nothing: the next
+    /// completion, the expiry of a migration stall on a ready warp, or a
+    /// pipeline unit freeing up under a collected instruction waiting to
+    /// dispatch. Returns `u64::MAX` when no such event is pending (idle, or
+    /// deadlocked on a barrier that only another SM's progress could break
+    /// — which cannot happen with well-formed kernels; the caller then
+    /// runs into the cycle limit exactly as the polled loop would).
+    ///
+    /// Only meaningful in event-driven mode immediately after an unchanged
+    /// tick: every blocked-warp reason other than the three above implies
+    /// the tick *did* change state (a grant drained a queue, a fetch filled
+    /// a buffer, …), so those three are the complete wake set.
+    pub(crate) fn wake_hint(&self, now: u64) -> u64 {
+        debug_assert!(self.fast, "wake hints are only valid in event-driven mode");
+        if self.is_idle() {
+            return u64::MAX;
+        }
+        let mut wake = u64::MAX;
+        if let Some(&Reverse((cycle, _, _))) = self.completions.peek() {
+            wake = wake.min(cycle);
+        }
+        for (di, d) in self.domains.iter().enumerate() {
+            debug_assert!(!self.active_dirty[di], "unchanged tick leaves ready lists clean");
+            for &slot in &d.active {
+                let w = self.warps[slot as usize].as_ref().expect("active warps are resident");
+                if w.stall_until > now {
+                    wake = wake.min(w.stall_until);
+                }
+            }
+            for cu in &d.cus {
+                if cu.busy && cu.ready {
+                    let p = if cu.instr.instr.mem.is_some() {
+                        Pipeline::Lsu
+                    } else {
+                        cu.instr.instr.op.pipeline()
+                    };
+                    wake = wake.min(d.exec.earliest_free(p));
+                }
+            }
+        }
+        wake
+    }
+
+    /// Fast-forwards this SM over `k` quiescent cycles starting at `start`,
+    /// reproducing exactly the statistics and probe events the polled loop
+    /// would have produced by re-running the unchanged tick: one active
+    /// cycle, one stall (per the frozen classification) per domain, frozen
+    /// bank queues (necessarily empty — a pending request would have been
+    /// granted), and zero register-file reads per cycle.
+    pub(crate) fn account_skipped(&mut self, start: u64, k: u64, tracer: &mut Tracer<'_>) {
+        if k == 0 {
+            return;
+        }
+        if self.is_idle() {
+            // An idle SM's tick only records the (empty) RF-read sample.
+            if let Some(trace) = &mut self.rf_trace {
+                trace.resize(trace.len() + k as usize, 0);
+            }
+            return;
+        }
+        self.active_cycles += k;
+        self.warp_cycles += k * u64::from(self.live_warps);
+        for d in &mut self.domains {
+            d.arbiter.advance_idle(k);
+            d.stalls.bump_n(d.stall_snapshot.0, k);
+        }
+        if let Some(trace) = &mut self.rf_trace {
+            trace.resize(trace.len() + k as usize, 0);
+        }
+        if tracer.enabled() {
+            let sm = self.id as u32;
+            for cycle in start..start + k {
+                for (di, d) in self.domains.iter().enumerate() {
+                    let nb = (d.num_banks as usize).min(MAX_TRACED_BANKS);
+                    tracer.emit(|| TraceEvent::BankDepths {
+                        cycle,
+                        sm,
+                        domain: di as u32,
+                        num_banks: nb as u8,
+                        depths: [0u16; MAX_TRACED_BANKS],
+                    });
+                }
+                for (di, d) in self.domains.iter().enumerate() {
+                    let (kind, blocked) = d.stall_snapshot;
+                    tracer.emit(|| TraceEvent::Stall { cycle, sm, domain: di as u32, kind });
+                    if blocked > 0 {
+                        tracer.emit(|| TraceEvent::CuAllocFail {
+                            cycle,
+                            sm,
+                            domain: di as u32,
+                            blocked_warps: blocked,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn writeback(&mut self, now: u64) -> bool {
+        let mut retired = false;
         while let Some(&Reverse((cycle, slot, dst))) = self.completions.peek() {
             if cycle > now {
                 break;
             }
             self.completions.pop();
+            retired = true;
             let w = self.warps[slot as usize]
                 .as_mut()
                 .expect("completions never outlive their warp's block");
@@ -365,12 +542,14 @@ impl SmCore {
                 }
             }
         }
+        retired
     }
 
     /// Idealized work stealing: a sub-core with no *runnable* warps (all
     /// exited or parked at a barrier) pulls the youngest runnable warp from
     /// the most-loaded sub-core, paying a register-copy penalty.
-    fn steal_warps(&mut self, now: u64) {
+    fn steal_warps(&mut self, now: u64) -> bool {
+        let mut stole = false;
         let runnable = |warps: &[Option<WarpContext>], s: u32| {
             warps[s as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready)
         };
@@ -421,17 +600,24 @@ impl SmCore {
             let new_local = self.domains[di].warps.len() as u32;
             self.domains[di].warps.push(slot);
             self.domains[di].regs_used += regs;
+            if self.fast {
+                self.active_dirty[donor] = true;
+                self.active_dirty[di] = true;
+            }
             let w = self.warps[slot as usize].as_mut().expect("live warp resident");
             w.domain = di as u32;
             w.local_index = new_local;
             // Register-file copy penalty: regs/2 cycles (two banks move one
             // 128 B register each per cycle).
             w.stall_until = now + u64::from(regs / 2);
+            stole = true;
         }
+        stole
     }
 
     /// Moves fully collected collector units into execution pipelines.
-    fn dispatch(&mut self, now: u64, mem: &mut MemSystem) {
+    fn dispatch(&mut self, now: u64, mem: &mut MemSystem) -> bool {
+        let mut dispatched = false;
         let Self { domains, warps, completions, txn_scratch, id, line_bytes, .. } = self;
         for d in domains.iter_mut() {
             for cu in d.cus.iter_mut() {
@@ -472,8 +658,10 @@ impl SmCore {
                 completions.push(Reverse((done_at.max(now + 1), slot, instr.instr.dst)));
                 cu.busy = false;
                 cu.ready = false;
+                dispatched = true;
             }
         }
+        dispatched
     }
 
     fn issue_domain(
@@ -482,22 +670,41 @@ impl SmCore {
         now: u64,
         finalize: &mut Vec<usize>,
         tracer: &mut Tracer<'_>,
-    ) {
+    ) -> bool {
         let Self {
-            id, domains, warps, blocks, issued_total, live_warps, warp_level_dealloc, ..
+            id,
+            domains,
+            warps,
+            blocks,
+            issued_total,
+            live_warps,
+            warp_level_dealloc,
+            fast,
+            barrier_counts,
+            active_dirty,
+            ibuf_pool,
+            ..
         } = self;
+        let fast = *fast;
         let sm = *id as u32;
         let d = &mut domains[di];
+        if fast && active_dirty[di] {
+            rebuild_active(d, warps);
+            active_dirty[di] = false;
+        }
         let mut free_cus = d.cus.iter().filter(|c| !c.busy).count();
 
         let mut saw_live = false;
-        let mut saw_barrier = false;
+        // Parked warps are not on the ready list, so in fast mode their
+        // presence comes from the barrier counter instead of the scan.
+        let mut saw_barrier = fast && barrier_counts[di] > 0;
         let mut blocked_scoreboard = 0u32;
         let mut blocked_no_cu = 0u32;
 
         let mut candidates = std::mem::take(&mut d.candidates);
         candidates.clear();
-        for &slot in &d.warps {
+        let scan: &[u32] = if fast { &d.active } else { &d.warps };
+        for &slot in scan {
             let w = warps[slot as usize].as_ref().expect("domain warps are resident");
             match w.run {
                 WarpRun::Exited => continue,
@@ -540,6 +747,10 @@ impl SmCore {
                 pipeline: i.op.pipeline(),
             });
         }
+        // Conservative change marker: a non-empty candidate list reaches the
+        // selector, which may update internal policy state even without
+        // issuing.
+        let had_candidates = !candidates.is_empty();
 
         let mut issued_any = false;
         for _ in 0..d.issue_width {
@@ -567,6 +778,10 @@ impl SmCore {
             match i.op {
                 OpClass::Barrier => {
                     warps[slot as usize].as_mut().expect("resident").run = WarpRun::AtBarrier;
+                    if fast {
+                        barrier_counts[di] += 1;
+                        active_dirty[di] = true;
+                    }
                     let block = blocks[block_slot].as_mut().expect("warp's block resident");
                     block.at_barrier += 1;
                     tracer.emit(|| TraceEvent::BarrierWait {
@@ -578,7 +793,14 @@ impl SmCore {
                     });
                     if block.at_barrier == block.live_warps {
                         let released = block.at_barrier;
-                        release_barrier(block, block_slot, warps);
+                        release_barrier(
+                            block,
+                            block_slot,
+                            warps,
+                            fast,
+                            barrier_counts,
+                            active_dirty,
+                        );
                         tracer.emit(|| TraceEvent::BarrierRelease {
                             cycle: now,
                             sm,
@@ -589,6 +811,9 @@ impl SmCore {
                 }
                 OpClass::Exit => {
                     warps[slot as usize].as_mut().expect("resident").run = WarpRun::Exited;
+                    if fast {
+                        active_dirty[di] = true;
+                    }
                     *live_warps -= 1;
                     tracer.emit(|| TraceEvent::Occupancy {
                         cycle: now,
@@ -600,7 +825,14 @@ impl SmCore {
                     if block.live_warps == 0 {
                         finalize.push(block_slot);
                     } else if block.at_barrier == block.live_warps && block.at_barrier > 0 {
-                        release_barrier(block, block_slot, warps);
+                        release_barrier(
+                            block,
+                            block_slot,
+                            warps,
+                            fast,
+                            barrier_counts,
+                            active_dirty,
+                        );
                         tracer.emit(|| TraceEvent::BarrierRelease {
                             cycle: now,
                             sm,
@@ -616,7 +848,9 @@ impl SmCore {
                             d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
                         d.warps.remove(pos);
                         d.regs_used -= block.regs_per_warp;
-                        warps[slot as usize] = None;
+                        if let Some(w) = warps[slot as usize].take() {
+                            ibuf_pool.push(w.ibuffer);
+                        }
                         tracer.emit(|| TraceEvent::WarpDealloc {
                             cycle: now,
                             sm,
@@ -677,6 +911,7 @@ impl SmCore {
                 StallKind::EmptyIbuffer
             };
             d.stalls.bump(kind);
+            d.stall_snapshot = (kind, blocked_no_cu);
             tracer.emit(|| TraceEvent::Stall { cycle: now, sm, domain: di as u32, kind });
         }
         if blocked_no_cu > 0 {
@@ -687,12 +922,14 @@ impl SmCore {
                 blocked_warps: blocked_no_cu,
             });
         }
+        had_candidates
     }
 
     /// The register bank-stealing baseline \[36\]: when a bank's request queue
     /// is idle and a collector unit is free, pre-allocate the oldest ready
     /// warp whose operands touch that idle bank, ahead of normal issue.
-    fn steal_banks(&mut self, di: usize, now: u64, tracer: &mut Tracer<'_>) {
+    fn steal_banks(&mut self, di: usize, now: u64, tracer: &mut Tracer<'_>) -> bool {
+        let mut stole = false;
         let Self { id, domains, warps, issued_total, .. } = self;
         let sm = *id as u32;
         let d = &mut domains[di];
@@ -701,7 +938,7 @@ impl SmCore {
                 continue;
             }
             let Some(cu_idx) = d.free_cu() else {
-                return;
+                return stole;
             };
             // Oldest issuable warp whose head instruction reads this bank.
             let mut best: Option<(u64, u32)> = None;
@@ -750,6 +987,7 @@ impl SmCore {
             w.issued += 1;
             d.issued += 1;
             *issued_total += 1;
+            stole = true;
             // Bank-steal issues bypass the warp scheduler (and its RBA
             // score logic), so they carry no score and do not count as
             // scheduler issue-cycles.
@@ -762,6 +1000,7 @@ impl SmCore {
                 bank_steal: true,
             });
         }
+        stole
     }
 
     fn free_block(&mut self, block_slot: usize) {
@@ -780,20 +1019,49 @@ impl SmCore {
             d.regs_used -= block.regs_per_warp;
             let pos = d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
             d.warps.remove(pos);
+            self.ibuf_pool.push(w.ibuffer);
         }
         self.shared_used -= block.shared_mem;
         self.resident_blocks -= 1;
     }
 
-    fn fetch(&mut self) {
-        for w in self.warps.iter_mut().flatten() {
-            if w.run != WarpRun::Ready || w.ibuffer.len() >= self.ibuffer_depth {
-                continue;
+    fn fetch(&mut self) -> bool {
+        let mut fetched = false;
+        if self.fast {
+            // Barrier releases during issue may have woken warps in any
+            // domain (including ones already issued this cycle), so refresh
+            // stale ready lists first — the polled reference fetches those
+            // warps this very cycle, and the lists must also be exact for
+            // the wake-hint scan that may follow this tick.
+            let Self { domains, warps, active_dirty, ibuffer_depth, .. } = self;
+            for (di, d) in domains.iter_mut().enumerate() {
+                if active_dirty[di] {
+                    rebuild_active(d, warps);
+                    active_dirty[di] = false;
+                }
+                for &slot in &d.active {
+                    let w = warps[slot as usize].as_mut().expect("active warps are resident");
+                    if w.ibuffer.len() >= *ibuffer_depth {
+                        continue;
+                    }
+                    if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
+                        w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+                        fetched = true;
+                    }
+                }
             }
-            if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
-                w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+        } else {
+            for w in self.warps.iter_mut().flatten() {
+                if w.run != WarpRun::Ready || w.ibuffer.len() >= self.ibuffer_depth {
+                    continue;
+                }
+                if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
+                    w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+                    fetched = true;
+                }
             }
         }
+        fetched
     }
 
     // ---- statistics accessors -------------------------------------------
@@ -868,12 +1136,27 @@ impl SmCore {
 
 /// Wakes every warp of the block in `block_slot` waiting at the barrier.
 /// Slots freed by warp-level deallocation (possibly reused by another
-/// block's warps) are skipped via the block-identity check.
-fn release_barrier(block: &mut BlockState, block_slot: usize, warps: &mut [Option<WarpContext>]) {
+/// block's warps) are skipped via the block-identity check. In fast mode
+/// each woken warp's domain gets its barrier count decremented and its
+/// ready list marked stale (rebuilding keeps warp-table order, so the
+/// woken warps re-enter the candidate scan exactly where the polled
+/// reference would see them).
+fn release_barrier(
+    block: &mut BlockState,
+    block_slot: usize,
+    warps: &mut [Option<WarpContext>],
+    fast: bool,
+    barrier_counts: &mut [u32],
+    active_dirty: &mut [bool],
+) {
     for &slot in &block.warp_slots {
         if let Some(w) = warps[slot as usize].as_mut() {
             if w.block_slot == block_slot && w.run == WarpRun::AtBarrier {
                 w.run = WarpRun::Ready;
+                if fast {
+                    barrier_counts[w.domain as usize] -= 1;
+                    active_dirty[w.domain as usize] = true;
+                }
             }
         }
     }

@@ -53,12 +53,19 @@ impl StallBreakdown {
     /// (the engine classifies the cause once and uses it for both the
     /// breakdown and the emitted [`StallKind`] probe event).
     pub fn bump(&mut self, kind: StallKind) {
+        self.bump_n(kind, 1);
+    }
+
+    /// Charges `n` stalled scheduler-cycles to the bucket matching `kind`
+    /// at once (the event-driven core's skip-ahead attributes a whole
+    /// quiescent span in one step).
+    pub fn bump_n(&mut self, kind: StallKind, n: u64) {
         match kind {
-            StallKind::Idle => self.idle += 1,
-            StallKind::Barrier => self.barrier += 1,
-            StallKind::NoCollectorUnit => self.no_collector_unit += 1,
-            StallKind::Scoreboard => self.scoreboard += 1,
-            StallKind::EmptyIbuffer => self.empty_ibuffer += 1,
+            StallKind::Idle => self.idle += n,
+            StallKind::Barrier => self.barrier += n,
+            StallKind::NoCollectorUnit => self.no_collector_unit += n,
+            StallKind::Scoreboard => self.scoreboard += n,
+            StallKind::EmptyIbuffer => self.empty_ibuffer += n,
         }
     }
 }

@@ -27,40 +27,43 @@ pub(crate) enum WarpRun {
 }
 
 /// All state for one warp resident on an SM.
+///
+/// Field order groups the issue-path hot state first (everything the
+/// per-cycle candidate scan and fetch stage touch: lifecycle, stall gate,
+/// scoreboard, instruction buffer, age, bank-swizzle index), with the
+/// colder block-lifecycle and statistics fields after. The SM-wide slot
+/// number and intra-block warp id are not stored at all — they are implied
+/// by the warp's position in the SM table and its block's `warp_slots`
+/// list.
 #[derive(Debug)]
 pub(crate) struct WarpContext {
-    /// SM-wide warp slot.
-    #[allow(dead_code)]
-    pub slot: u32,
-    /// Globally unique id used to derive independent memory streams.
-    pub stream_id: u64,
-    /// Index into the SM's resident-block table.
-    pub block_slot: usize,
-    /// Warp id within its block (`threadIdx / 32`).
-    #[allow(dead_code)]
-    pub warp_in_block: u32,
-    /// Scheduler domain (sub-core) the warp is pinned to.
-    pub domain: u32,
-    /// Index within the sub-core's scheduler table at assignment time; the
-    /// register-file bank swizzle is derived from this (register banks are
-    /// sub-core-local structures).
-    pub local_index: u32,
-    /// Allocation age: smaller = assigned earlier (GTO "oldest").
-    pub age: u64,
-    /// Position in the warp's trace.
-    pub cursor: Cursor,
+    /// Lifecycle state (checked first by every scan).
+    pub run: WarpRun,
+    /// The warp may not issue before this cycle (used by the idealized
+    /// work-stealing option to charge a register-migration penalty).
+    pub stall_until: u64,
     /// Decoded instructions awaiting issue.
     pub ibuffer: VecDeque<DecodedInstr>,
     /// Pending register writes.
     pub scoreboard: Scoreboard,
-    /// Lifecycle state.
-    pub run: WarpRun,
+    /// Allocation age: smaller = assigned earlier (GTO "oldest").
+    pub age: u64,
+    /// Index within the sub-core's scheduler table at assignment time; the
+    /// register-file bank swizzle is derived from this (register banks are
+    /// sub-core-local structures).
+    pub local_index: u32,
+    /// Scheduler domain (sub-core) the warp is pinned to.
+    pub domain: u32,
+    /// Position in the warp's trace.
+    pub cursor: Cursor,
     /// Instructions issued but not yet completed (exit waits for zero so no
     /// completion can outlive the warp's block).
     pub outstanding: u32,
-    /// The warp may not issue before this cycle (used by the idealized
-    /// work-stealing option to charge a register-migration penalty).
-    pub stall_until: u64,
+    // ---- cold: block lifecycle and statistics ---------------------------
+    /// Index into the SM's resident-block table.
+    pub block_slot: usize,
+    /// Globally unique id used to derive independent memory streams.
+    pub stream_id: u64,
     /// Dynamic instructions issued by this warp (stat).
     pub issued: u64,
 }

@@ -3,11 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... | all [--out DIR]
+//! repro <experiment>... | all [--out DIR] [--jobs N]
 //! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
 //! repro lint --calibrate [<app>...] [--window N] [--json]
+//! repro bench-engine [--out DIR]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 fig18 latency banks hashtable contribution
@@ -30,19 +31,27 @@
 //! apps by static bank pressure and correlates the ranking against traced
 //! mean bank-queue depths.
 //!
+//! `bench-engine` is the engine-mode perf smoke: it runs the headline
+//! workload subset under both the event-driven and polled-reference
+//! engines (bypassing the session cache so timings are honest), fails if
+//! any stats diverge, and writes the measured speedups to
+//! `<out>/BENCH_engine.json`.
+//!
 //! Simulations are memoized on disk under `<out>/.simcache/` (keyed by a
 //! content fingerprint and stamped with the engine version), so re-running
 //! an experiment replays cached results instead of simulating; pass
 //! `--no-cache` for a purely in-memory session. A telemetry summary is
 //! printed on exit and the per-run breakdown written to
-//! `<out>/run_telemetry.csv`.
+//! `<out>/run_telemetry.csv`. `--jobs N` (or the `SUBCORE_JOBS`
+//! environment variable) caps the worker pool's thread count; the cap in
+//! force is recorded in the telemetry summary and CSV.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
-use subcore_experiments::{figs, lint, trace};
+use subcore_experiments::{engine_bench, figs, lint, trace};
 use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
 use subcore_isa::Suite;
 use subcore_persist::Json;
@@ -131,18 +140,69 @@ fn main() -> ExitCode {
         out_dir = PathBuf::from(args.remove(i + 1));
         args.remove(i);
     }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        if i + 1 >= args.len() {
+            eprintln!("--jobs needs a positive worker count");
+            return ExitCode::FAILURE;
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                subcore_experiments::set_jobs(n);
+            }
+            _ => {
+                eprintln!("--jobs needs a positive worker count, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache]");
+        eprintln!(
+            "usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache] [--jobs N]"
+        );
         eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
         eprintln!("       repro lint --calibrate [<app>...] [--window N] [--json]");
+        eprintln!("       repro bench-engine [--out DIR]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
     if args.iter().any(|a| a == "summary") {
         print!("{}", subcore_experiments::summary::render(&out_dir));
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "bench-engine" {
+        args.remove(0);
+        if !args.is_empty() {
+            eprintln!("bench-engine takes no further arguments, got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        // Direct simulate_app calls — no session, so no telemetry block.
+        let report = match engine_bench::run_cases(engine_bench::headline_cases()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-engine FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.render());
+        let path = out_dir.join("BENCH_engine.json");
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("failed to create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        return match std::fs::write(&path, report.to_json().render()) {
+            Ok(()) => {
+                eprintln!("bench → {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
     }
     if args[0] == "lint" {
         args.remove(0);

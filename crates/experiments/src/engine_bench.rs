@@ -1,0 +1,241 @@
+//! Head-to-head engine-mode benchmark (`repro bench-engine`): runs a
+//! fixed headline workload subset under both [`EngineMode`]s, asserts the
+//! resulting `RunStats` are bit-identical, and reports per-case and
+//! aggregate throughput.
+//!
+//! This is the verify gate's perf smoke test: it fails loudly if the
+//! event-driven fast path ever diverges from the polled reference on the
+//! workloads the figures are built from, and it archives the measured
+//! speedups to `BENCH_engine.json` so regressions are visible in review.
+//! Simulations run directly through [`simulate_app`] — not the memoizing
+//! session — so both modes are timed honestly.
+
+use std::time::Instant;
+
+use subcore_engine::{simulate_app, EngineMode, GpuConfig, RunStats};
+use subcore_isa::App;
+use subcore_persist::Json;
+use subcore_sched::Design;
+
+/// One benchmark case: a workload under a design on a base configuration.
+pub struct EngineBenchCase {
+    /// Workload to simulate.
+    pub app: App,
+    /// Design applied to the base configuration.
+    pub design: Design,
+    /// Base configuration (the engine mode is overridden per run).
+    pub base: GpuConfig,
+}
+
+/// Measured outcome of one case (stats already verified identical).
+pub struct EngineBenchRow {
+    /// `app/design` label.
+    pub label: String,
+    /// Simulated cycles (identical in both modes by construction).
+    pub cycles: u64,
+    /// Wall seconds of the polled-reference run.
+    pub reference_secs: f64,
+    /// Wall seconds of the event-driven run.
+    pub event_secs: f64,
+}
+
+impl EngineBenchRow {
+    /// Wall-time speedup of the event-driven engine over the reference.
+    pub fn speedup(&self) -> f64 {
+        self.reference_secs / self.event_secs
+    }
+}
+
+/// The full bench report: one row per case.
+pub struct EngineBenchReport {
+    /// Per-case measurements, in case order.
+    pub rows: Vec<EngineBenchRow>,
+}
+
+impl EngineBenchReport {
+    /// Geometric-mean wall-time speedup across all cases.
+    pub fn geomean_speedup(&self) -> f64 {
+        crate::runner::geomean(&self.rows.iter().map(EngineBenchRow::speedup).collect::<Vec<_>>())
+    }
+
+    /// Human-readable table of the measurements.
+    pub fn render(&self) -> String {
+        let mut s = String::from("engine bench: event-driven vs polled reference\n");
+        s.push_str(&format!(
+            "  {:<28} {:>12} {:>11} {:>11} {:>8}\n",
+            "case", "cycles", "reference", "event", "speedup"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "  {:<28} {:>12} {:>10.2}s {:>10.2}s {:>7.2}x\n",
+                r.label,
+                r.cycles,
+                r.reference_secs,
+                r.event_secs,
+                r.speedup()
+            ));
+        }
+        s.push_str(&format!("  geomean speedup: {:.2}x\n", self.geomean_speedup()));
+        s
+    }
+
+    /// JSON artifact written to `BENCH_engine.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Uint(1)),
+            ("geomean_speedup", Json::Num(self.geomean_speedup())),
+            (
+                "cases",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("case", Json::Str(r.label.clone())),
+                                ("cycles", Json::Uint(r.cycles)),
+                                ("reference_secs", Json::Num(r.reference_secs)),
+                                ("event_secs", Json::Num(r.event_secs)),
+                                ("speedup", Json::Num(r.speedup())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Smoke-sized base configuration: 2 SMs keep each case in the low
+/// seconds while still exercising cross-SM admission and skip-ahead.
+fn smoke_base() -> GpuConfig {
+    GpuConfig::volta_v100().with_sms(2).with_max_cycles(20_000_000)
+}
+
+/// The fixed headline subset: one workload per behavior class (compute,
+/// register-bound, irregular, TPC-H, idle-heavy imbalance), Baseline
+/// everywhere plus one non-baseline design to cover policy interplay.
+pub fn headline_cases() -> Vec<EngineBenchCase> {
+    let registry = ["pb-sgemm", "rod-bp", "pb-spmv", "pb-sad", "tpcC-q9"];
+    let mut cases: Vec<EngineBenchCase> = registry
+        .iter()
+        .map(|name| EngineBenchCase {
+            app: subcore_workloads::app_by_name(name).expect("registry app"),
+            design: Design::Baseline,
+            base: smoke_base(),
+        })
+        .collect();
+    cases.push(EngineBenchCase {
+        app: subcore_workloads::fma_microbenchmark(
+            subcore_workloads::FmaLayout::Unbalanced,
+            4,
+            4096,
+        ),
+        design: Design::Baseline,
+        base: smoke_base(),
+    });
+    cases.push(EngineBenchCase {
+        app: subcore_workloads::fma_unbalanced_scaled(4, 512, 12),
+        design: Design::Baseline,
+        base: smoke_base(),
+    });
+    cases.push(EngineBenchCase {
+        app: subcore_workloads::app_by_name("pb-sgemm").expect("registry app"),
+        design: Design::Rba,
+        base: smoke_base(),
+    });
+    cases
+}
+
+/// Timed repetitions per mode per case: the minimum over the repetitions
+/// is reported, since scheduling noise only ever adds time.
+const TIMING_RUNS: usize = 3;
+
+/// Runs every case in both engine modes, asserting bit-exact stats.
+///
+/// Returns `Err` (instead of panicking) when a case diverges, so the
+/// `repro` binary can report the offending case and exit nonzero.
+pub fn run_cases(cases: Vec<EngineBenchCase>) -> Result<EngineBenchReport, String> {
+    let mut rows = Vec::with_capacity(cases.len());
+    for case in cases {
+        let label = format!("{}/{}", case.app.name(), case.design.label());
+        let cfg = case.design.config(&case.base);
+        let policies = case.design.policies();
+        let timed = |mode: EngineMode| -> Result<(RunStats, f64), String> {
+            let cfg = cfg.clone().with_engine_mode(mode);
+            let t0 = Instant::now();
+            let stats = simulate_app(&cfg, &policies, &case.app)
+                .map_err(|e| format!("{label} ({mode:?}): {e}"))?;
+            Ok((stats, t0.elapsed().as_secs_f64()))
+        };
+        let (reference, mut reference_secs) = timed(EngineMode::Reference)?;
+        let (event, mut event_secs) = timed(EngineMode::EventDriven)?;
+        if event != reference {
+            return Err(format!(
+                "{label}: event-driven stats diverged from the polled reference \
+                 (cycles {} vs {})",
+                event.cycles, reference.cycles
+            ));
+        }
+        // Modes alternate so slow drift (thermal, cache) hits both equally.
+        for _ in 1..TIMING_RUNS {
+            reference_secs = reference_secs.min(timed(EngineMode::Reference)?.1);
+            event_secs = event_secs.min(timed(EngineMode::EventDriven)?.1);
+        }
+        rows.push(EngineBenchRow { label, cycles: event.cycles, reference_secs, event_secs });
+    }
+    Ok(EngineBenchReport { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subcore_workloads::{fma_microbenchmark, FmaLayout};
+
+    fn tiny_case() -> EngineBenchCase {
+        EngineBenchCase {
+            app: fma_microbenchmark(FmaLayout::Unbalanced, 2, 64),
+            design: Design::Baseline,
+            base: GpuConfig::volta_v100().with_sms(1).with_max_cycles(5_000_000),
+        }
+    }
+
+    #[test]
+    fn tiny_case_matches_and_reports() {
+        let report = run_cases(vec![tiny_case()]).expect("modes agree");
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert!(row.cycles > 0);
+        assert!(row.reference_secs >= 0.0 && row.event_secs >= 0.0);
+        let text = report.render();
+        assert!(text.contains("geomean speedup"), "render: {text}");
+        assert!(text.contains(&row.label), "render: {text}");
+    }
+
+    #[test]
+    fn json_artifact_round_trips() {
+        let report = EngineBenchReport {
+            rows: vec![EngineBenchRow {
+                label: "app/baseline".into(),
+                cycles: 1000,
+                reference_secs: 2.0,
+                event_secs: 1.0,
+            }],
+        };
+        let json = report.to_json().render();
+        let parsed = Json::parse(&json).expect("valid json");
+        assert_eq!(parsed.field("schema").and_then(Json::as_u64).unwrap(), 1);
+        let cases = parsed.field("cases").and_then(Json::as_arr).unwrap();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].field("cycles").and_then(Json::as_u64).unwrap(), 1000);
+        let speedup = cases[0].field("speedup").and_then(Json::as_f64).unwrap();
+        assert!((speedup - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headline_cases_cover_the_behavior_classes() {
+        let cases = headline_cases();
+        assert!(cases.len() >= 5);
+        assert!(cases.iter().any(|c| c.app.name().starts_with("tpc")), "TPC-H case present");
+        assert!(cases.iter().any(|c| !matches!(c.design, Design::Baseline)), "non-baseline case");
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod engine_bench;
 pub mod figs;
 pub mod lint;
 pub mod report;
@@ -43,7 +44,9 @@ pub mod telemetry;
 pub mod trace;
 
 pub use report::{csv_field, Table};
-pub use runner::{geomean, mean, parallel_map, run_design, speedup, suite_base, tpch_base};
+pub use runner::{
+    geomean, jobs_cap, mean, parallel_map, run_design, set_jobs, speedup, suite_base, tpch_base,
+};
 pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use sweep::speedup_table;
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};

@@ -8,7 +8,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::session::session;
@@ -72,6 +72,32 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+// Process-wide worker-count ceiling for `parallel_map`. Resolved once: an
+// explicit `set_jobs` (the `repro --jobs N` flag) wins; otherwise the
+// `SUBCORE_JOBS` environment variable is consulted on first use.
+static JOBS_CAP: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Caps every subsequent [`parallel_map`] invocation at `n` workers
+/// (clamped to at least 1). Returns `false` if the cap was already
+/// resolved — by an earlier call or by a pool that already consulted
+/// `SUBCORE_JOBS` — in which case the existing value stands.
+pub fn set_jobs(n: usize) -> bool {
+    JOBS_CAP.set(Some(n.max(1))).is_ok()
+}
+
+/// The effective worker-count ceiling, if any: an explicit [`set_jobs`]
+/// value, else a positive integer `SUBCORE_JOBS` environment variable,
+/// else `None` (use all available parallelism).
+pub fn jobs_cap() -> Option<usize> {
+    *JOBS_CAP.get_or_init(|| std::env::var("SUBCORE_JOBS").ok().and_then(|v| parse_jobs(&v)))
+}
+
+/// Parses a `SUBCORE_JOBS` value: a positive integer, whitespace-trimmed;
+/// anything else (including `0`) means "no cap".
+fn parse_jobs(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
 /// Maps `f` over `items` on a pool of worker threads, preserving order.
 ///
 /// Simulation is CPU-bound and embarrassingly parallel across (app, design)
@@ -94,7 +120,10 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map_or(4, |w| w.get()).min(n);
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |w| w.get())
+        .min(n)
+        .min(jobs_cap().unwrap_or(usize::MAX));
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
@@ -202,6 +231,34 @@ mod tests {
         assert!(msg.contains("2 of 4 parallel jobs panicked"), "got: {msg}");
         assert!(msg.contains("job #1: job 2 exploded"), "got: {msg}");
         assert!(msg.contains("job #3: job 4 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 8 "), Some(8));
+        assert_eq!(parse_jobs("0"), None, "0 means no cap, not a zero-worker pool");
+        assert_eq!(parse_jobs("all"), None);
+        assert_eq!(parse_jobs(""), None);
+        assert_eq!(parse_jobs("-2"), None);
+    }
+
+    // The cap is a process-wide OnceLock shared with every other test in
+    // this binary, so this test asserts resolve-once semantics without
+    // assuming it gets there first. The probe value is large enough to
+    // leave concurrent `parallel_map` tests unconstrained if it wins.
+    #[test]
+    fn jobs_cap_resolves_exactly_once() {
+        let before = jobs_cap();
+        let accepted = set_jobs(64);
+        if accepted {
+            assert_eq!(jobs_cap(), Some(64));
+        } else {
+            assert_eq!(jobs_cap(), before, "rejected set_jobs must not change the cap");
+        }
+        let settled = jobs_cap();
+        assert!(!set_jobs(1), "second explicit set is rejected");
+        assert_eq!(jobs_cap(), settled);
     }
 
     #[test]

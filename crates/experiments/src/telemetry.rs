@@ -153,6 +153,7 @@ impl Telemetry {
             pool_busy,
             pool_wall,
             pool_max_workers,
+            jobs_cap: crate::runner::jobs_cap(),
         }
     }
 
@@ -162,20 +163,24 @@ impl Telemetry {
     }
 
     /// Writes the per-run records as CSV (`key,app,design,source,traced,
-    /// wall_ms,cycles,cycles_per_sec`), creating parent directories as
-    /// needed. Free-form fields are escaped via [`csv_field`].
+    /// wall_ms,cycles,cycles_per_sec,jobs`), creating parent directories
+    /// as needed. Free-form fields are escaped via [`csv_field`]; the
+    /// `jobs` column carries the session's worker-count ceiling (empty
+    /// when uncapped) so archived telemetry records the pool geometry the
+    /// wall times were measured under.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
+        let jobs = crate::runner::jobs_cap().map_or(String::new(), |n| n.to_string());
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(out, "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec")?;
+        writeln!(out, "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs")?;
         for r in self.records() {
             let secs = r.wall.as_secs_f64();
             let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
             writeln!(
                 out,
-                "{:016x},{},{},{},{},{:.3},{},{:.0}",
+                "{:016x},{},{},{},{},{:.3},{},{:.0},{}",
                 r.key,
                 csv_field(&r.app),
                 csv_field(&r.design),
@@ -183,7 +188,8 @@ impl Telemetry {
                 r.traced,
                 secs * 1e3,
                 r.cycles,
-                rate
+                rate,
+                jobs
             )?;
         }
         out.flush()
@@ -220,6 +226,9 @@ pub struct TelemetrySnapshot {
     /// Largest worker count any `parallel_map` invocation used (since this
     /// session's telemetry was created).
     pub pool_max_workers: usize,
+    /// The worker-count ceiling in force (`repro --jobs N` or the
+    /// `SUBCORE_JOBS` environment variable), `None` when uncapped.
+    pub jobs_cap: Option<usize>,
 }
 
 impl TelemetrySnapshot {
@@ -275,6 +284,13 @@ impl TelemetrySnapshot {
                 format!("{:.0}% of {} workers", util * 100.0, self.pool_max_workers)
             } else {
                 "n/a".into()
+            },
+        );
+        line(
+            "jobs cap",
+            match self.jobs_cap {
+                Some(n) => n.to_string(),
+                None => "none (all cores)".into(),
             },
         );
         s
@@ -353,7 +369,9 @@ mod tests {
         t.note_run();
         t.note_materialized(record(RunSource::Simulated, 5_000_000, 100));
         let text = t.snapshot().summary();
-        for needle in ["runs", "fresh simulations", "memo hits", "disk-cache hits", "Mcycles/s"] {
+        for needle in
+            ["runs", "fresh simulations", "memo hits", "disk-cache hits", "Mcycles/s", "jobs cap"]
+        {
             assert!(text.contains(needle), "summary missing `{needle}`:\n{text}");
         }
     }
@@ -369,7 +387,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec");
+        assert_eq!(lines[0], "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs");
         assert!(lines[1].contains(",sim,false,"), "got {}", lines[1]);
         assert!(lines[2].contains(",disk,false,"), "got {}", lines[2]);
         std::fs::remove_dir_all(&dir).ok();
@@ -395,7 +413,7 @@ mod tests {
         let row = text.lines().nth(1).expect("one data row");
         assert!(row.contains("\"scan,filter\""), "app not quoted: {row}");
         assert!(row.contains("\"rba \"\"tuned\"\"\""), "design not quoted: {row}");
-        // Escaped, the row has exactly the 8 header fields: the embedded
+        // Escaped, the row has exactly the 9 header fields: the embedded
         // comma and quotes no longer split it.
         let header_fields = text.lines().next().unwrap().split(',').count();
         let mut fields = 0;

@@ -37,4 +37,10 @@ cargo run --quiet --release -p subcore-experiments --bin repro -- lint --all --d
 echo "==> trace smoke test"
 cargo test -q -p subcore-integration --test trace_smoke
 
+# Engine-mode perf smoke: the event-driven fast path must stay bit-exact
+# with the polled reference on the headline workload subset; the measured
+# speedups land in results/BENCH_engine.json.
+echo "==> repro bench-engine"
+cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine
+
 echo "verify: OK"

@@ -3,7 +3,7 @@
 //! deterministic, and respect structural bounds.
 
 use proptest::prelude::*;
-use subcore_engine::{simulate_app, Connectivity};
+use subcore_engine::{simulate_app, Connectivity, EngineMode};
 use subcore_integration::test_gpu;
 use subcore_isa::Suite;
 use subcore_sched::Design;
@@ -145,6 +145,27 @@ proptest! {
         // are not issue cycles).
         prop_assert!(stats.issue_cycles <= stats.instructions);
         prop_assert!(stats.active_cycles <= stats.cycles * u64::from(cfg.num_sms));
+    }
+
+    /// The accounting invariants hold under *both* engine modes — in
+    /// particular across idle-cycle skip-ahead boundaries, where the
+    /// event-driven engine synthesizes whole stall spans at once: every
+    /// synthesized cycle must still land in exactly one stall bucket per
+    /// domain.
+    #[test]
+    fn stall_accounting_survives_skip_ahead(kernel in arb_kernel(), design in arb_design()) {
+        let app = AppParams::single("prop", Suite::Micro, kernel).build();
+        for mode in [EngineMode::EventDriven, EngineMode::Reference] {
+            let cfg = design.config(&test_gpu()).with_engine_mode(mode);
+            let stats = simulate_app(&cfg, &design.policies(), &app).expect("simulates");
+            let domains = stats.issued_per_scheduler[0].len() as u64;
+            prop_assert_eq!(
+                stats.issue_cycles + stats.stalls.total(),
+                stats.active_cycles * domains,
+                "mode {:?}: active cycles must partition into issue and stalls", mode
+            );
+            prop_assert_eq!(stats.instructions, app.total_dynamic_instructions());
+        }
     }
 
     /// Balanced assignment policies never differ from the baseline in
