@@ -3,7 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... | all [--out DIR] [--jobs N]
+//! repro <experiment>... | all [--out DIR] [--jobs N] [--resume]
+//!       [--retries N] [--job-timeout SECS] [--fail-fast] [--max-failures N]
+//! repro status [--out DIR]
+//! repro chaos [--seed S] [--fault-rate P] [--out DIR]
 //! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
@@ -45,14 +48,27 @@
 //! `<out>/run_telemetry.csv`. `--jobs N` (or the `SUBCORE_JOBS`
 //! environment variable) caps the worker pool's thread count; the cap in
 //! force is recorded in the telemetry summary and CSV.
+//!
+//! Sweeps run supervised: a panicking, erroring, or wedged (app, design)
+//! cell costs exactly that cell, rendered as an annotated gap. `--retries N`
+//! grants transient failures extra attempts, `--job-timeout SECS` overrides
+//! the derived per-cell watchdog deadline (0 disables it), and the exit
+//! code stays zero on partial results unless `--fail-fast` or
+//! `--max-failures N` says otherwise. Completed cells are journaled under
+//! `<out>/.journal/<campaign>/`; `--resume` replays journaled cells instead
+//! of recomputing them and `repro status` prints per-campaign progress.
+//! `repro chaos` runs the deterministic fault-injection drill: a faulted,
+//! mid-campaign-killed sweep followed by a `--resume` completion, verified
+//! bit-exact against a fault-free reference.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
-use subcore_experiments::{engine_bench, figs, lint, trace};
+use std::time::{Duration, Instant};
+use subcore_experiments::{chaos, engine_bench, figs, journal, lint, trace};
 use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
+use subcore_experiments::{set_policy, SupervisorPolicy};
 use subcore_isa::Suite;
 use subcore_persist::Json;
 use subcore_sched::Design;
@@ -157,10 +173,84 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Supervision knobs: every flag feeds the process-wide policy the
+    // supervised sweeps resolve on first use.
+    let take_flag = |args: &mut Vec<String>, flag: &str| -> bool {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            args.remove(i);
+            true
+        } else {
+            false
+        }
+    };
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs an argument"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    };
+    let fail_fast = take_flag(&mut args, "--fail-fast");
+    let resume = take_flag(&mut args, "--resume");
+    let max_failures = match take_value(&mut args, "--max-failures") {
+        Ok(v) => match v.map(|v| v.parse::<u64>().map_err(|_| v)).transpose() {
+            Ok(n) => n,
+            Err(v) => {
+                eprintln!("--max-failures needs a failure count, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retries = match take_value(&mut args, "--retries") {
+        Ok(v) => match v.map(|v| v.parse::<u32>().map_err(|_| v)).transpose() {
+            Ok(n) => n,
+            Err(v) => {
+                eprintln!("--retries needs a retry count, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let job_timeout = match take_value(&mut args, "--job-timeout") {
+        Ok(v) => match v.map(|v| v.parse::<u64>().map_err(|_| v)).transpose() {
+            Ok(n) => n.map(Duration::from_secs),
+            Err(v) => {
+                eprintln!("--job-timeout needs a deadline in seconds (0 disables), got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fail_fast || resume || max_failures.is_some() || retries.is_some() || job_timeout.is_some() {
+        let defaults = SupervisorPolicy::default();
+        set_policy(SupervisorPolicy {
+            retries: retries.unwrap_or(defaults.retries),
+            job_timeout: job_timeout.or(defaults.job_timeout),
+            fail_fast,
+            max_failures,
+            ..defaults
+        });
+    }
+    journal::set_resume(resume);
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache] [--jobs N]"
         );
+        eprintln!("             [--resume] [--retries N] [--job-timeout SECS] [--fail-fast] [--max-failures N]");
+        eprintln!("       repro status [--out DIR]");
+        eprintln!("       repro chaos [--seed S] [--fault-rate P] [--out DIR]");
         eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
@@ -172,6 +262,57 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "summary") {
         print!("{}", subcore_experiments::summary::render(&out_dir));
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "status" {
+        args.remove(0);
+        if !args.is_empty() {
+            eprintln!("status takes no further arguments, got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        print!("{}", journal::render_status(&out_dir.join(".journal")));
+        return ExitCode::SUCCESS;
+    }
+    if args[0] == "chaos" {
+        args.remove(0);
+        let mut seed: u64 = 42;
+        let mut rate: f64 = 0.3;
+        match take_value(&mut args, "--seed") {
+            Ok(Some(s)) => match s.parse::<u64>() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    eprintln!("--seed needs an integer seed, got `{s}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match take_value(&mut args, "--fault-rate") {
+            Ok(Some(r)) => match r.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => rate = r,
+                _ => {
+                    eprintln!("--fault-rate needs a probability in [0, 1], got `{r}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if !args.is_empty() {
+            eprintln!("chaos takes no further arguments, got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        // The drill runs against private sessions and a scratch journal —
+        // it never touches `<out>` or the global session.
+        let report = chaos::run_chaos(&chaos::ChaosOptions::headline(seed, rate));
+        print!("{}", report.render());
+        return if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     if args[0] == "bench-engine" {
         args.remove(0);
@@ -226,6 +367,9 @@ fn main() -> ExitCode {
     }
     let session =
         init_global(SessionOptions { disk_cache: (!no_cache).then(|| out_dir.join(".simcache")) });
+    // Sweeps journal their cells under `<out>/.journal/` so an interrupted
+    // campaign is resumable; `--resume` (handled above) replays them.
+    journal::set_root(out_dir.join(".journal"));
     let selected: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.to_vec()
     } else {
@@ -250,6 +394,14 @@ fn main() -> ExitCode {
         eprintln!("[{name}] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
     }
     finish_telemetry(session, &out_dir);
+    // Partial results exit zero by default — failed cells are already
+    // surfaced as gaps, annotations, and telemetry. The exit code only
+    // turns nonzero when the user asked for a failure budget.
+    let failed = session.telemetry().snapshot().failed;
+    if (fail_fast && failed > 0) || max_failures.is_some_and(|cap| failed > cap) {
+        eprintln!("failing exit: {failed} failed jobs exceed the requested budget");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

@@ -36,7 +36,10 @@ impl DiskCache {
         &self.dir
     }
 
-    fn entry_path(&self, key: SimKey) -> PathBuf {
+    /// The on-disk path of `key`'s entry (whether or not it exists). Public
+    /// for cache tooling and the fault-injection harness, which corrupts
+    /// entries in place to exercise the loader's degradation path.
+    pub fn entry_path(&self, key: SimKey) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
 
@@ -57,9 +60,13 @@ impl DiskCache {
     /// Stores `stats` under `key`, best-effort. Writes to a temporary file
     /// and renames, so concurrent readers (and crashes) never observe a
     /// half-written entry.
-    pub fn store(&self, key: SimKey, stats: &RunStats) {
+    ///
+    /// Returns whether the entry actually landed on disk; callers count
+    /// `false` into the session telemetry (a read-only `results/` must not
+    /// silently disable persistence).
+    pub fn store(&self, key: SimKey, stats: &RunStats) -> bool {
         if std::fs::create_dir_all(&self.dir).is_err() {
-            return;
+            return false;
         }
         let envelope = Json::obj([
             ("engine_version", Json::Str(ENGINE_VERSION.to_owned())),
@@ -67,11 +74,14 @@ impl DiskCache {
             ("stats", stats.to_json()),
         ]);
         let tmp = self.dir.join(format!(".{key}.{}.tmp", std::process::id()));
-        if std::fs::write(&tmp, envelope.render()).is_ok()
-            && std::fs::rename(&tmp, self.entry_path(key)).is_err()
-        {
-            std::fs::remove_file(&tmp).ok();
+        if std::fs::write(&tmp, envelope.render()).is_err() {
+            return false;
         }
+        if std::fs::rename(&tmp, self.entry_path(key)).is_err() {
+            std::fs::remove_file(&tmp).ok();
+            return false;
+        }
+        true
     }
 }
 
@@ -139,5 +149,50 @@ mod tests {
         std::fs::write(cache.entry_path(key), "{not json").unwrap();
         assert!(cache.load(key).is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_reports_failure_on_unwritable_root() {
+        // A plain file where the cache directory should be: create_dir_all
+        // fails, so the store must report (not swallow) the failure.
+        let path =
+            std::env::temp_dir().join(format!("subcore-cache-notadir-{}", std::process::id()));
+        std::fs::remove_dir_all(&path).ok();
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, b"file, not dir").unwrap();
+        let cache = DiskCache::new(&path);
+        assert!(!cache.store(SimKey::from_raw(3), &sample_stats()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    proptest::proptest! {
+        /// Arbitrary byte-mutations of a valid on-disk entry never panic
+        /// the loader: every corruption degrades to a miss or — when the
+        /// mutation happens to keep the envelope intact — a well-formed
+        /// hit. (The fault-injection harness relies on this: corrupted
+        /// cache entries re-simulate instead of aborting a campaign.)
+        #[test]
+        fn loader_survives_arbitrary_entry_corruption(
+            seed in proptest::any::<u64>(),
+            edits in proptest::prop::collection::vec(
+                (proptest::any::<u16>(), proptest::any::<u8>()),
+                1..8,
+            ),
+        ) {
+            let dir = scratch(&format!("fuzz-{seed:x}"));
+            let cache = DiskCache::new(&dir);
+            let key = SimKey::from_raw(seed);
+            cache.store(key, &sample_stats());
+            let path = cache.entry_path(key);
+            let mut bytes = std::fs::read(&path).expect("entry written");
+            for (pos, val) in edits {
+                let i = pos as usize % bytes.len();
+                bytes[i] = val;
+            }
+            std::fs::write(&path, &bytes).expect("rewrite entry");
+            // Must not panic; any Some(..) result must be schema-valid.
+            let _ = cache.load(key);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }

@@ -2,8 +2,8 @@
 //! bank scaling (§VI-B5), and Shuffle hash-table sizing (§IV-B3).
 
 use crate::report::Table;
-use crate::runner::{mean, parallel_map, run_design, speedup, suite_base};
-use crate::sweep::append_summaries;
+use crate::runner::{mean, run_design, speedup, suite_base};
+use crate::sweep::{append_summaries, fill_table};
 use subcore_isa::Suite;
 use subcore_sched::Design;
 use subcore_workloads::{apps_in_suite, rf_sensitive_apps, sensitive_apps};
@@ -18,17 +18,18 @@ pub fn score_latency() -> Table {
         "RBA speedup vs. score-update latency (RF-sensitive apps)",
         latencies.iter().map(|l| format!("lat{l}")).collect(),
     );
-    let rows = parallel_map(rf_sensitive_apps(), |app| {
-        let base = run_design(&suite_base(), Design::Baseline, app);
-        let sp: Vec<f64> = latencies
-            .iter()
-            .map(|&l| speedup(&base, &run_design(&suite_base(), Design::RbaLatency(l), app)))
-            .collect();
-        (app.name().to_owned(), sp)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        rf_sensitive_apps(),
+        |app| app.name().to_owned(),
+        |app| {
+            let base = run_design(&suite_base(), Design::Baseline, app);
+            latencies
+                .iter()
+                .map(|&l| speedup(&base, &run_design(&suite_base(), Design::RbaLatency(l), app)))
+                .collect()
+        },
+    );
     append_summaries(&mut table);
     table
 }
@@ -44,20 +45,21 @@ pub fn bank_scaling() -> Table {
         "RBA speedup over same-bank GTO baseline (sensitive apps)",
         banks.iter().map(|b| format!("{b}banks")).collect(),
     );
-    let rows = parallel_map(rf_sensitive_apps(), |app| {
-        let sp: Vec<f64> = banks
-            .iter()
-            .map(|&b| {
-                let base = run_design(&suite_base(), Design::Banks(b), app);
-                let rba = run_design(&suite_base(), Design::RbaBanks(b), app);
-                speedup(&base, &rba)
-            })
-            .collect();
-        (app.name().to_owned(), sp)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        rf_sensitive_apps(),
+        |app| app.name().to_owned(),
+        |app| {
+            banks
+                .iter()
+                .map(|&b| {
+                    let base = run_design(&suite_base(), Design::Banks(b), app);
+                    let rba = run_design(&suite_base(), Design::RbaBanks(b), app);
+                    speedup(&base, &rba)
+                })
+                .collect()
+        },
+    );
     append_summaries(&mut table);
     table
 }
@@ -80,22 +82,24 @@ pub fn hash_table_size() -> Table {
         Suite::Deepbench,
         Suite::Cutlass,
     ];
-    let rows = parallel_map(suites.to_vec(), |&suite| {
-        let apps = apps_in_suite(suite);
-        let mut s4 = Vec::new();
-        let mut s16 = Vec::new();
-        let mut fresh = Vec::new();
-        for app in &apps {
-            let base = run_design(&suite_base(), Design::Baseline, app);
-            s4.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(4), app)));
-            s16.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(16), app)));
-            fresh.push(speedup(&base, &run_design(&suite_base(), Design::Shuffle, app)));
-        }
-        (suite.prefix().to_owned(), vec![mean(&s4), mean(&s16), mean(&fresh)])
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        suites.to_vec(),
+        |suite| suite.prefix().to_owned(),
+        |&suite| {
+            let apps = apps_in_suite(suite);
+            let mut s4 = Vec::new();
+            let mut s16 = Vec::new();
+            let mut fresh = Vec::new();
+            for app in &apps {
+                let base = run_design(&suite_base(), Design::Baseline, app);
+                s4.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(4), app)));
+                s16.push(speedup(&base, &run_design(&suite_base(), Design::ShuffleTable(16), app)));
+                fresh.push(speedup(&base, &run_design(&suite_base(), Design::Shuffle, app)));
+            }
+            vec![mean(&s4), mean(&s16), mean(&fresh)]
+        },
+    );
     table
 }
 

@@ -3,7 +3,7 @@
 //! tools.
 
 use crate::report::Table;
-use crate::runner::parallel_map;
+use crate::sweep::fill_table;
 use subcore_isa::KernelProfile;
 use subcore_workloads::all_apps;
 
@@ -17,26 +17,26 @@ pub fn run() -> Table {
         "Static characterization of the 112-app registry",
         vec!["kinsts".into(), "ops/inst".into(), "mem-frac".into(), "imbalance".into()],
     );
-    let rows = parallel_map(all_apps(), |app| {
-        let profiles: Vec<KernelProfile> = app.kernels().iter().map(KernelProfile::of).collect();
-        let insts: u64 = app.total_dynamic_instructions();
-        let total_block: u64 = profiles.iter().map(|p| p.block_profile.instructions).sum();
-        let ops: u64 = profiles.iter().map(|p| p.block_profile.source_operands).sum();
-        let mem: u64 = profiles.iter().map(|p| p.block_profile.memory_instructions).sum();
-        let imbalance = profiles.iter().map(|p| p.imbalance_ratio()).fold(1.0f64, f64::max);
-        (
-            app.name().to_owned(),
+    fill_table(
+        &mut table,
+        all_apps(),
+        |app| app.name().to_owned(),
+        |app| {
+            let profiles: Vec<KernelProfile> =
+                app.kernels().iter().map(KernelProfile::of).collect();
+            let insts: u64 = app.total_dynamic_instructions();
+            let total_block: u64 = profiles.iter().map(|p| p.block_profile.instructions).sum();
+            let ops: u64 = profiles.iter().map(|p| p.block_profile.source_operands).sum();
+            let mem: u64 = profiles.iter().map(|p| p.block_profile.memory_instructions).sum();
+            let imbalance = profiles.iter().map(|p| p.imbalance_ratio()).fold(1.0f64, f64::max);
             vec![
                 insts as f64 / 1000.0,
                 ops as f64 / total_block.max(1) as f64,
                 mem as f64 / total_block.max(1) as f64,
                 imbalance,
-            ],
-        )
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+            ]
+        },
+    );
     table
 }
 

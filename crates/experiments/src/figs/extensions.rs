@@ -14,8 +14,8 @@
 //!   contention, to show the headline results are robust to both.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, speedup, suite_base, tpch_base};
-use crate::sweep::append_summaries;
+use crate::runner::{run_design, speedup, suite_base, tpch_base};
+use crate::sweep::{append_summaries, fill_table};
 use subcore_engine::{simulate_app, GpuConfig};
 use subcore_isa::App;
 use subcore_sched::Design;
@@ -69,28 +69,29 @@ pub fn imbalance_mechanisms() -> Table {
     apps.push(tpch_query(8, false));
     apps.push(tpch_query(9, true));
     apps.push(barrier_free_imbalanced());
-    let rows = parallel_map(apps, |app| {
-        let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
-        let base = run_with(&base_cfg, Design::Baseline, app);
-        let mut steal_cfg = base_cfg.clone();
-        steal_cfg.work_stealing = true;
-        let mut dealloc_cfg = base_cfg.clone();
-        dealloc_cfg.warp_level_dealloc = true;
-        let mut both_cfg = base_cfg.clone();
-        both_cfg.work_stealing = true;
-        both_cfg.warp_level_dealloc = true;
-        let values = vec![
-            speedup(&base, &run_with(&base_cfg, Design::Srr, app)),
-            speedup(&base, &run_with(&base_cfg, Design::Shuffle, app)),
-            speedup(&base, &run_with(&steal_cfg, Design::Baseline, app)),
-            speedup(&base, &run_with(&dealloc_cfg, Design::Baseline, app)),
-            speedup(&base, &run_with(&both_cfg, Design::Baseline, app)),
-        ];
-        (app.name().to_owned(), values)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        apps,
+        |app| app.name().to_owned(),
+        |app| {
+            let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+            let base = run_with(&base_cfg, Design::Baseline, app);
+            let mut steal_cfg = base_cfg.clone();
+            steal_cfg.work_stealing = true;
+            let mut dealloc_cfg = base_cfg.clone();
+            dealloc_cfg.warp_level_dealloc = true;
+            let mut both_cfg = base_cfg.clone();
+            both_cfg.work_stealing = true;
+            both_cfg.warp_level_dealloc = true;
+            vec![
+                speedup(&base, &run_with(&base_cfg, Design::Srr, app)),
+                speedup(&base, &run_with(&base_cfg, Design::Shuffle, app)),
+                speedup(&base, &run_with(&steal_cfg, Design::Baseline, app)),
+                speedup(&base, &run_with(&dealloc_cfg, Design::Baseline, app)),
+                speedup(&base, &run_with(&both_cfg, Design::Baseline, app)),
+            ]
+        },
+    );
     append_summaries(&mut table);
     table
 }
@@ -105,21 +106,22 @@ pub fn dual_issue() -> Table {
     );
     let mut apps: Vec<App> = [4u32, 16].iter().map(|&s| fma_unbalanced_scaled(8, 96, s)).collect();
     apps.push(tpch_query(8, false));
-    let rows = parallel_map(apps, |app| {
-        let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
-        let base = run_with(&base_cfg, Design::Baseline, app);
-        let mut dual_cfg = base_cfg.clone();
-        dual_cfg.issue_width = 2;
-        let values = vec![
-            speedup(&base, &run_with(&dual_cfg, Design::Baseline, app)),
-            speedup(&base, &run_with(&base_cfg, Design::Srr, app)),
-            speedup(&base, &run_with(&dual_cfg, Design::Srr, app)),
-        ];
-        (app.name().to_owned(), values)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        apps,
+        |app| app.name().to_owned(),
+        |app| {
+            let base_cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+            let base = run_with(&base_cfg, Design::Baseline, app);
+            let mut dual_cfg = base_cfg.clone();
+            dual_cfg.issue_width = 2;
+            vec![
+                speedup(&base, &run_with(&dual_cfg, Design::Baseline, app)),
+                speedup(&base, &run_with(&base_cfg, Design::Srr, app)),
+                speedup(&base, &run_with(&dual_cfg, Design::Srr, app)),
+            ]
+        },
+    );
     append_summaries(&mut table);
     table
 }
@@ -136,21 +138,23 @@ pub fn memory_model_robustness() -> Table {
         .iter()
         .map(|n| subcore_workloads::app_by_name(n).expect("registry app"))
         .collect();
-    let rows = parallel_map(apps, |app| {
-        let mut values = Vec::new();
-        for (mshr, wp) in [(false, false), (true, false), (false, true), (true, true)] {
-            let mut cfg = suite_base();
-            cfg.mshr_merging = mshr;
-            cfg.rf_write_port_contention = wp;
-            let base = run_with(&cfg, Design::Baseline, app);
-            let rba = run_with(&cfg, Design::Rba, app);
-            values.push(speedup(&base, &rba));
-        }
-        (app.name().to_owned(), values)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        apps,
+        |app| app.name().to_owned(),
+        |app| {
+            let mut values = Vec::new();
+            for (mshr, wp) in [(false, false), (true, false), (false, true), (true, true)] {
+                let mut cfg = suite_base();
+                cfg.mshr_merging = mshr;
+                cfg.rf_write_port_contention = wp;
+                let base = run_with(&cfg, Design::Baseline, app);
+                let rba = run_with(&cfg, Design::Rba, app);
+                values.push(speedup(&base, &rba));
+            }
+            values
+        },
+    );
     append_summaries(&mut table);
     table
 }
@@ -170,29 +174,31 @@ pub fn scheduler_comparison() -> Table {
         .iter()
         .map(|n| subcore_workloads::app_by_name(n).expect("registry app"))
         .collect();
-    let rows = parallel_map(apps, |app| {
-        let base = run_design(&suite_base(), Design::Baseline, app);
-        let mut values = Vec::new();
-        let selectors: Vec<Box<subcore_engine::SelectorFactory>> = vec![
-            Box::new(|| Box::new(OldestFirstSelector::new())),
-            Box::new(|| Box::new(TwoLevelSelector::new(4))),
-            Box::new(|| Box::new(LaggingWarpSelector::new())),
-            Box::new(|| Box::new(RbaSelector::new())),
-        ];
-        for selector in selectors {
-            let policies = Policies::new(
-                selector,
-                Box::new(|_| Box::new(subcore_engine::RoundRobinAssigner::new())),
-            );
-            let stats = simulate_app(&suite_base(), &policies, app)
-                .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
-            values.push(speedup(&base, &stats));
-        }
-        (app.name().to_owned(), values)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        apps,
+        |app| app.name().to_owned(),
+        |app| {
+            let base = run_design(&suite_base(), Design::Baseline, app);
+            let mut values = Vec::new();
+            let selectors: Vec<Box<subcore_engine::SelectorFactory>> = vec![
+                Box::new(|| Box::new(OldestFirstSelector::new())),
+                Box::new(|| Box::new(TwoLevelSelector::new(4))),
+                Box::new(|| Box::new(LaggingWarpSelector::new())),
+                Box::new(|| Box::new(RbaSelector::new())),
+            ];
+            for selector in selectors {
+                let policies = Policies::new(
+                    selector,
+                    Box::new(|_| Box::new(subcore_engine::RoundRobinAssigner::new())),
+                );
+                let stats = simulate_app(&suite_base(), &policies, app)
+                    .unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+                values.push(speedup(&base, &stats));
+            }
+            values
+        },
+    );
     append_summaries(&mut table);
     table
 }

@@ -9,7 +9,7 @@
 //! ≈ 1.0× everywhere on Kepler.
 
 use crate::report::Table;
-use crate::runner::parallel_map;
+use crate::sweep::fill_rows;
 use subcore_engine::{simulate_app, GpuConfig, Policies};
 use subcore_workloads::{fma_microbenchmark, FmaLayout};
 
@@ -38,24 +38,35 @@ pub fn run() -> Table {
         "FMA microbenchmark: exec time normalized to the baseline layout",
         gens.iter().map(|(n, _)| (*n).to_owned()).collect(),
     );
-    let jobs: Vec<FmaLayout> = FmaLayout::ALL.to_vec();
-    let rows = parallel_map(jobs, |&layout| {
-        let app = fma_microbenchmark(layout, BLOCKS, FMAS);
-        let times: Vec<f64> = gens
-            .iter()
-            .map(|(_, cfg)| {
-                simulate_app(cfg, &Policies::hardware_baseline(), &app)
-                    .expect("microbenchmark runs")
-                    .cycles as f64
-            })
-            .collect();
-        (layout.label().to_owned(), times)
-    });
-    // Normalize each column to its own baseline-layout time.
-    let base_times = rows[0].1.clone();
-    for (label, times) in rows {
-        let normalized = times.iter().zip(&base_times).map(|(t, b)| t / b).collect();
-        table.push_row(label, normalized);
+    let layouts: Vec<FmaLayout> = FmaLayout::ALL.to_vec();
+    let rows = fill_rows(
+        &mut table,
+        layouts.clone(),
+        |l| l.label().to_owned(),
+        |&layout| {
+            let app = fma_microbenchmark(layout, BLOCKS, FMAS);
+            gens.iter()
+                .map(|(_, cfg)| {
+                    simulate_app(cfg, &Policies::hardware_baseline(), &app)
+                        .expect("microbenchmark runs")
+                        .cycles as f64
+                })
+                .collect::<Vec<f64>>()
+        },
+    );
+    // Normalize each column to its own baseline-layout time; without the
+    // baseline-layout row the other layouts have nothing to normalize
+    // against and render as gaps.
+    let base_times = rows.first().cloned().flatten();
+    if base_times.is_none() {
+        table.note_gap("baseline layout missing; normalized rows are gaps".to_owned());
+    }
+    for (layout, times) in layouts.iter().zip(rows) {
+        let values = match (&base_times, times) {
+            (Some(base), Some(times)) => times.iter().zip(base).map(|(t, b)| t / b).collect(),
+            _ => vec![f64::NAN; gens.len()],
+        };
+        table.push_row(layout.label().to_owned(), values);
     }
     table
 }

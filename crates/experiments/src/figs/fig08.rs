@@ -9,7 +9,8 @@
 //! degrades steeply.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, speedup, suite_base};
+use crate::runner::{run_design, speedup, suite_base};
+use crate::sweep::fill_table;
 use subcore_sched::Design;
 use subcore_workloads::fma_unbalanced_scaled;
 
@@ -28,16 +29,16 @@ pub fn run() -> Table {
         "Unbalanced FMA: speedup over round-robin as imbalance scales",
         designs.iter().map(Design::label).collect(),
     );
-    let rows = parallel_map(SCALES.to_vec(), |&scale| {
-        let app = fma_unbalanced_scaled(BLOCKS, BASE_FMAS, scale);
-        let base = run_design(&suite_base(), Design::Baseline, &app);
-        let speedups =
-            designs.iter().map(|&d| speedup(&base, &run_design(&suite_base(), d, &app))).collect();
-        (format!("imbalance-x{scale}"), speedups)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        SCALES.to_vec(),
+        |s| format!("imbalance-x{s}"),
+        |&scale| {
+            let app = fma_unbalanced_scaled(BLOCKS, BASE_FMAS, scale);
+            let base = run_design(&suite_base(), Design::Baseline, &app);
+            designs.iter().map(|&d| speedup(&base, &run_design(&suite_base(), d, &app))).collect()
+        },
+    );
     table
 }
 

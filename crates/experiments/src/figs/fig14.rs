@@ -9,7 +9,8 @@
 //! companion tables by the binary.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, suite_base};
+use crate::runner::{run_design, suite_base};
+use crate::sweep::fill_table;
 use subcore_engine::RunStats;
 use subcore_sched::Design;
 use subcore_workloads::app_by_name;
@@ -34,23 +35,24 @@ pub fn run() -> Table {
         "Average RF reads/cycle per SM (4-byte reads; max 256)",
         DESIGNS.iter().map(Design::label).collect(),
     );
-    let rows = parallel_map(APPS.to_vec(), |&name| {
-        let avgs: Vec<f64> = DESIGNS
-            .iter()
-            .map(|&d| {
-                let stats = traced(d, name);
-                // Reads of the traced SM only, in the paper's per-thread
-                // 4-byte units.
-                let trace = &stats.rf_read_trace;
-                let grants: u64 = trace.iter().map(|&g| u64::from(g)).sum();
-                32.0 * grants as f64 / trace.len().max(1) as f64
-            })
-            .collect();
-        (name.to_owned(), avgs)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        APPS.to_vec(),
+        |name| (*name).to_owned(),
+        |&name| {
+            DESIGNS
+                .iter()
+                .map(|&d| {
+                    let stats = traced(d, name);
+                    // Reads of the traced SM only, in the paper's per-thread
+                    // 4-byte units.
+                    let trace = &stats.rf_read_trace;
+                    let grants: u64 = trace.iter().map(|&g| u64::from(g)).sum();
+                    32.0 * grants as f64 / trace.len().max(1) as f64
+                })
+                .collect()
+        },
+    );
     table
 }
 

@@ -5,8 +5,8 @@
 //! SRR reduces it to ≈ 0.11; Shuffle lands close to SRR.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, tpch_base};
-use crate::sweep::append_summaries;
+use crate::runner::{run_design, tpch_base};
+use crate::sweep::{append_summaries, fill_table};
 use subcore_sched::Design;
 use subcore_workloads::tpch_suite;
 
@@ -20,16 +20,19 @@ pub fn run() -> Table {
         "Uncompressed TPC-H: cv of per-scheduler issued instructions",
         DESIGNS.iter().map(Design::label).collect(),
     );
-    let rows = parallel_map(tpch_suite(false), |app| {
-        let cvs: Vec<f64> = DESIGNS
-            .iter()
-            .map(|&d| run_design(&tpch_base(), d, app).issue_cv().expect("partitioned run has CV"))
-            .collect();
-        (app.name().to_owned(), cvs)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        tpch_suite(false),
+        |app| app.name().to_owned(),
+        |app| {
+            DESIGNS
+                .iter()
+                .map(|&d| {
+                    run_design(&tpch_base(), d, app).issue_cv().expect("partitioned run has CV")
+                })
+                .collect()
+        },
+    );
     append_summaries(&mut table);
     table
 }

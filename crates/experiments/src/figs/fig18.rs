@@ -9,7 +9,8 @@
 //! preserves the crossover ratios.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, speedup};
+use crate::runner::{run_design, speedup};
+use crate::sweep::{fill_rows, fill_table};
 use subcore_engine::GpuConfig;
 use subcore_isa::App;
 use subcore_isa::Suite;
@@ -63,25 +64,30 @@ pub fn run() -> Table {
         "Partitioned SM scaling vs. 8-SM fully-connected reference (geomean)",
         vec!["baseline".into(), "shuffle+rba".into()],
     );
-    // Reference: fully connected at REFERENCE_SMS.
-    let refs: Vec<_> = parallel_map(apps.clone(), |app| {
-        run_design(&cfg_with(REFERENCE_SMS), Design::FullyConnected, app)
-    });
-    let rows = parallel_map(SM_COUNTS.to_vec(), |&sms| {
-        let cfg = cfg_with(sms);
-        let mut base_sp = Vec::new();
-        let mut ours_sp = Vec::new();
-        for (app, r) in apps.iter().zip(&refs) {
-            base_sp.push(speedup(r, &run_design(&cfg, Design::Baseline, app)));
-            ours_sp.push(speedup(r, &run_design(&cfg, Design::ShuffleRba, app)));
-        }
-        (
-            format!("{sms}sm"),
-            vec![crate::runner::geomean(&base_sp), crate::runner::geomean(&ours_sp)],
-        )
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    // Reference: fully connected at REFERENCE_SMS. An app whose reference
+    // run fails drops out of the geomeans (annotated as a gap) instead of
+    // killing the sweep.
+    let refs = fill_rows(
+        &mut table,
+        apps.clone(),
+        |app| format!("ref:{}", app.name()),
+        |app| run_design(&cfg_with(REFERENCE_SMS), Design::FullyConnected, app),
+    );
+    fill_table(
+        &mut table,
+        SM_COUNTS.to_vec(),
+        |sms| format!("{sms}sm"),
+        |&sms| {
+            let cfg = cfg_with(sms);
+            let mut base_sp = Vec::new();
+            let mut ours_sp = Vec::new();
+            for (app, r) in apps.iter().zip(&refs) {
+                let Some(r) = r else { continue };
+                base_sp.push(speedup(r, &run_design(&cfg, Design::Baseline, app)));
+                ours_sp.push(speedup(r, &run_design(&cfg, Design::ShuffleRba, app)));
+            }
+            vec![crate::runner::geomean(&base_sp), crate::runner::geomean(&ours_sp)]
+        },
+    );
     table
 }

@@ -8,7 +8,8 @@
 //! the design sweeps.
 
 use crate::report::Table;
-use crate::runner::{parallel_map, run_design, suite_base, tpch_base};
+use crate::runner::{run_design, suite_base, tpch_base};
+use crate::sweep::fill_table;
 use subcore_engine::RunStats;
 use subcore_isa::App;
 use subcore_sched::Design;
@@ -64,14 +65,15 @@ fn table_for(design: Design, name: &str, title: &str) -> Table {
             "rf-reads".into(),
         ],
     );
-    let rows = parallel_map(representatives(), |app| {
-        let cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
-        let stats = run_design(&cfg, design, app);
-        (app.name().to_owned(), breakdown(&stats))
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
-    }
+    fill_table(
+        &mut table,
+        representatives(),
+        |app| app.name().to_owned(),
+        |app| {
+            let cfg = if app.name().starts_with("tpc") { tpch_base() } else { suite_base() };
+            breakdown(&run_design(&cfg, design, app))
+        },
+    );
     table
 }
 

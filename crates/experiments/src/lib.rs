@@ -32,13 +32,17 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod engine_bench;
+pub mod faultgen;
 pub mod figs;
+pub mod journal;
 pub mod lint;
 pub mod report;
 pub mod runner;
 pub mod session;
 pub mod summary;
+pub mod supervisor;
 pub mod sweep;
 pub mod telemetry;
 pub mod trace;
@@ -48,7 +52,8 @@ pub use runner::{
     geomean, jobs_cap, mean, parallel_map, run_design, set_jobs, speedup, suite_base, tpch_base,
 };
 pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
-pub use sweep::speedup_table;
+pub use supervisor::{policy, set_policy, JobError, JobErrorKind, JobOutcome, SupervisorPolicy};
+pub use sweep::{fill_rows, fill_table, run_cell_sweep, speedup_table, SweepOutcome};
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};
 
 #[cfg(test)]

@@ -29,12 +29,27 @@ pub struct Table {
     pub columns: Vec<String>,
     /// Rows: label plus one value per column (`NaN` renders empty).
     pub rows: Vec<(String, Vec<f64>)>,
+    /// Gap notes: cells the sweep could not fill (failed, timed-out, or
+    /// aborted jobs), rendered under the table so a gap is never silent.
+    pub annotations: Vec<String>,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Self {
-        Table { name: name.into(), title: title.into(), columns, rows: Vec::new() }
+        Table {
+            name: name.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Notes a cell this table could not fill (the value renders as `-`;
+    /// the note explains why).
+    pub fn note_gap(&mut self, note: impl Into<String>) {
+        self.annotations.push(note.into());
     }
 
     /// Appends a row.
@@ -69,10 +84,15 @@ impl Table {
             }
             let _ = writeln!(out);
         }
+        for note in &self.annotations {
+            let _ = writeln!(out, "  ! gap: {note}");
+        }
         out
     }
 
-    /// Renders the table as CSV (fields escaped via [`csv_field`]).
+    /// Renders the table as CSV (fields escaped via [`csv_field`]). Gap
+    /// annotations append as `# gap: …` trailer lines — they never collide
+    /// with row labels, so lookup-by-label readers skip them.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "app");
@@ -90,6 +110,9 @@ impl Table {
                 }
             }
             let _ = writeln!(out);
+        }
+        for note in &self.annotations {
+            let _ = writeln!(out, "# gap: {}", note.replace(['\n', '\r'], " "));
         }
         out
     }
@@ -187,6 +210,18 @@ mod tests {
         let lines: Vec<&str> = csv.lines().map(str::trim_end).collect();
         assert_eq!(lines[0], "app,\"speedup, rba\"");
         assert_eq!(lines[1], "\"q1,lineitem\",1.500000");
+    }
+
+    #[test]
+    fn gap_annotations_render_and_survive_csv() {
+        let mut t = sample();
+        t.note_gap("x/rba: panic: injected fault (2 attempt(s))");
+        let text = t.render();
+        assert!(text.contains("! gap: x/rba"), "render missing gap note:\n{text}");
+        let csv = t.to_csv();
+        assert!(csv.lines().last().unwrap().starts_with("# gap: x/rba"), "csv: {csv}");
+        // Trailer lines never shadow a row label for lookup-by-label readers.
+        assert!(!csv.lines().any(|l| l.starts_with("x,") && l.contains("gap")));
     }
 
     #[test]

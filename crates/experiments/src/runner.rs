@@ -5,13 +5,11 @@
 //! helpers here are the thin arithmetic and thread-pool layer the session
 //! and the figure modules share.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::sync::OnceLock;
+use std::time::Duration;
 
 use crate::session::session;
+use crate::supervisor::{supervise_map, JobTag, SupervisorPolicy};
 use subcore_engine::{GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;
@@ -101,9 +99,12 @@ fn parse_jobs(v: &str) -> Option<usize> {
 /// Maps `f` over `items` on a pool of worker threads, preserving order.
 ///
 /// Simulation is CPU-bound and embarrassingly parallel across (app, design)
-/// pairs; this is the only concurrency in the harness. Worker busy time is
-/// reported to the session telemetry (pool utilization in the `repro`
-/// summary).
+/// pairs. This is the *unsupervised* entry point — no retries, no deadline
+/// — kept for callers whose jobs are infallible transforms; sweeps route
+/// through [`crate::supervisor::supervise_map`] (or the
+/// [`crate::sweep`] helpers) instead, which isolate failures per cell.
+/// Worker busy time is reported to the session telemetry (pool utilization
+/// in the `repro` summary).
 ///
 /// # Panics
 ///
@@ -117,85 +118,27 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |w| w.get())
-        .min(n)
-        .min(jobs_cap().unwrap_or(usize::MAX));
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
-    let busy = Mutex::new(Duration::ZERO);
-    let items_ref = &items;
-    let f_ref = &f;
-    let wall_start = Instant::now();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let next = &next;
-            let failures = &failures;
-            let busy = &busy;
-            s.spawn(move || {
-                let mut my_busy = Duration::ZERO;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    match catch_unwind(AssertUnwindSafe(|| f_ref(&items_ref[i]))) {
-                        Ok(r) => {
-                            my_busy += t0.elapsed();
-                            // The collector outlives every worker (same scope),
-                            // so a send only fails if the collector already
-                            // panicked — nothing useful left to do then.
-                            let _ = tx.send((i, r));
-                        }
-                        Err(payload) => {
-                            my_busy += t0.elapsed();
-                            failures
-                                .lock()
-                                .expect("failure list")
-                                .push((i, panic_message(&*payload)));
-                        }
-                    }
-                }
-                *busy.lock().expect("busy accumulator") += my_busy;
-            });
-        }
-        drop(tx);
-        for (i, r) in rx {
-            results[i] = Some(r);
-        }
-    });
-    crate::telemetry::note_pool_usage(
-        busy.into_inner().expect("busy accumulator"),
-        wall_start.elapsed(),
-        workers,
-    );
-    let failures = failures.into_inner().expect("failure list");
+    let tags = (0..n)
+        .map(|i| JobTag { app: format!("job #{i}"), design: String::new(), key: None })
+        .collect();
+    let policy = SupervisorPolicy {
+        retries: 0,
+        backoff: Duration::ZERO,
+        job_timeout: Some(Duration::ZERO),
+        fail_fast: false,
+        max_failures: None,
+        stop_after: None,
+    };
+    let report = supervise_map(&items, tags, |item, _attempt| Ok(f(item)), &policy);
+    let failures = report.failures();
     if !failures.is_empty() {
         let mut msg = format!("{} of {n} parallel jobs panicked:", failures.len());
-        for (i, m) in &failures {
-            msg.push_str(&format!("\n  job #{i}: {m}"));
+        for e in &failures {
+            msg.push_str(&format!("\n  {}: {}", e.app, e.payload));
         }
         panic!("{msg}");
     }
-    results.into_iter().map(|r| r.expect("all items processed")).collect()
-}
-
-/// Extracts a human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
+    report.outcomes.into_iter().map(|o| o.ok().expect("all jobs succeeded")).collect()
 }
 
 #[cfg(test)]
@@ -219,6 +162,8 @@ mod tests {
 
     #[test]
     fn parallel_map_reports_which_jobs_died() {
+        use crate::supervisor::panic_message;
+        use std::panic::catch_unwind;
         let caught = catch_unwind(|| {
             parallel_map(vec![1u64, 2, 3, 4], |&x| {
                 if x % 2 == 0 {

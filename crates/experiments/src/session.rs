@@ -145,7 +145,12 @@ impl SimSession {
         let key = SimKey::compute(base, design, app);
         self.telemetry.note_run();
         let cell: MemoCell = {
-            let mut memo = self.memo.lock().expect("session memo table");
+            // Recover from poisoning: a panicking job dies while holding
+            // this lock only between `lock` and the `Arc::clone` below, and
+            // the map is valid at every point in between. Propagating the
+            // poison would instead cascade one bad job's panic into every
+            // later `run` on the session.
+            let mut memo = self.memo.lock().unwrap_or_else(|p| p.into_inner());
             Arc::clone(memo.entry(key).or_default())
         };
         let mut materialized = false;
@@ -198,7 +203,9 @@ impl SimSession {
                 cycles: stats.cycles,
             });
             if let Some(disk) = &self.disk {
-                disk.store(key, stats);
+                if !disk.store(key, stats) {
+                    self.telemetry.note_cache_write_failure();
+                }
             }
         }
         result.map(Arc::new)
@@ -363,6 +370,41 @@ mod tests {
         let t = s.telemetry().snapshot();
         assert_eq!(t.sims, 0, "failed runs are not counted as completed simulations");
         assert_eq!(t.memo_hits, 1);
+    }
+
+    #[test]
+    fn a_panicking_run_does_not_cascade_into_later_runs() {
+        // Supervised workers run `run()` under catch_unwind; a panicking
+        // job must not poison the session for every later job (the memo
+        // lock recovers instead of propagating the poison).
+        let s = SimSession::in_memory();
+        let a = app("cascade", 8);
+        let tiny = base().with_max_cycles(1);
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                s.run(&tiny, Design::Baseline, &a)
+            }));
+            assert!(caught.is_err(), "a 1-cycle budget cannot finish");
+        }
+        let ok = s.run(&base(), Design::Baseline, &a);
+        assert!(ok.cycles > 0, "the session must survive earlier panicking jobs");
+    }
+
+    #[test]
+    fn unwritable_cache_counts_write_failures() {
+        // A plain file where the cache directory should be makes
+        // `create_dir_all` fail, so every store fails.
+        let dir =
+            std::env::temp_dir().join(format!("subcore-session-rofail-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&dir).ok();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let s = SimSession::new(SessionOptions { disk_cache: Some(dir.clone()) });
+        s.run(&base(), Design::Baseline, &app("rofail", 8));
+        let t = s.telemetry().snapshot();
+        assert_eq!(t.cache_write_failures, 1, "the dropped entry must be counted");
+        assert!(t.summary().contains("cache write failures"));
+        std::fs::remove_file(&dir).ok();
     }
 
     #[test]

@@ -1,15 +1,186 @@
-//! The common experiment shape: a (apps × designs) speedup sweep.
+//! The common experiment shape: a (apps × designs) speedup sweep, run at
+//! *cell* granularity under the supervisor.
+//!
+//! Every figure's sweep routes through [`run_cell_sweep`]: one supervised
+//! job per (app, design) cell, so a panicking, erroring, or wedged cell
+//! costs exactly that cell — the rest of the campaign completes, the
+//! failure lands in the table as an annotated gap, and (when journaling is
+//! configured) the cell's outcome is recorded for `repro --resume`.
+//! Fault injection ([`crate::faultgen`]) hooks in here too, which is what
+//! lets `repro chaos` drive the whole stack through its failure paths.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::faultgen::{self, Fault, FaultPlan};
+use crate::journal::{self, Journal};
 use crate::report::Table;
-use crate::runner::{geomean, mean, parallel_map, run_design, speedup};
-use subcore_engine::GpuConfig;
+use crate::runner::{geomean, mean, speedup};
+use crate::session::{session, SimSession};
+use crate::supervisor::{policy, supervise_map, JobError, JobFailure, JobTag, SupervisorPolicy};
+use subcore_engine::{GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;
+
+/// Outcome of one cell-granular sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// `cells[app][slot]`: slot 0 is the baseline, slot `j + 1` is
+    /// `designs[j]`. `None` marks a cell the sweep could not fill.
+    pub cells: Vec<Vec<Option<Arc<RunStats>>>>,
+    /// The failure record of every unfilled cell, in cell order.
+    pub failures: Vec<JobError>,
+    /// Whether the sweep stopped early (fail-fast, failure budget, or a
+    /// deliberate mid-campaign kill).
+    pub aborted: bool,
+    /// Cells served from the journal without running (`--resume`).
+    pub journal_skips: u64,
+}
+
+/// Runs the (apps × ({baseline} ∪ designs)) sweep supervised, using the
+/// process-wide session, journal configuration, and supervision policy.
+/// `campaign` names the journal directory (conventionally the table name).
+pub fn run_cell_sweep(
+    campaign: &str,
+    base: &GpuConfig,
+    apps: &[App],
+    designs: &[Design],
+) -> SweepOutcome {
+    run_cell_sweep_on(
+        session(),
+        journal::journal_for(campaign).as_ref(),
+        journal::resume_enabled(),
+        base,
+        apps,
+        designs,
+        policy(),
+        faultgen::plan(),
+    )
+}
+
+/// [`run_cell_sweep`] with every dependency explicit — the entry point for
+/// the fault-injection harness and tests, which need private sessions,
+/// scratch journals, tailored policies, and phase-scoped fault plans.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_sweep_on(
+    sess: &SimSession,
+    journal: Option<&Journal>,
+    resume: bool,
+    base: &GpuConfig,
+    apps: &[App],
+    designs: &[Design],
+    policy: &SupervisorPolicy,
+    faults: Option<&FaultPlan>,
+) -> SweepOutcome {
+    let slots = designs.len() + 1;
+    let cells: Vec<(usize, Design)> = (0..apps.len())
+        .flat_map(|ai| {
+            std::iter::once((ai, Design::Baseline)).chain(designs.iter().map(move |&d| (ai, d)))
+        })
+        .collect();
+    let tags: Vec<JobTag> = cells
+        .iter()
+        .map(|&(ai, design)| JobTag {
+            app: apps[ai].name().to_owned(),
+            design: design.label(),
+            key: Some(sess.key(base, design, &apps[ai]).as_u64()),
+        })
+        .collect();
+    if let Some(j) = journal {
+        j.set_total(cells.len() as u64);
+    }
+    // Each job is exactly one simulation, so the deadline is the
+    // single-sim deadline derived from the sweep's cycle budget.
+    let policy = SupervisorPolicy {
+        job_timeout: policy.effective_timeout(base.max_cycles, 1),
+        ..policy.clone()
+    };
+    let journal_skips = AtomicU64::new(0);
+
+    let report = supervise_map(
+        &cells,
+        tags,
+        |&(ai, design), attempt| {
+            let app = &apps[ai];
+            let key = sess.key(base, design, app);
+            if resume {
+                if let Some(stats) = journal.and_then(|j| j.completed(key)) {
+                    journal_skips.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::new(stats));
+                }
+            }
+            let fault = faults.and_then(|p| p.fault_for(key, attempt));
+            match fault {
+                Some(Fault::Panic) => {
+                    panic!("injected fault: panic for cell {key} (attempt {attempt})")
+                }
+                Some(Fault::Stall) => {
+                    std::thread::sleep(faults.expect("plan drew the fault").stall)
+                }
+                _ => {}
+            }
+            let stats =
+                sess.try_run(base, design, app).map_err(|e| JobFailure::sim(e.to_string()))?;
+            if fault == Some(Fault::CorruptEntry) {
+                if let Some(disk) = sess.disk_cache() {
+                    faultgen::corrupt_file(&disk.entry_path(key));
+                }
+            }
+            if let Some(j) = journal {
+                j.record_done(key, app.name(), &design.label(), &stats);
+            }
+            Ok(stats)
+        },
+        &policy,
+    );
+
+    let skips = journal_skips.load(Ordering::Relaxed);
+    if skips > 0 {
+        crate::telemetry::note_journal_skips(skips);
+    }
+    let mut cells_out: Vec<Vec<Option<Arc<RunStats>>>> = vec![vec![None; slots]; apps.len()];
+    let mut failures = Vec::new();
+    for (&(ai, design), outcome) in cells.iter().zip(report.outcomes) {
+        match outcome {
+            crate::supervisor::JobOutcome::Done(stats) => {
+                place(&mut cells_out[ai], designs, design, Some(stats));
+            }
+            crate::supervisor::JobOutcome::Failed(e) => {
+                if e.kind != crate::supervisor::JobErrorKind::Aborted {
+                    if let Some(j) = journal {
+                        j.record_failed(&e);
+                    }
+                }
+                failures.push(e);
+            }
+        }
+    }
+    SweepOutcome { cells: cells_out, failures, aborted: report.aborted, journal_skips: skips }
+}
+
+/// Stores `stats` into the app's slot vector: the *first* cell per app is
+/// the baseline reference (slot 0); design cells land at their design's
+/// index + 1. A `designs` list containing `Baseline` itself fills both.
+fn place(
+    row: &mut [Option<Arc<RunStats>>],
+    designs: &[Design],
+    design: Design,
+    stats: Option<Arc<RunStats>>,
+) {
+    if design == Design::Baseline && row[0].is_none() {
+        row[0] = stats.clone();
+    }
+    if let Some(j) = designs.iter().position(|&d| d == design) {
+        row[j + 1] = stats;
+    }
+}
 
 /// Runs every app under the baseline and each design, producing a table of
 /// speedups (design cycles vs. GTO + round-robin baseline cycles).
 ///
-/// Appends `MEAN` and `GEOMEAN` summary rows.
+/// Appends `MEAN` and `GEOMEAN` summary rows. Cells the supervised sweep
+/// could not fill render as gaps (`-`) with an explanatory annotation —
+/// one failed cell never costs the rest of the table.
 pub fn speedup_table(
     name: &str,
     title: &str,
@@ -19,18 +190,74 @@ pub fn speedup_table(
 ) -> Table {
     let columns = designs.iter().map(Design::label).collect();
     let mut table = Table::new(name, title, columns);
-    let jobs: Vec<App> = apps.to_vec();
-    let rows = parallel_map(jobs, |app| {
-        let baseline = run_design(base, Design::Baseline, app);
-        let speedups: Vec<f64> =
-            designs.iter().map(|&d| speedup(&baseline, &run_design(base, d, app))).collect();
-        (app.name().to_owned(), speedups)
-    });
-    for (label, values) in rows {
-        table.push_row(label, values);
+    let outcome = run_cell_sweep(name, base, apps, designs);
+    for (ai, app) in apps.iter().enumerate() {
+        let row = &outcome.cells[ai];
+        let values: Vec<f64> = match &row[0] {
+            Some(baseline) => (0..designs.len())
+                .map(|j| row[j + 1].as_ref().map_or(f64::NAN, |s| speedup(baseline, s)))
+                .collect(),
+            None => vec![f64::NAN; designs.len()],
+        };
+        table.push_row(app.name(), values);
+    }
+    for e in &outcome.failures {
+        table.note_gap(e.to_string());
     }
     append_summaries(&mut table);
     table
+}
+
+/// Estimated simulations per row job used to scale [`fill_rows`]'s derived
+/// watchdog deadline (row jobs typically run a handful of designs).
+const ROW_SIMS_ESTIMATE: u32 = 4;
+
+/// Maps `f` over `items` supervised, one *row job* per item: failures
+/// become `None` results plus a gap annotation on `table` instead of a
+/// process panic. The figure modules use this for row-shaped sweeps that
+/// do not fit the (apps × designs) cell grid (SM-count sweeps, traced
+/// runs, ablations); `label` names each item in failure records.
+pub fn fill_rows<T, R, F, L>(table: &mut Table, items: Vec<T>, label: L, f: F) -> Vec<Option<R>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> String,
+{
+    let tags: Vec<JobTag> = items
+        .iter()
+        .map(|item| JobTag { app: label(item), design: String::new(), key: None })
+        .collect();
+    let base_policy = policy();
+    let row_policy = SupervisorPolicy {
+        job_timeout: base_policy
+            .effective_timeout(crate::runner::suite_base().max_cycles, ROW_SIMS_ESTIMATE),
+        ..base_policy.clone()
+    };
+    let report = supervise_map(&items, tags, |item, _attempt| Ok(f(item)), &row_policy);
+    for e in report.failures() {
+        table.note_gap(e.to_string());
+    }
+    report.outcomes.into_iter().map(crate::supervisor::JobOutcome::ok).collect()
+}
+
+/// [`fill_rows`] for the figure modules' most common shape: each item
+/// produces exactly one table row. Failed items still land in the table —
+/// as a row of NaNs (rendered as gaps) under the same label, next to the
+/// gap annotation — so a table's shape never depends on which rows
+/// survived.
+pub fn fill_table<T, F, L>(table: &mut Table, items: Vec<T>, label: L, f: F)
+where
+    T: Send + Sync,
+    F: Fn(&T) -> Vec<f64> + Sync,
+    L: Fn(&T) -> String,
+{
+    let labels: Vec<String> = items.iter().map(&label).collect();
+    let cols = table.columns.len();
+    let rows = fill_rows(table, items, label, f);
+    for (label, row) in labels.into_iter().zip(rows) {
+        table.push_row(label, row.unwrap_or_else(|| vec![f64::NAN; cols]));
+    }
 }
 
 /// Appends `MEAN` / `GEOMEAN` rows over the current data rows.
@@ -53,27 +280,133 @@ mod tests {
     use crate::runner::suite_base;
     use subcore_isa::{fma_kernel, Suite};
 
-    #[test]
-    fn speedup_table_has_summary_rows() {
-        let apps = vec![
+    fn apps() -> Vec<App> {
+        vec![
             App::new("a", Suite::Micro, vec![fma_kernel("k", 4, 8, 32)]),
             App::new("b", Suite::Micro, vec![fma_kernel("k", 2, 16, 32)]),
-        ];
+        ]
+    }
+
+    #[test]
+    fn speedup_table_has_summary_rows() {
         let t = speedup_table(
             "t",
             "test",
             &suite_base(),
-            &apps,
+            &apps(),
             &[Design::Rba, Design::FullyConnected],
         );
         assert_eq!(t.rows.len(), 4); // 2 apps + MEAN + GEOMEAN
         assert_eq!(t.rows[2].0, "MEAN");
         assert_eq!(t.rows[3].0, "GEOMEAN");
+        assert!(t.annotations.is_empty(), "clean sweep has no gaps: {:?}", t.annotations);
         // Speedups are positive and sane.
         for (_, vals) in &t.rows {
             for v in vals {
                 assert!(*v > 0.3 && *v < 5.0, "implausible speedup {v}");
             }
         }
+    }
+
+    #[test]
+    fn failed_cells_become_gaps_not_panics() {
+        // A 1-cycle budget makes every simulation error; the sweep must
+        // produce a full-shape outcome of Nones plus failure records.
+        let sess = SimSession::in_memory();
+        let tiny = suite_base().with_max_cycles(1);
+        let out = run_cell_sweep_on(
+            &sess,
+            None,
+            false,
+            &tiny,
+            &apps(),
+            &[Design::Rba],
+            &SupervisorPolicy::default(),
+            None,
+        );
+        assert_eq!(out.cells.len(), 2);
+        assert!(out.cells.iter().flatten().all(Option::is_none));
+        assert_eq!(out.failures.len(), 4, "every cell records its failure");
+        assert!(out.failures.iter().all(|e| e.kind == crate::supervisor::JobErrorKind::Sim));
+        assert!(!out.aborted);
+    }
+
+    #[test]
+    fn sweep_journals_cells_and_resume_skips_them() {
+        let root =
+            std::env::temp_dir().join(format!("subcore-sweep-journal-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let j = Journal::open(&root, "t");
+        let sess = SimSession::in_memory();
+        let out = run_cell_sweep_on(
+            &sess,
+            Some(&j),
+            false,
+            &suite_base(),
+            &apps(),
+            &[Design::Rba],
+            &SupervisorPolicy::default(),
+            None,
+        );
+        assert!(out.failures.is_empty());
+        let p = j.progress();
+        assert_eq!((p.total, p.done, p.failed), (Some(4), 4, 0));
+        // A fresh session resuming from the journal recomputes nothing and
+        // returns bit-identical results.
+        let fresh = SimSession::in_memory();
+        let resumed = run_cell_sweep_on(
+            &fresh,
+            Some(&j),
+            true,
+            &suite_base(),
+            &apps(),
+            &[Design::Rba],
+            &SupervisorPolicy::default(),
+            None,
+        );
+        assert_eq!(fresh.telemetry().snapshot().sims, 0, "resume must not simulate");
+        for (a, b) in out.cells.iter().flatten().zip(resumed.cells.iter().flatten()) {
+            assert_eq!(a.as_deref(), b.as_deref(), "resumed stats must be bit-identical");
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn fill_table_keeps_failed_rows_as_nan_gaps() {
+        let mut table = Table::new("t", "rows", vec!["a".into(), "b".into()]);
+        fill_table(
+            &mut table,
+            vec![1u64, 2],
+            |&x| format!("row{x}"),
+            |&x| {
+                if x == 2 {
+                    panic!("row 2 dies");
+                }
+                vec![1.0, 2.0]
+            },
+        );
+        assert_eq!(table.rows.len(), 2, "failed rows keep their slot");
+        assert_eq!(table.rows[1].0, "row2");
+        assert!(table.rows[1].1.iter().all(|v| v.is_nan()));
+        assert_eq!(table.annotations.len(), 1);
+    }
+
+    #[test]
+    fn fill_rows_annotates_failures() {
+        let mut table = Table::new("t", "rows", vec!["v".into()]);
+        let out = fill_rows(
+            &mut table,
+            vec![1u64, 2, 3],
+            |&x| format!("row{x}"),
+            |&x| {
+                if x == 2 {
+                    panic!("row 2 dies");
+                }
+                x * 10
+            },
+        );
+        assert_eq!(out, vec![Some(10), None, Some(30)]);
+        assert_eq!(table.annotations.len(), 1);
+        assert!(table.annotations[0].contains("row2"), "got {:?}", table.annotations);
     }
 }

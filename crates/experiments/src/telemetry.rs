@@ -3,14 +3,17 @@
 //! took (including probe-traced runs), and how well the worker pool was
 //! utilized.
 //!
-//! The counters live on the [`crate::session::SimSession`]; pool usage is
-//! reported by [`crate::runner::parallel_map`] into a process-wide log
-//! (the pool has no session handle). Each [`Telemetry`] captures the log
-//! position at construction and its snapshots only cover usage reported
-//! *after* that point, so a second in-process session never inherits an
-//! earlier session's pool counters.
+//! The counters live on the [`crate::session::SimSession`]; pool usage and
+//! supervision outcomes (failed / retried / timed-out jobs, journal skips)
+//! are reported by [`crate::runner::parallel_map`] and
+//! [`crate::supervisor::supervise_map`] into process-wide logs (the pool
+//! has no session handle). Each [`Telemetry`] captures the log positions
+//! at construction and its snapshots only cover usage reported *after*
+//! that point, so a second in-process session never inherits an earlier
+//! session's pool or supervision counters.
 
 use crate::report::csv_field;
+use crate::supervisor::JobError;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,17 +73,24 @@ pub struct Telemetry {
     sim_cycles: AtomicU64,
     traced_sims: AtomicU64,
     traced_wall_nanos: AtomicU64,
+    cache_write_failures: AtomicU64,
     records: Mutex<Vec<RunRecord>>,
-    // Position of the process-wide pool log at construction; snapshots
-    // only report usage logged after this point.
+    // Positions of the process-wide pool and supervision logs at
+    // construction; snapshots only report usage logged after these points.
     pool_base_busy_nanos: u64,
     pool_base_wall_nanos: u64,
     pool_base_invocations: usize,
+    sup_base_failed: u64,
+    sup_base_retried: u64,
+    sup_base_timed_out: u64,
+    sup_base_journal_skips: u64,
+    sup_base_failures: usize,
 }
 
 impl Default for Telemetry {
     fn default() -> Self {
-        let pool = POOL.lock().expect("pool log");
+        let pool = lock_recover(&POOL);
+        let sup = lock_recover(&SUPERVISION);
         Telemetry {
             runs: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
@@ -90,12 +100,24 @@ impl Default for Telemetry {
             sim_cycles: AtomicU64::new(0),
             traced_sims: AtomicU64::new(0),
             traced_wall_nanos: AtomicU64::new(0),
+            cache_write_failures: AtomicU64::new(0),
             records: Mutex::new(Vec::new()),
             pool_base_busy_nanos: pool.busy_nanos,
             pool_base_wall_nanos: pool.wall_nanos,
             pool_base_invocations: pool.workers.len(),
+            sup_base_failed: sup.failed,
+            sup_base_retried: sup.retried,
+            sup_base_timed_out: sup.timed_out,
+            sup_base_journal_skips: sup.journal_skips,
+            sup_base_failures: sup.failures.len(),
         }
     }
+}
+
+/// Locks `m`, recovering the guard if a panicking holder poisoned it — a
+/// failed job must never cascade into every later telemetry access.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Telemetry {
@@ -126,14 +148,22 @@ impl Telemetry {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.records.lock().expect("telemetry records").push(record);
+        lock_recover(&self.records).push(record);
     }
 
-    /// A point-in-time copy of the counters, including the pool usage
-    /// reported since this `Telemetry` was created.
+    /// Counts one failed write to the on-disk result cache (see
+    /// [`crate::cache::DiskCache::store`]); surfaced once per session in
+    /// the summary so a read-only `results/` can't silently disable
+    /// persistence.
+    pub(crate) fn note_cache_write_failure(&self) {
+        self.cache_write_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters, including the pool usage and
+    /// supervision outcomes reported since this `Telemetry` was created.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let (pool_busy, pool_wall, pool_max_workers) = {
-            let pool = POOL.lock().expect("pool log");
+            let pool = lock_recover(&POOL);
             let since = self.pool_base_invocations.min(pool.workers.len());
             (
                 Duration::from_nanos(pool.busy_nanos.saturating_sub(self.pool_base_busy_nanos)),
@@ -141,7 +171,21 @@ impl Telemetry {
                 pool.workers[since..].iter().copied().max().unwrap_or(0),
             )
         };
+        let (failed, retried, timed_out, journal_skips) = {
+            let sup = lock_recover(&SUPERVISION);
+            (
+                sup.failed.saturating_sub(self.sup_base_failed),
+                sup.retried.saturating_sub(self.sup_base_retried),
+                sup.timed_out.saturating_sub(self.sup_base_timed_out),
+                sup.journal_skips.saturating_sub(self.sup_base_journal_skips),
+            )
+        };
         TelemetrySnapshot {
+            failed,
+            retried,
+            timed_out,
+            journal_skips,
+            cache_write_failures: self.cache_write_failures.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
@@ -159,7 +203,15 @@ impl Telemetry {
 
     /// A copy of the materialized-run records, in materialization order.
     pub fn records(&self) -> Vec<RunRecord> {
-        self.records.lock().expect("telemetry records").clone()
+        lock_recover(&self.records).clone()
+    }
+
+    /// A copy of the supervised-job failure records reported since this
+    /// `Telemetry` was created, in settlement order.
+    pub fn failure_records(&self) -> Vec<JobError> {
+        let sup = lock_recover(&SUPERVISION);
+        let since = self.sup_base_failures.min(sup.failures.len());
+        sup.failures[since..].to_vec()
     }
 
     /// Writes the per-run records as CSV (`key,app,design,source,traced,
@@ -167,7 +219,10 @@ impl Telemetry {
     /// as needed. Free-form fields are escaped via [`csv_field`]; the
     /// `jobs` column carries the session's worker-count ceiling (empty
     /// when uncapped) so archived telemetry records the pool geometry the
-    /// wall times were measured under.
+    /// wall times were measured under. Supervised-job failures append as
+    /// rows whose `source` is the failure kind (`panic`, `timeout`, …)
+    /// with zero cycles, so a campaign's gaps are archived next to its
+    /// results.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -192,6 +247,18 @@ impl Telemetry {
                 jobs
             )?;
         }
+        for e in self.failure_records() {
+            writeln!(
+                out,
+                "{:016x},{},{},{},false,{:.3},0,nan,{}",
+                e.key.unwrap_or(0),
+                csv_field(&e.app),
+                csv_field(&e.design),
+                e.kind.tag(),
+                e.elapsed.as_secs_f64() * 1e3,
+                jobs
+            )?;
+        }
         out.flush()
     }
 }
@@ -199,6 +266,20 @@ impl Telemetry {
 /// A point-in-time view of a session's [`Telemetry`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TelemetrySnapshot {
+    /// Supervised jobs that settled as failed (panics, simulator errors,
+    /// watchdog timeouts; excludes aborted-before-run jobs).
+    pub failed: u64,
+    /// Retry attempts the supervisor granted to transient failures.
+    pub retried: u64,
+    /// Supervised jobs abandoned by the wall-clock watchdog (a subset of
+    /// `failed`).
+    pub timed_out: u64,
+    /// Sweep cells skipped because the campaign journal already recorded
+    /// them complete (`repro --resume`).
+    pub journal_skips: u64,
+    /// Failed writes to the on-disk result cache (e.g. a read-only
+    /// `results/` directory).
+    pub cache_write_failures: u64,
     /// Total `run()` calls.
     pub runs: u64,
     /// Runs served from the in-memory memo table.
@@ -293,6 +374,27 @@ impl TelemetrySnapshot {
                 None => "none (all cores)".into(),
             },
         );
+        if self.failed + self.retried + self.timed_out > 0 {
+            line(
+                "supervision",
+                format!(
+                    "{} failed, {} retried, {} timed out",
+                    self.failed, self.retried, self.timed_out
+                ),
+            );
+        }
+        if self.journal_skips > 0 {
+            line("journal skips", format!("{} cells already complete", self.journal_skips));
+        }
+        if self.cache_write_failures > 0 {
+            line(
+                "cache write failures",
+                format!(
+                    "{} (results not persisted; is results/ writable?)",
+                    self.cache_write_failures
+                ),
+            );
+        }
         s
     }
 }
@@ -315,10 +417,48 @@ static POOL: Mutex<PoolLog> =
 /// Reports one `parallel_map` invocation's worker-pool usage.
 pub fn note_pool_usage(busy: Duration, wall: Duration, workers: usize) {
     let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-    let mut pool = POOL.lock().expect("pool log");
+    let mut pool = lock_recover(&POOL);
     pool.busy_nanos = pool.busy_nanos.saturating_add(nanos(busy));
     pool.wall_nanos = pool.wall_nanos.saturating_add(nanos(wall));
     pool.workers.push(workers);
+}
+
+// Supervision outcomes accumulate in the same process-wide style as the
+// pool log: `supervise_map` has no session handle, so each `Telemetry`
+// captures the log position at construction and reports deltas.
+#[derive(Debug)]
+struct SupLog {
+    failed: u64,
+    retried: u64,
+    timed_out: u64,
+    journal_skips: u64,
+    /// Every failure record reported, in settlement order.
+    failures: Vec<JobError>,
+}
+
+static SUPERVISION: Mutex<SupLog> = Mutex::new(SupLog {
+    failed: 0,
+    retried: 0,
+    timed_out: 0,
+    journal_skips: 0,
+    failures: Vec::new(),
+});
+
+/// Reports one [`crate::supervisor::supervise_map`] sweep's failure totals
+/// and per-job failure records.
+pub fn note_supervision(failed: u64, retried: u64, timed_out: u64, failures: &[JobError]) {
+    let mut sup = lock_recover(&SUPERVISION);
+    sup.failed = sup.failed.saturating_add(failed);
+    sup.retried = sup.retried.saturating_add(retried);
+    sup.timed_out = sup.timed_out.saturating_add(timed_out);
+    sup.failures.extend_from_slice(failures);
+}
+
+/// Reports sweep cells skipped because the campaign journal already
+/// recorded them complete (`repro --resume`).
+pub fn note_journal_skips(skipped: u64) {
+    let mut sup = lock_recover(&SUPERVISION);
+    sup.journal_skips = sup.journal_skips.saturating_add(skipped);
 }
 
 #[cfg(test)]
@@ -386,7 +526,9 @@ mod tests {
         t.write_csv(&path).expect("write csv");
         let text = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        // Concurrent tests may report supervision failures that append
+        // extra rows, so check the materialized-run rows positionally.
+        assert!(lines.len() >= 3, "got {} lines", lines.len());
         assert_eq!(lines[0], "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs");
         assert!(lines[1].contains(",sim,false,"), "got {}", lines[1]);
         assert!(lines[2].contains(",disk,false,"), "got {}", lines[2]);
@@ -442,6 +584,78 @@ mod tests {
         assert_eq!(s.traced_wall, Duration::from_millis(30));
         assert_eq!(s.sim_wall, Duration::from_millis(80));
         assert!(s.summary().contains("traced (probes on)"));
+    }
+
+    fn failure(app: &str, kind: crate::supervisor::JobErrorKind) -> JobError {
+        JobError {
+            app: app.into(),
+            design: "rba".into(),
+            kind,
+            payload: "boom".into(),
+            attempts: 2,
+            elapsed: Duration::from_millis(7),
+            key: Some(0xFEED),
+        }
+    }
+
+    #[test]
+    fn supervision_counters_are_deltas_since_construction() {
+        use crate::supervisor::JobErrorKind;
+        // Other tests report small real supervision totals concurrently, so
+        // compare against distinctive magnitudes rather than zero (same
+        // strategy as the pool-usage test below).
+        note_supervision(
+            1_000_000,
+            2_000_000,
+            3_000_000,
+            &[failure("earlier", JobErrorKind::Panic)],
+        );
+        let t = Telemetry::default();
+        let s = t.snapshot();
+        assert!(s.failed < 1_000_000, "inherited prior failed count: {}", s.failed);
+        assert!(s.retried < 2_000_000, "inherited prior retried count: {}", s.retried);
+        assert!(s.timed_out < 3_000_000, "inherited prior timeout count: {}", s.timed_out);
+        assert!(
+            !t.failure_records().iter().any(|e| e.app == "earlier"),
+            "inherited prior failure records"
+        );
+        note_supervision(2, 5, 1, &[failure("mine", JobErrorKind::TimedOut)]);
+        note_journal_skips(4);
+        let s = t.snapshot();
+        assert!(s.failed >= 2 && s.retried >= 5 && s.timed_out >= 1, "missed new supervision");
+        assert!(s.journal_skips >= 4);
+        assert!(t.failure_records().iter().any(|e| e.app == "mine"));
+        let text = s.summary();
+        assert!(text.contains("supervision"), "summary missing supervision line:\n{text}");
+        assert!(text.contains("journal skips"), "summary missing journal skips:\n{text}");
+    }
+
+    #[test]
+    fn cache_write_failures_surface_in_summary() {
+        let t = Telemetry::default();
+        assert!(!t.snapshot().summary().contains("cache write failures"));
+        t.note_cache_write_failure();
+        t.note_cache_write_failure();
+        let s = t.snapshot();
+        assert_eq!(s.cache_write_failures, 2);
+        assert!(s.summary().contains("cache write failures"));
+    }
+
+    #[test]
+    fn csv_appends_failure_rows() {
+        use crate::supervisor::JobErrorKind;
+        let t = Telemetry::default();
+        t.note_materialized(record(RunSource::Simulated, 42, 2));
+        note_supervision(1, 0, 0, &[failure("deadapp", JobErrorKind::Panic)]);
+        let dir =
+            std::env::temp_dir().join(format!("subcore-telemetry-fail-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let row = text.lines().find(|l| l.contains("deadapp")).expect("failure row present in CSV");
+        assert!(row.contains(",panic,false,"), "kind tag is the source column: {row}");
+        assert!(row.contains("000000000000feed"), "failure row carries the key: {row}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

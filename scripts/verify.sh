@@ -43,4 +43,10 @@ cargo test -q -p subcore-integration --test trace_smoke
 echo "==> repro bench-engine"
 cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine
 
+# Fault-injection smoke: a seeded chaos drill (injected panics, stalls,
+# and cache corruption; mid-campaign kill; journal resume) must recover
+# to results bit-exact with a fault-free reference run.
+echo "==> repro chaos --seed 42 --fault-rate 0.3"
+cargo run --quiet --release -p subcore-experiments --bin repro -- chaos --seed 42 --fault-rate 0.3
+
 echo "verify: OK"

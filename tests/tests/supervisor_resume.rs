@@ -1,0 +1,108 @@
+//! Kill-and-resume integration: a faulted campaign killed mid-flight,
+//! resumed from its journal, must merge into exactly the results an
+//! uninterrupted fault-free campaign produces.
+//!
+//! This drives the full supervised stack — fault injection, per-cell
+//! recovery, the journal, and `--resume` — across crate boundaries, the
+//! way `repro chaos` does, but asserting the *merged* outcome cell by
+//! cell against an independent uninterrupted run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use subcore_engine::{GpuConfig, RunStats};
+use subcore_experiments::faultgen::FaultPlan;
+use subcore_experiments::journal::Journal;
+use subcore_experiments::sweep::{run_cell_sweep_on, SweepOutcome};
+use subcore_experiments::{SimSession, SupervisorPolicy};
+use subcore_isa::{fma_kernel, App, Suite};
+use subcore_sched::Design;
+
+fn apps() -> Vec<App> {
+    (0..4)
+        .map(|i| App::new(format!("resume-{i}"), Suite::Micro, vec![fma_kernel("k", 2, 4 + i, 32)]))
+        .collect()
+}
+
+fn base() -> GpuConfig {
+    GpuConfig::volta_v100().with_sms(1).with_max_cycles(5_000_000)
+}
+
+fn flat(out: &SweepOutcome) -> Vec<Option<Arc<RunStats>>> {
+    out.cells.iter().flatten().cloned().collect()
+}
+
+#[test]
+fn killed_faulted_campaign_resumes_to_the_uninterrupted_result() {
+    let apps = apps();
+    let base = base();
+    let designs = [Design::Rba];
+    let root =
+        std::env::temp_dir().join(format!("subcore-resume-integration-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    // Reference: uninterrupted, fault-free, fully in-memory.
+    let reference = run_cell_sweep_on(
+        &SimSession::in_memory(),
+        None,
+        false,
+        &base,
+        &apps,
+        &designs,
+        &SupervisorPolicy::default(),
+        None,
+    );
+    assert!(reference.failures.is_empty(), "reference campaign is clean");
+
+    // Phase 1: faulted campaign, killed after half the cells settle.
+    let journal = Journal::open(&root, "resume-drill");
+    let faults = FaultPlan::new(7, 0.35);
+    let kill_policy = SupervisorPolicy {
+        retries: 0, // injected panics stay failed, so resume has real work
+        backoff: Duration::ZERO,
+        stop_after: Some(4),
+        ..SupervisorPolicy::default()
+    };
+    let killed = run_cell_sweep_on(
+        &SimSession::in_memory(),
+        Some(&journal),
+        false,
+        &base,
+        &apps,
+        &designs,
+        &kill_policy,
+        Some(&faults),
+    );
+    assert!(killed.aborted, "stop_after kills the campaign mid-flight");
+    let journaled = journal.progress().done;
+    assert!(journaled < (apps.len() * 2) as u64, "the kill leaves unfinished cells");
+
+    // Phase 2: a fresh process-equivalent (new session, no shared memo)
+    // resumes fault-free from the journal.
+    let resumed_session = SimSession::in_memory();
+    let resumed = run_cell_sweep_on(
+        &resumed_session,
+        Some(&journal),
+        true,
+        &base,
+        &apps,
+        &designs,
+        &SupervisorPolicy::default(),
+        None,
+    );
+    assert!(resumed.failures.is_empty(), "resume completes every cell: {:?}", resumed.failures);
+    assert!(!resumed.aborted);
+    assert_eq!(
+        resumed.journal_skips, journaled,
+        "every journaled-complete cell is served from the journal, not recomputed"
+    );
+
+    // The merged campaign equals the uninterrupted one, bit for bit.
+    for (i, (a, b)) in flat(&reference).iter().zip(flat(&resumed)).enumerate() {
+        let a = a.as_deref().expect("reference cell complete");
+        let b = b.expect("resumed cell complete");
+        assert_eq!(a, &*b, "cell {i} diverges from the uninterrupted run");
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+}
