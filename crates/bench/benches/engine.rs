@@ -1,8 +1,9 @@
 //! Engine-mode comparison: the event-driven fast path (ready-set
-//! scheduling + idle-cycle skip-ahead) head-to-head against the polled
-//! reference on the same workloads. The two modes produce bit-identical
-//! stats (see `tests/tests/engine_modes.rs`); this measures what the fast
-//! path buys in wall time, per behavior class.
+//! scheduling + idle-cycle skip-ahead) and the adaptive density-driven
+//! selector head-to-head against the polled reference on the same
+//! workloads. All modes produce bit-identical stats (see
+//! `tests/tests/engine_modes.rs`); this measures what each path buys in
+//! wall time, per behavior class.
 
 #![forbid(unsafe_code)]
 
@@ -13,13 +14,6 @@ use subcore_bench::bench_gpu;
 use subcore_engine::{simulate_app, EngineMode};
 use subcore_sched::Design;
 use subcore_workloads::{app_by_name, fma_microbenchmark, FmaLayout};
-
-fn mode_label(mode: EngineMode) -> &'static str {
-    match mode {
-        EngineMode::EventDriven => "event",
-        EngineMode::Reference => "reference",
-    }
-}
 
 fn engine_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_modes");
@@ -38,9 +32,9 @@ fn engine_modes(c: &mut Criterion) {
         let base = Design::Baseline.config(&bench_gpu());
         let cycles = simulate_app(&base, &policies, &app).unwrap().cycles;
         g.throughput(Throughput::Elements(cycles));
-        for mode in [EngineMode::EventDriven, EngineMode::Reference] {
+        for mode in [EngineMode::EventDriven, EngineMode::Adaptive, EngineMode::Reference] {
             let cfg = base.clone().with_engine_mode(mode);
-            g.bench_function(format!("{name}/{}", mode_label(mode)), |b| {
+            g.bench_function(format!("{name}/{}", mode.tag()), |b| {
                 b.iter(|| black_box(simulate_app(&cfg, &policies, &app).unwrap().cycles))
             });
         }

@@ -25,15 +25,13 @@ impl SkewedRoundRobinAssigner {
 }
 
 impl SubcoreAssigner for SkewedRoundRobinAssigner {
-    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+    fn assign_block_into(&mut self, warps_in_block: u32, num_subcores: u32, out: &mut Vec<u32>) {
         let n = u64::from(num_subcores);
-        (0..warps_in_block)
-            .map(|_| {
-                let w = self.warps_assigned;
-                self.warps_assigned += 1;
-                ((w + w / n) % n) as u32
-            })
-            .collect()
+        out.extend((0..warps_in_block).map(|_| {
+            let w = self.warps_assigned;
+            self.warps_assigned += 1;
+            ((w + w / n) % n) as u32
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -76,6 +74,8 @@ pub struct ShuffleAssigner {
     /// Running warp counter (Fig. 7's counter), for [`ShuffleMode::Table`].
     warps_assigned: u64,
     num_subcores: Option<u32>,
+    /// Recycled scratch permutation for [`ShuffleMode::Fresh`].
+    perm: Vec<u32>,
 }
 
 impl ShuffleAssigner {
@@ -94,6 +94,7 @@ impl ShuffleAssigner {
             table: Vec::new(),
             warps_assigned: 0,
             num_subcores: None,
+            perm: Vec::new(),
         }
     }
 
@@ -114,34 +115,35 @@ impl ShuffleAssigner {
 }
 
 impl SubcoreAssigner for ShuffleAssigner {
-    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+    fn assign_block_into(&mut self, warps_in_block: u32, num_subcores: u32, out: &mut Vec<u32>) {
         let n = num_subcores as usize;
         match self.mode {
             ShuffleMode::Fresh => {
-                // One fresh balanced permutation per group of N warps.
-                let mut out = Vec::with_capacity(warps_in_block as usize);
-                let mut perm: Vec<u32> = (0..num_subcores).collect();
+                // One fresh balanced permutation per group of N warps. The
+                // scratch buffer is recycled across blocks (no steady-state
+                // allocation) but reset to the identity each call so the
+                // drawn permutation stream matches the original
+                // allocate-per-block implementation exactly.
+                self.perm.clear();
+                self.perm.extend(0..num_subcores);
                 for w in 0..warps_in_block {
                     if (w as usize).is_multiple_of(n) {
-                        perm.shuffle(&mut self.rng);
+                        self.perm.shuffle(&mut self.rng);
                     }
-                    out.push(perm[w as usize % n]);
+                    out.push(self.perm[w as usize % n]);
                 }
-                out
             }
             ShuffleMode::Table { entries } => {
                 if self.num_subcores != Some(num_subcores) {
                     self.fill_table(num_subcores, entries as usize);
                 }
                 // Indexed by the running warp counter, wrapping (Fig. 7).
-                (0..warps_in_block)
-                    .map(|_| {
-                        let w = self.warps_assigned as usize;
-                        self.warps_assigned += 1;
-                        let group = (w / n) % self.table.len();
-                        self.table[group][w % n]
-                    })
-                    .collect()
+                out.extend((0..warps_in_block).map(|_| {
+                    let w = self.warps_assigned as usize;
+                    self.warps_assigned += 1;
+                    let group = (w / n) % self.table.len();
+                    self.table[group][w % n]
+                }));
             }
         }
     }
@@ -194,14 +196,12 @@ impl HashTableAssigner {
 }
 
 impl SubcoreAssigner for HashTableAssigner {
-    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
-        (0..warps_in_block)
-            .map(|_| {
-                let w = self.warps_assigned;
-                self.warps_assigned += 1;
-                self.decode(w) % num_subcores
-            })
-            .collect()
+    fn assign_block_into(&mut self, warps_in_block: u32, num_subcores: u32, out: &mut Vec<u32>) {
+        out.extend((0..warps_in_block).map(|_| {
+            let w = self.warps_assigned;
+            self.warps_assigned += 1;
+            self.decode(w) % num_subcores
+        }));
     }
 
     fn name(&self) -> &'static str {

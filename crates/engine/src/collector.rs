@@ -2,7 +2,6 @@
 //! queues whose lengths drive the RBA score.
 
 use crate::warp::DecodedInstr;
-use std::collections::VecDeque;
 
 /// One collector unit: stages a single warp instruction while its register
 /// source operands are read from the banked register file.
@@ -26,10 +25,7 @@ impl CollectorUnit {
             busy: false,
             ready: false,
             warp_slot: 0,
-            instr: DecodedInstr {
-                instr: subcore_isa::Instruction::new(subcore_isa::OpClass::Exit, None, &[]),
-                dyn_idx: 0,
-            },
+            instr: DecodedInstr::filler(),
             remaining: 0,
         }
     }
@@ -41,21 +37,40 @@ impl CollectorUnit {
 /// The arbiter also maintains the (optionally delayed) per-bank queue-length
 /// view exposed to the warp scheduler — the paper's RBA score input, with
 /// the §VI-B4 score-update latency modeled by a history ring.
+///
+/// All state lives in flat arrays sized at construction: the per-bank FIFOs
+/// are fixed-capacity rings in one contiguous arena (a domain can never
+/// have more than `3 × collector units` operands in flight, since each unit
+/// stages at most three source operands and holds them until granted), and
+/// the grant history is a flat `(delay + 1) × banks` ring. Nothing here
+/// touches the heap after `new`.
 #[derive(Debug)]
 pub(crate) struct Arbiter {
-    /// One FIFO of collector-unit indices per bank (an entry per operand).
-    queues: Vec<VecDeque<u16>>,
+    banks: usize,
+    /// Ring capacity of each per-bank FIFO (worst case: every in-flight
+    /// operand targets one bank).
+    cap: usize,
+    /// Flat FIFO arena: bank `b`'s ring is `queue[b*cap .. (b+1)*cap]`,
+    /// entries are collector-unit indices (one per operand).
+    queue: Vec<u16>,
+    /// Ring head (front entry index) per bank.
+    q_head: Vec<u32>,
+    /// Ring occupancy per bank.
+    q_len: Vec<u32>,
     /// Cumulative enqueued requests per bank. The warp scheduler issued
     /// these itself, so its score logic sees them with no delay.
     cum_enqueues: Vec<u64>,
     /// Cumulative grants per bank.
     cum_grants: Vec<u64>,
-    /// Ring of historical `cum_grants` snapshots (newest at back); length
-    /// `delay + 1`. Grant notifications travel from the register file to
-    /// the scheduler, so a nonzero score-update latency makes the scheduler
-    /// see *old* grant counts — it overestimates queues it recently fed,
-    /// which is the conservative direction (§VI-B4).
-    grant_history: VecDeque<Vec<u64>>,
+    /// Flat ring of historical `cum_grants` snapshots: `hist_rows` rows of
+    /// `banks` counters, oldest at row `hist_head`. Grant notifications
+    /// travel from the register file to the scheduler, so a nonzero
+    /// score-update latency makes the scheduler see *old* grant counts — it
+    /// overestimates queues it recently fed, which is the conservative
+    /// direction (§VI-B4).
+    hist: Vec<u64>,
+    hist_head: usize,
+    hist_rows: usize,
     delay: usize,
     /// Scratch for the scheduler-visible queue lengths.
     visible: Vec<u16>,
@@ -67,16 +82,24 @@ pub(crate) struct Arbiter {
 }
 
 impl Arbiter {
-    pub(crate) fn new(num_banks: u32, delay: u32) -> Self {
+    /// Creates an arbiter for `num_banks` banks serving `cus` collector
+    /// units, with a `delay`-cycle score-update latency.
+    pub(crate) fn new(num_banks: u32, delay: u32, cus: u32) -> Self {
         let banks = num_banks as usize;
         let delay = delay as usize;
-        let mut grant_history = VecDeque::with_capacity(delay + 1);
-        grant_history.push_back(vec![0u64; banks]);
+        let cap = (3 * cus as usize).max(1);
         Arbiter {
-            queues: (0..banks).map(|_| VecDeque::new()).collect(),
+            banks,
+            cap,
+            queue: vec![0; banks * cap],
+            q_head: vec![0; banks],
+            q_len: vec![0; banks],
             cum_enqueues: vec![0; banks],
             cum_grants: vec![0; banks],
-            grant_history,
+            // Seeded with one all-zero row (row 0 of the zeroed arena).
+            hist: vec![0; (delay + 1) * banks],
+            hist_head: 0,
+            hist_rows: 1,
             delay,
             visible: vec![0; banks],
             conflict_enqueues: 0,
@@ -87,22 +110,26 @@ impl Arbiter {
     /// Number of banks this arbiter serves.
     #[allow(dead_code)]
     pub(crate) fn num_banks(&self) -> usize {
-        self.queues.len()
+        self.banks
     }
 
     /// Enqueues a read request from collector unit `cu` for an operand in
     /// `bank`.
     pub(crate) fn enqueue(&mut self, bank: usize, cu: u16) {
-        if !self.queues[bank].is_empty() {
+        let len = self.q_len[bank] as usize;
+        if len > 0 {
             self.conflict_enqueues += 1;
         }
+        debug_assert!(len < self.cap, "bank FIFO overflow: more operands than 3x CUs");
+        let pos = (self.q_head[bank] as usize + len) % self.cap;
+        self.queue[bank * self.cap + pos] = cu;
+        self.q_len[bank] += 1;
         self.cum_enqueues[bank] += 1;
-        self.queues[bank].push_back(cu);
     }
 
     /// True if `bank` has no pending requests (bank-stealing probe).
     pub(crate) fn bank_idle(&self, bank: usize) -> bool {
-        self.queues[bank].is_empty()
+        self.q_len[bank] == 0
     }
 
     /// Grants one request per bank, decrementing each granted unit's
@@ -118,20 +145,22 @@ impl Arbiter {
     /// a result writeback when write-port contention is modeled).
     pub(crate) fn grant_masked(&mut self, cus: &mut [CollectorUnit], blocked_banks: u32) -> u32 {
         let mut granted = 0;
-        for (b, q) in self.queues.iter_mut().enumerate() {
-            if blocked_banks & (1 << b) != 0 {
+        for b in 0..self.banks {
+            if blocked_banks & (1 << b) != 0 || self.q_len[b] == 0 {
                 continue;
             }
-            if let Some(cu) = q.pop_front() {
-                let unit = &mut cus[cu as usize];
-                debug_assert!(unit.busy && unit.remaining > 0);
-                unit.remaining -= 1;
-                if unit.remaining == 0 {
-                    unit.ready = true;
-                }
-                self.cum_grants[b] += 1;
-                granted += 1;
+            let head = self.q_head[b] as usize;
+            let cu = self.queue[b * self.cap + head];
+            self.q_head[b] = ((head + 1) % self.cap) as u32;
+            self.q_len[b] -= 1;
+            let unit = &mut cus[cu as usize];
+            debug_assert!(unit.busy && unit.remaining > 0);
+            unit.remaining -= 1;
+            if unit.remaining == 0 {
+                unit.ready = true;
             }
+            self.cum_grants[b] += 1;
+            granted += 1;
         }
         self.grants += u64::from(granted);
         granted
@@ -140,18 +169,22 @@ impl Arbiter {
     /// Records the current cumulative grant counts into the history ring.
     /// Call once per cycle, before issue.
     ///
-    /// Once the ring is full (after `delay + 1` cycles), the oldest
-    /// snapshot's buffer is recycled in place of a fresh allocation — this
-    /// runs every cycle for every domain, so it must not touch the heap in
-    /// steady state.
+    /// Once the ring is full (after `delay + 1` cycles), the oldest row is
+    /// overwritten in place — this runs every cycle for every domain, so it
+    /// must not touch the heap in steady state.
     pub(crate) fn snapshot(&mut self) {
-        if self.grant_history.len() > self.delay {
-            let mut recycled = self.grant_history.pop_front().expect("ring is never empty");
-            recycled.copy_from_slice(&self.cum_grants);
-            self.grant_history.push_back(recycled);
+        let rows = self.delay + 1;
+        let row = if self.hist_rows == rows {
+            // Overwrite the oldest row; it becomes the newest.
+            let row = self.hist_head;
+            self.hist_head = (self.hist_head + 1) % rows;
+            row
         } else {
-            self.grant_history.push_back(self.cum_grants.clone());
-        }
+            let row = (self.hist_head + self.hist_rows) % rows;
+            self.hist_rows += 1;
+            row
+        };
+        self.hist[row * self.banks..(row + 1) * self.banks].copy_from_slice(&self.cum_grants);
     }
 
     /// Advances the snapshot ring as if [`Arbiter::snapshot`] had been
@@ -169,9 +202,9 @@ impl Arbiter {
     /// The per-bank queue lengths as the scheduler's score logic sees them:
     /// its own enqueues immediately, grants `delay` cycles late.
     pub(crate) fn delayed_lens(&mut self) -> &[u16] {
-        let old_grants = self.grant_history.front().expect("history is never empty");
+        let old = &self.hist[self.hist_head * self.banks..(self.hist_head + 1) * self.banks];
         for (b, v) in self.visible.iter_mut().enumerate() {
-            *v = (self.cum_enqueues[b] - old_grants[b]).min(u64::from(u16::MAX)) as u16;
+            *v = (self.cum_enqueues[b] - old[b]).min(u64::from(u16::MAX)) as u16;
         }
         &self.visible
     }
@@ -179,12 +212,26 @@ impl Arbiter {
     /// Immediate queue lengths (for the operand-collector side, which is
     /// co-located with the banks).
     pub(crate) fn current_len(&self, bank: usize) -> usize {
-        self.queues[bank].len()
+        self.q_len[bank] as usize
     }
 
     /// (grants, conflict-enqueues) since construction.
     pub(crate) fn stats(&self) -> (u64, u64) {
         (self.grants, self.conflict_enqueues)
+    }
+
+    /// Number of rows currently in the history ring.
+    #[cfg(test)]
+    fn hist_len(&self) -> usize {
+        self.hist_rows
+    }
+
+    /// The newest history row's counter for `bank`.
+    #[cfg(test)]
+    fn hist_back(&self, bank: usize) -> u64 {
+        let rows = self.delay + 1;
+        let back = (self.hist_head + self.hist_rows - 1) % rows;
+        self.hist[back * self.banks + bank]
     }
 }
 
@@ -207,7 +254,7 @@ mod tests {
 
     #[test]
     fn one_grant_per_bank_per_cycle() {
-        let mut a = Arbiter::new(2, 0);
+        let mut a = Arbiter::new(2, 0, 2);
         let mut cus = vec![cu_with(3), cu_with(1)];
         // CU0 has two operands in bank 0 and one in bank 1; CU1 one in bank 0.
         a.enqueue(0, 0);
@@ -229,7 +276,7 @@ mod tests {
 
     #[test]
     fn conflicts_counted_on_enqueue_behind() {
-        let mut a = Arbiter::new(2, 0);
+        let mut a = Arbiter::new(2, 0, 2);
         a.enqueue(0, 0);
         a.enqueue(0, 1); // behind → conflict
         a.enqueue(1, 1); // empty bank → no conflict
@@ -238,7 +285,7 @@ mod tests {
 
     #[test]
     fn delayed_view_sees_own_enqueues_but_stale_grants() {
-        let mut a = Arbiter::new(1, 2);
+        let mut a = Arbiter::new(1, 2, 1);
         let mut cus = vec![cu_with(3)];
         // The scheduler's own enqueues are visible immediately.
         a.enqueue(0, 0);
@@ -259,7 +306,7 @@ mod tests {
 
     #[test]
     fn zero_delay_sees_latest_snapshot() {
-        let mut a = Arbiter::new(1, 0);
+        let mut a = Arbiter::new(1, 0, 1);
         a.enqueue(0, 0);
         a.snapshot();
         assert_eq!(a.delayed_lens(), &[1]);
@@ -267,17 +314,17 @@ mod tests {
 
     #[test]
     fn snapshot_steady_state_recycles_ring_buffers() {
-        let mut a = Arbiter::new(2, 3);
+        let mut a = Arbiter::new(2, 3, 1);
         let mut cus = vec![cu_with(3)];
         a.enqueue(0, 0);
         for _ in 0..10 {
             a.snapshot();
             a.grant(&mut cus);
         }
-        // Ring length is pinned at delay + 1 and the oldest snapshot always
-        // reflects grants from `delay` cycles ago.
-        assert_eq!(a.grant_history.len(), 4);
-        assert_eq!(a.grant_history.back().unwrap()[0], a.cum_grants[0]);
+        // Ring length is pinned at delay + 1 and the newest snapshot always
+        // reflects the current grant counters.
+        assert_eq!(a.hist_len(), 4);
+        assert_eq!(a.hist_back(0), a.cum_grants[0]);
     }
 
     #[test]
@@ -286,8 +333,8 @@ mod tests {
         // loops, the other via advance_idle(). Their scheduler-visible
         // queue views must agree at every horizon.
         for idle_span in [1u64, 2, 5, 40] {
-            let mut by_loop = Arbiter::new(1, 4);
-            let mut by_skip = Arbiter::new(1, 4);
+            let mut by_loop = Arbiter::new(1, 4, 1);
+            let mut by_skip = Arbiter::new(1, 4, 1);
             let mut cus_a = vec![cu_with(3)];
             let mut cus_b = vec![cu_with(3)];
             for a in [&mut by_loop, &mut by_skip] {
@@ -308,9 +355,28 @@ mod tests {
 
     #[test]
     fn bank_idle_probe() {
-        let mut a = Arbiter::new(2, 0);
+        let mut a = Arbiter::new(2, 0, 1);
         a.enqueue(1, 0);
         assert!(a.bank_idle(0));
         assert!(!a.bank_idle(1));
+    }
+
+    #[test]
+    fn bank_fifo_ring_wraps_at_capacity() {
+        // cap = 3 × 1 CU = 3: fill, drain one, refill — the ring wraps.
+        let mut a = Arbiter::new(1, 0, 1);
+        let mut cus = vec![cu_with(3), cu_with(3)];
+        a.enqueue(0, 0);
+        a.enqueue(0, 0);
+        a.enqueue(0, 0);
+        assert_eq!(a.grant(&mut cus), 1);
+        cus[1].remaining = 3;
+        a.enqueue(0, 1); // lands in the recycled front cell
+        assert_eq!(a.current_len(0), 3);
+        for _ in 0..3 {
+            assert_eq!(a.grant(&mut cus), 1);
+        }
+        assert_eq!(cus[0].remaining, 0);
+        assert!(a.bank_idle(0));
     }
 }

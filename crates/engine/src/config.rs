@@ -76,23 +76,45 @@ impl ExecTimings {
 
 /// Which engine core drives the simulation loop.
 ///
-/// Both modes are required to produce bit-identical [`crate::RunStats`]
+/// Every mode is required to produce bit-identical [`crate::RunStats`]
 /// (including the windowed trace series); the event-driven core exists
 /// purely as a throughput optimization and the polled core as its oracle.
-/// The differential test suite (`tests/tests/engine_modes.rs`) holds the
-/// two paths to `assert_eq!` equality.
+/// The differential test suite (`tests/tests/engine_modes.rs`) holds all
+/// paths to `assert_eq!` equality.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EngineMode {
-    /// The event-aware fast path (default): each scheduler domain iterates
-    /// only its ready list, and when a cycle provably changes no
-    /// architectural state the loop jumps `now` forward to the next wakeup
-    /// (memory completion, warp stall expiry, or execution-unit free),
+    /// The event-aware fast path: each scheduler domain iterates only its
+    /// ready list, and when a cycle provably changes no architectural
+    /// state the loop jumps `now` forward to the next wakeup (memory
+    /// completion, warp stall expiry, or execution-unit free),
     /// synthesizing the skipped cycles' stall attribution exactly.
-    #[default]
     EventDriven,
     /// The original poll-everything reference loop: every SM ticks every
     /// cycle and every scheduler domain rescans all of its warp slots.
     Reference,
+    /// Adaptive mode selection (default): runs the event-aware fast path
+    /// but measures its payoff over [`GpuConfig::adaptive_window`]-cycle
+    /// windows via a ready-set-density estimator (the fraction of polled
+    /// cycles that changed no state — exactly the cycles the fast path can
+    /// exploit). Windows too dense to skip fall back to reference-style
+    /// full scans, avoiding the ready-list bookkeeping overhead; sparse
+    /// windows switch back. Switches happen only at cycle boundaries and
+    /// both per-cycle paths are decision-identical, so results stay
+    /// bit-exact with both fixed modes.
+    #[default]
+    Adaptive,
+}
+
+impl EngineMode {
+    /// Stable lowercase tag for telemetry and reports.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EngineMode::EventDriven => "event",
+            EngineMode::Reference => "reference",
+            EngineMode::Adaptive => "adaptive",
+        }
+    }
 }
 
 /// Statistics collection knobs.
@@ -182,6 +204,10 @@ pub struct GpuConfig {
     /// Which engine core runs the simulation (bit-identical results either
     /// way; see [`EngineMode`]).
     pub engine_mode: EngineMode,
+    /// Evaluation window, in polled cycles, of [`EngineMode::Adaptive`]'s
+    /// density estimator. Smaller windows react faster but switch (and pay
+    /// ready-list rebuilds) more often. Ignored by the fixed modes.
+    pub adaptive_window: u32,
 }
 
 impl GpuConfig {
@@ -211,6 +237,7 @@ impl GpuConfig {
             stats: StatsConfig::default(),
             max_cycles: 500_000_000,
             engine_mode: EngineMode::default(),
+            adaptive_window: 4096,
         }
     }
 
@@ -299,6 +326,13 @@ impl GpuConfig {
         self
     }
 
+    /// Sets the adaptive-mode evaluation window (see
+    /// [`GpuConfig::adaptive_window`]).
+    pub fn with_adaptive_window(mut self, window: u32) -> Self {
+        self.adaptive_window = window;
+        self
+    }
+
     /// A deterministic 64-bit content fingerprint of the complete
     /// configuration (including the memory system, pipeline timings, and
     /// statistics knobs).
@@ -345,6 +379,7 @@ impl GpuConfig {
         assert!(self.ibuffer_depth > 0, "instruction buffer must be nonzero");
         assert!(self.issue_width > 0, "issue width must be nonzero");
         assert!(self.max_blocks_per_sm > 0, "need at least one block slot");
+        assert!(self.adaptive_window > 0, "adaptive window must be nonzero");
         self.mem.validate();
     }
 }
@@ -375,13 +410,26 @@ mod tests {
     }
 
     #[test]
-    fn engine_mode_defaults_to_event_driven_and_splits_fingerprints() {
-        let fast = GpuConfig::volta_v100();
-        assert_eq!(fast.engine_mode, EngineMode::EventDriven);
-        let reference = fast.clone().with_engine_mode(EngineMode::Reference);
-        // The two modes must never alias in content-addressed caches.
+    fn engine_mode_defaults_to_adaptive_and_splits_fingerprints() {
+        let adaptive = GpuConfig::volta_v100();
+        assert_eq!(adaptive.engine_mode, EngineMode::Adaptive);
+        assert_eq!(adaptive.adaptive_window, 4096);
+        let fast = adaptive.clone().with_engine_mode(EngineMode::EventDriven);
+        let reference = adaptive.clone().with_engine_mode(EngineMode::Reference);
+        // The modes must never alias in content-addressed caches.
+        assert_ne!(adaptive.fingerprint(), fast.fingerprint());
+        assert_ne!(adaptive.fingerprint(), reference.fingerprint());
         assert_ne!(fast.fingerprint(), reference.fingerprint());
+        // Nor may two adaptive windows.
+        assert_ne!(adaptive.fingerprint(), adaptive.clone().with_adaptive_window(64).fingerprint());
         reference.validate();
+    }
+
+    #[test]
+    fn engine_mode_tags_are_stable() {
+        assert_eq!(EngineMode::EventDriven.tag(), "event");
+        assert_eq!(EngineMode::Reference.tag(), "reference");
+        assert_eq!(EngineMode::Adaptive.tag(), "adaptive");
     }
 
     #[test]

@@ -9,6 +9,20 @@ use subcore_isa::{App, Kernel};
 use subcore_mem::MemSystem;
 use subcore_trace::{TraceSink, Tracer, WindowAggregator};
 
+/// How the engine actually ran a simulation: the configured mode plus the
+/// decisions [`EngineMode::Adaptive`]'s density controller made. Kept
+/// deliberately outside [`RunStats`] — results must stay bit-identical
+/// across modes, and this report is exactly the part that is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineReport {
+    /// The configured engine mode.
+    pub mode: EngineMode,
+    /// Adaptive evaluation windows completed (0 for the fixed modes).
+    pub adaptive_windows: u64,
+    /// Windows that ended on the reference-style full-scan fallback.
+    pub adaptive_fallbacks: u64,
+}
+
 /// Simulates a whole application (its kernels run back-to-back) and returns
 /// aggregate statistics.
 ///
@@ -37,6 +51,22 @@ pub fn simulate_app(cfg: &GpuConfig, policies: &Policies, app: &App) -> Result<R
     simulate_app_traced(cfg, policies, app, Vec::new())
 }
 
+/// [`simulate_app`] that also returns the [`EngineReport`] describing how
+/// the engine ran (mode and, under [`EngineMode::Adaptive`], how often the
+/// density controller fell back to full scans). The statistics are
+/// bit-identical to [`simulate_app`]'s.
+///
+/// # Errors
+///
+/// Same as [`simulate_app`].
+pub fn simulate_app_reported(
+    cfg: &GpuConfig,
+    policies: &Policies,
+    app: &App,
+) -> Result<(RunStats, EngineReport), SimError> {
+    run_app(cfg, policies, app, Vec::new())
+}
+
 /// [`simulate_app`] with caller-supplied probe-event sinks.
 ///
 /// Every sink observes the full event stream of [`StatsConfig::trace_sm`]
@@ -59,6 +89,15 @@ pub fn simulate_app_traced(
     app: &App,
     sinks: Vec<&mut dyn TraceSink>,
 ) -> Result<RunStats, SimError> {
+    run_app(cfg, policies, app, sinks).map(|(stats, _)| stats)
+}
+
+fn run_app(
+    cfg: &GpuConfig,
+    policies: &Policies,
+    app: &App,
+    sinks: Vec<&mut dyn TraceSink>,
+) -> Result<(RunStats, EngineReport), SimError> {
     cfg.validate();
     for kernel in app.kernels() {
         check_schedulable(cfg, kernel)?;
@@ -86,7 +125,22 @@ pub fn simulate_app_traced(
     // cycle-keyed, SM-filtered windowed series), but external sinks observe
     // the raw cross-SM event interleaving, which per-SM synthesis reorders
     // — so their presence pins the engine to cycle-by-cycle polling.
-    let allow_skip = cfg.engine_mode == EngineMode::EventDriven && sinks.is_empty();
+    let allow_skip = cfg.engine_mode != EngineMode::Reference && sinks.is_empty();
+    // Adaptive mode selection: over fixed evaluation windows, measure the
+    // two quantities the fast path converts into wall time — idle polled
+    // cycles (what skip-ahead swallows) and ready-set density (a sparse
+    // ready set makes the list scan beat the full-table scan) — and fall
+    // back to reference-style full scans only while the table is saturated
+    // with ready warps and the timeline too dense to skip. Switches happen
+    // only at cycle boundaries; both per-cycle paths make identical
+    // decisions, so results are unaffected.
+    let adaptive = cfg.engine_mode == EngineMode::Adaptive;
+    let window = u64::from(cfg.adaptive_window);
+    let mut fast = cfg.engine_mode != EngineMode::Reference;
+    let mut window_cycles = 0u64;
+    let mut window_idle = 0u64;
+    let mut adaptive_windows = 0u64;
+    let mut adaptive_fallbacks = 0u64;
     let mut tracer = Tracer::new(Vec::new());
     for sink in sinks {
         tracer.attach(sink);
@@ -130,10 +184,14 @@ pub fn simulate_app_traced(
             if now > cfg.max_cycles {
                 return Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles });
             }
+            if adaptive {
+                window_cycles += 1;
+                window_idle += u64::from(!changed);
+            }
             if next_block >= kernel.blocks() && all_idle {
                 break;
             }
-            if allow_skip && !changed {
+            if allow_skip && fast && !changed {
                 // Nothing moved this cycle, so every cycle until the
                 // earliest wake point repeats it verbatim: admission offers
                 // keep failing identically (failed plans stay stashed), the
@@ -162,7 +220,49 @@ pub fn simulate_app_traced(
                     if now > cfg.max_cycles {
                         return Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles });
                     }
+                    if adaptive {
+                        // Skipped cycles are idle by construction: credit
+                        // them so dense-then-sparse workloads read as
+                        // sparse and stay on the fast path.
+                        window_cycles += skipped;
+                        window_idle += skipped;
+                    }
                 }
+            }
+            if adaptive && window_cycles >= window {
+                adaptive_windows += 1;
+                // Ready-set density sample: how full are the slot tables
+                // right now? The ready-list scan wins whenever the ready
+                // set is a strict subset of the slots (few candidates to
+                // visit) OR idle cycles exist for skip-ahead to swallow.
+                // Only a saturated table with a dense timeline makes the
+                // full scan the cheaper path — the list upkeep then tracks
+                // every slot for no scan savings and no skips.
+                let (ready, slots) = sms.iter().fold((0u64, 0u64), |(r, t), sm| {
+                    let (sr, st) = sm.ready_density();
+                    (r + sr, t + st)
+                });
+                let idle16 = window_idle.saturating_mul(16);
+                // Hysteresis: fall back only at full density with under
+                // 1/16 idle; rejoin as soon as density drops below 7/8 or
+                // idle reaches 1/8.
+                if fast && ready >= slots && idle16 < window_cycles {
+                    fast = false;
+                    for sm in &mut sms {
+                        sm.set_fast(false);
+                    }
+                } else if !fast
+                    && (ready.saturating_mul(8) < slots.saturating_mul(7)
+                        || idle16 >= window_cycles.saturating_mul(2))
+                {
+                    fast = true;
+                    for sm in &mut sms {
+                        sm.set_fast(true);
+                    }
+                }
+                adaptive_fallbacks += u64::from(!fast);
+                window_cycles = 0;
+                window_idle = 0;
             }
         }
         kernel_end_cycles.push(now);
@@ -197,7 +297,7 @@ pub fn simulate_app_traced(
         }
     }
     stats.stalls = stalls;
-    Ok(stats)
+    Ok((stats, EngineReport { mode: cfg.engine_mode, adaptive_windows, adaptive_fallbacks }))
 }
 
 /// Simulates a single kernel (wrapped in a one-kernel app).

@@ -62,7 +62,9 @@ mod stats;
 mod warp;
 
 pub use config::{Connectivity, EngineMode, ExecTimings, GpuConfig, PipeTiming, StatsConfig};
-pub use gpu::{simulate_app, simulate_app_traced, simulate_kernel};
+pub use gpu::{
+    simulate_app, simulate_app_reported, simulate_app_traced, simulate_kernel, EngineReport,
+};
 pub use policy::{
     AssignerFactory, GtoSelector, IssueCandidate, IssueView, LrrSelector, Policies,
     RoundRobinAssigner, SelectorFactory, SubcoreAssigner, WarpSelector,

@@ -74,12 +74,22 @@ pub type SelectorFactory = dyn Fn() -> Box<dyn WarpSelector> + Send + Sync;
 /// lifetime (Table I's "sub-core scheduler").
 pub trait SubcoreAssigner: fmt::Debug + Send {
     /// Assigns each of a block's `warps_in_block` warps to one of
-    /// `num_subcores` sub-cores, in warp-id order. The returned vector has
-    /// `warps_in_block` entries, each `< num_subcores`.
+    /// `num_subcores` sub-cores, in warp-id order, appending
+    /// `warps_in_block` entries (each `< num_subcores`) to `out`.
     ///
     /// Called exactly once per block scheduled on the SM this assigner
     /// serves; implementations typically advance an internal warp counter.
-    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32>;
+    /// The engine passes a recycled buffer so steady-state block accepts
+    /// never allocate; implementations should only append.
+    fn assign_block_into(&mut self, warps_in_block: u32, num_subcores: u32, out: &mut Vec<u32>);
+
+    /// Convenience wrapper over [`Self::assign_block_into`] returning a
+    /// fresh vector (tests and offline tools).
+    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(warps_in_block as usize);
+        self.assign_block_into(warps_in_block, num_subcores, &mut out);
+        out
+    }
 
     /// Stable policy name for reports.
     fn name(&self) -> &'static str;
@@ -210,14 +220,12 @@ impl RoundRobinAssigner {
 }
 
 impl SubcoreAssigner for RoundRobinAssigner {
-    fn assign_block(&mut self, warps_in_block: u32, num_subcores: u32) -> Vec<u32> {
-        (0..warps_in_block)
-            .map(|_| {
-                let sc = (self.warps_assigned % u64::from(num_subcores)) as u32;
-                self.warps_assigned += 1;
-                sc
-            })
-            .collect()
+    fn assign_block_into(&mut self, warps_in_block: u32, num_subcores: u32, out: &mut Vec<u32>) {
+        out.extend((0..warps_in_block).map(|_| {
+            let sc = (self.warps_assigned % u64::from(num_subcores)) as u32;
+            self.warps_assigned += 1;
+            sc
+        }));
     }
 
     fn name(&self) -> &'static str {

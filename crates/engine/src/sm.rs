@@ -2,30 +2,40 @@
 //! fully-connected pool), operand collection, execution, and the
 //! block-granularity resource lifecycle.
 //!
+//! # Data-oriented hot state
+//!
+//! All per-warp state lives in a [`WarpTable`] — parallel arrays indexed by
+//! warp slot — and the resident-block table is a fixed arena of recycled
+//! [`BlockState`] entries, so the per-cycle loops walk dense memory and the
+//! accept/exit paths never allocate in steady state (the assignment plan
+//! buffer, block warp lists, and instruction-buffer arena are all reused).
+//!
 //! # Event-aware fast path
 //!
-//! Under [`EngineMode::EventDriven`] each domain additionally maintains a
-//! *ready list* (`Domain::active`): the subsequence of its warp table whose
-//! warps are in [`WarpRun::Ready`]. The issue and fetch stages scan only
-//! that list instead of the full table, and [`SmCore::tick`] reports
-//! whether the cycle changed any architectural state so the top-level loop
-//! can fast-forward over quiescent spans (see [`SmCore::wake_hint`] and
+//! When the fast scan path is enabled (event-driven mode, or the fast
+//! windows of adaptive mode) each domain additionally maintains a *ready
+//! list* (`Domain::active`): the subsequence of its warp table whose warps
+//! are in [`SlotState::Ready`]. The issue and fetch stages scan only that
+//! list instead of the full table, and [`SmCore::tick`] reports whether the
+//! cycle changed any architectural state so the top-level loop can
+//! fast-forward over quiescent spans (see [`SmCore::wake_hint`] and
 //! [`SmCore::account_skipped`]). Ready lists are maintained lazily: any
 //! operation that changes a warp's run state marks its domain dirty, and
 //! the list is rebuilt from the warp table (preserving insertion order, so
 //! candidate order — and therefore every scheduling decision — is
-//! bit-identical to the polled reference) the next time it is read.
-//!
-//! [`EngineMode::EventDriven`]: crate::config::EngineMode::EventDriven
+//! bit-identical to the polled reference) the next time it is read. The
+//! dirty flags and per-domain barrier counts are kept up to date in *both*
+//! scan modes, so [`SmCore::set_fast`] can flip the path at any cycle
+//! boundary without replaying history.
 
 use crate::collector::{Arbiter, CollectorUnit};
 use crate::config::{Connectivity, EngineMode, GpuConfig};
 use crate::exec::ExecPools;
 use crate::policy::{IssueCandidate, IssueView, Policies, SubcoreAssigner, WarpSelector};
 use crate::stats::StallBreakdown;
-use crate::warp::{DecodedInstr, WarpContext, WarpRun};
+use crate::warp::{DecodedInstr, SlotState, WarpTable};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 use subcore_isa::{Kernel, MemPattern, OpClass, Pipeline, Reg};
 use subcore_mem::{coalesce, MemSystem, StreamCtx};
 use subcore_trace::{StallKind, TraceEvent, Tracer, MAX_TRACED_BANKS};
@@ -37,9 +47,9 @@ struct Domain {
     selector: Box<dyn WarpSelector>,
     /// Warp slots pinned to this domain (insertion order).
     warps: Vec<u32>,
-    /// Ready list: the slots of `warps` whose warp is [`WarpRun::Ready`],
-    /// in the same order. Only maintained in event-driven mode; rebuilt
-    /// on demand when the domain's dirty flag is set.
+    /// Ready list: the slots of `warps` whose warp is [`SlotState::Ready`],
+    /// in the same order. Read only on the fast scan path; rebuilt on
+    /// demand when the domain's dirty flag is set.
     active: Vec<u32>,
     cus: Vec<CollectorUnit>,
     arbiter: Arbiter,
@@ -94,24 +104,41 @@ impl Domain {
 
 /// Rebuilds a domain's ready list from its warp table, preserving table
 /// order so issue-candidate order matches the polled reference exactly.
-fn rebuild_active(d: &mut Domain, warps: &[Option<WarpContext>]) {
+fn rebuild_active(d: &mut Domain, warps: &WarpTable) {
     d.active.clear();
     for &slot in &d.warps {
-        if warps[slot as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready) {
+        if warps.state[slot as usize] == SlotState::Ready {
             d.active.push(slot);
         }
     }
 }
 
-/// A resident thread block.
+/// A resident thread block. Entries live in a fixed arena owned by the SM
+/// and are recycled across blocks (the `warp_slots` buffer keeps its
+/// capacity), so block admission never allocates in steady state.
 #[derive(Debug)]
 struct BlockState {
+    /// Whether a block currently occupies this arena entry.
+    occupied: bool,
     live_warps: u32,
     at_barrier: u32,
     shared_mem: u32,
     /// Per-thread registers each of its warps holds in its domain.
     regs_per_warp: u32,
     warp_slots: Vec<u32>,
+}
+
+impl BlockState {
+    fn vacant() -> Self {
+        BlockState {
+            occupied: false,
+            live_warps: 0,
+            at_barrier: 0,
+            shared_mem: 0,
+            regs_per_warp: 0,
+            warp_slots: Vec::new(),
+        }
+    }
 }
 
 /// Completion event: (cycle, warp slot, optional destination register).
@@ -122,8 +149,8 @@ type Completion = Reverse<(u64, u32, Option<Reg>)>;
 pub(crate) struct SmCore {
     id: usize,
     domains: Vec<Domain>,
-    warps: Vec<Option<WarpContext>>,
-    blocks: Vec<Option<BlockState>>,
+    warps: WarpTable,
+    blocks: Vec<BlockState>,
     resident_blocks: u32,
     shared_used: u32,
     shared_capacity: u32,
@@ -131,7 +158,11 @@ pub(crate) struct SmCore {
     bank_stealing: bool,
     line_bytes: u32,
     assigner: Box<dyn SubcoreAssigner>,
-    pending_plan: Option<Vec<u32>>,
+    /// Recycled warp → sub-core assignment plan buffer; `plan_valid` marks
+    /// a stashed plan from a failed admission that must be retried verbatim
+    /// (the assigner's warp counter already advanced past it).
+    plan_buf: Vec<u32>,
+    plan_valid: bool,
     age_counter: u64,
     completions: BinaryHeap<Completion>,
     txn_scratch: Vec<u64>,
@@ -150,19 +181,16 @@ pub(crate) struct SmCore {
     warp_cycles: u64,
     /// Cycles this SM actually ticked (was non-idle).
     active_cycles: u64,
-    /// Event-driven mode: maintain ready lists and report state changes.
+    /// Fast scan path enabled: read ready lists and report state changes.
     fast: bool,
-    /// Per-domain count of warps parked at a barrier (fast mode; feeds the
-    /// stall classification without scanning non-ready warps).
+    /// Per-domain count of warps parked at a barrier (feeds the fast-path
+    /// stall classification without scanning non-ready warps). Maintained
+    /// in both scan modes so the path can switch at any cycle boundary.
     barrier_counts: Vec<u32>,
-    /// Per-domain "ready list is stale" flags (fast mode).
+    /// Per-domain "ready list is stale" flags.
     active_dirty: Vec<bool>,
     /// Scratch for per-domain warp demand during block admission.
     demand_scratch: Vec<u32>,
-    /// Recycled instruction buffers from deallocated warps, reused on the
-    /// next block admission to keep the accept path allocation-free in
-    /// steady state.
-    ibuf_pool: Vec<VecDeque<DecodedInstr>>,
 }
 
 impl SmCore {
@@ -194,7 +222,7 @@ impl SmCore {
                 warps: Vec::new(),
                 active: Vec::new(),
                 cus: (0..cus).map(|_| CollectorUnit::empty()).collect(),
-                arbiter: Arbiter::new(banks, cfg.score_update_latency),
+                arbiter: Arbiter::new(banks, cfg.score_update_latency, cus),
                 exec: ExecPools::new(&cfg.exec, exec_scale),
                 num_banks: banks,
                 issue_width,
@@ -213,8 +241,8 @@ impl SmCore {
         SmCore {
             id,
             domains,
-            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
-            blocks: (0..cfg.max_blocks_per_sm).map(|_| None).collect(),
+            warps: WarpTable::new(cfg.max_warps_per_sm as usize, cfg.ibuffer_depth as usize),
+            blocks: (0..cfg.max_blocks_per_sm).map(|_| BlockState::vacant()).collect(),
             resident_blocks: 0,
             shared_used: 0,
             shared_capacity: cfg.shared_mem_per_sm,
@@ -222,7 +250,8 @@ impl SmCore {
             bank_stealing: cfg.bank_stealing,
             line_bytes: cfg.mem.line_bytes,
             assigner: (policies.assigner)(id as u32),
-            pending_plan: None,
+            plan_buf: Vec::new(),
+            plan_valid: false,
             age_counter: 0,
             completions: BinaryHeap::new(),
             txn_scratch: Vec::new(),
@@ -237,17 +266,39 @@ impl SmCore {
             live_warps: 0,
             warp_cycles: 0,
             active_cycles: 0,
-            fast: cfg.engine_mode == EngineMode::EventDriven,
+            fast: cfg.engine_mode != EngineMode::Reference,
             barrier_counts: vec![0; num_domains as usize],
             active_dirty: vec![false; num_domains as usize],
             demand_scratch: Vec::new(),
-            ibuf_pool: Vec::new(),
         }
     }
 
     /// True when nothing is resident or in flight.
     pub(crate) fn is_idle(&self) -> bool {
         self.resident_blocks == 0 && self.completions.is_empty()
+    }
+
+    /// Ready-set density sample: `(ready_slots, total_slots)` at this
+    /// instant. Read straight off the state array (current in both scan
+    /// modes), so sampling is mode-independent and side-effect free; the
+    /// adaptive controller calls this once per evaluation window.
+    pub(crate) fn ready_density(&self) -> (u64, u64) {
+        let ready = self.warps.state.iter().filter(|s| **s == SlotState::Ready).count() as u64;
+        (ready, self.warps.state.len() as u64)
+    }
+
+    /// Switches between the ready-list (fast) and full-table (reference)
+    /// scan paths. Only valid at a cycle boundary. The barrier counts and
+    /// dirty flags are maintained in both modes, so the only catch-up work
+    /// is marking the ready lists stale when re-entering the fast path.
+    pub(crate) fn set_fast(&mut self, fast: bool) {
+        if self.fast == fast {
+            return;
+        }
+        self.fast = fast;
+        if fast {
+            self.active_dirty.iter_mut().for_each(|f| *f = true);
+        }
     }
 
     /// Attempts to schedule one block of `kernel` on this SM. `block_uid` is
@@ -259,24 +310,29 @@ impl SmCore {
         now: u64,
         tracer: &mut Tracer<'_>,
     ) -> bool {
-        let warps = kernel.warps_per_block();
+        let block_warps = kernel.warps_per_block();
         let regs_per_warp = u32::from(kernel.regs_per_thread());
-        let Some(block_slot) = self.blocks.iter().position(Option::is_none) else {
+        let Some(block_slot) = self.blocks.iter().position(|b| !b.occupied) else {
             return false;
         };
         if self.shared_used + kernel.shared_mem_bytes() > self.shared_capacity {
             return false;
         }
         // Plan (or re-use a stashed plan for) the warp → sub-core assignment.
-        let plan = self
-            .pending_plan
-            .take()
-            .unwrap_or_else(|| self.assigner.assign_block(warps, self.domains.len() as u32));
-        debug_assert_eq!(plan.len(), warps as usize);
+        if !self.plan_valid {
+            self.plan_buf.clear();
+            self.assigner.assign_block_into(
+                block_warps,
+                self.domains.len() as u32,
+                &mut self.plan_buf,
+            );
+            self.plan_valid = true;
+        }
+        debug_assert_eq!(self.plan_buf.len(), block_warps as usize);
         let mut demand = std::mem::take(&mut self.demand_scratch);
         demand.clear();
         demand.resize(self.domains.len(), 0);
-        for &d in &plan {
+        for &d in &self.plan_buf {
             demand[d as usize] += 1;
         }
         let feasible = self.domains.iter().zip(&demand).all(|(d, &n)| {
@@ -287,61 +343,48 @@ impl SmCore {
         if !feasible {
             // Keep the plan: the assigner's warp counter must stay
             // consistent with what will eventually be placed.
-            self.pending_plan = Some(plan);
             return false;
         }
+        self.plan_valid = false;
 
-        let mut slots = Vec::with_capacity(warps as usize);
-        let mut free_iter = 0usize;
-        for (w, &dom) in plan.iter().enumerate() {
-            while self.warps[free_iter].is_some() {
+        {
+            let Self { warps, domains, blocks, active_dirty, age_counter, plan_buf, .. } = self;
+            let block = &mut blocks[block_slot];
+            debug_assert!(block.warp_slots.is_empty(), "vacant entries have cleared slot lists");
+            let mut free_iter = 0usize;
+            for (w, &dom) in plan_buf.iter().enumerate() {
+                while warps.state[free_iter] != SlotState::Vacant {
+                    free_iter += 1;
+                }
+                let slot = free_iter as u32;
+                let program = kernel.program(w as u32);
+                let local_index = domains[dom as usize].warps.len() as u32;
+                warps.insert(
+                    free_iter,
+                    *age_counter,
+                    local_index,
+                    dom,
+                    program.cursor(),
+                    block_slot,
+                    block_uid * 64 + w as u64,
+                );
+                *age_counter += 1;
+                let d = &mut domains[dom as usize];
+                d.warps.push(slot);
+                d.regs_used += regs_per_warp;
+                active_dirty[dom as usize] = true;
+                block.warp_slots.push(slot);
                 free_iter += 1;
             }
-            let slot = free_iter as u32;
-            let program = kernel.program(w as u32);
-            let local_index = self.domains[dom as usize].warps.len() as u32;
-            let ibuffer = match self.ibuf_pool.pop() {
-                Some(mut b) => {
-                    b.clear();
-                    b
-                }
-                None => VecDeque::with_capacity(self.ibuffer_depth),
-            };
-            let ctx = WarpContext {
-                run: WarpRun::Ready,
-                stall_until: 0,
-                ibuffer,
-                scoreboard: crate::scoreboard::Scoreboard::new(),
-                age: self.age_counter,
-                local_index,
-                domain: dom,
-                cursor: program.cursor(),
-                outstanding: 0,
-                block_slot,
-                stream_id: block_uid * 64 + w as u64,
-                issued: 0,
-            };
-            self.age_counter += 1;
-            self.warps[slot as usize] = Some(ctx);
-            let d = &mut self.domains[dom as usize];
-            d.warps.push(slot);
-            d.regs_used += regs_per_warp;
-            if self.fast {
-                self.active_dirty[dom as usize] = true;
-            }
-            slots.push(slot);
-            free_iter += 1;
+            block.occupied = true;
+            block.live_warps = block_warps;
+            block.at_barrier = 0;
+            block.shared_mem = kernel.shared_mem_bytes();
+            block.regs_per_warp = regs_per_warp;
         }
-        self.blocks[block_slot] = Some(BlockState {
-            live_warps: warps,
-            at_barrier: 0,
-            shared_mem: kernel.shared_mem_bytes(),
-            regs_per_warp,
-            warp_slots: slots,
-        });
         self.shared_used += kernel.shared_mem_bytes();
         self.resident_blocks += 1;
-        self.live_warps += warps;
+        self.live_warps += block_warps;
         tracer.emit(|| TraceEvent::Occupancy {
             cycle: now,
             sm: self.id as u32,
@@ -431,12 +474,12 @@ impl SmCore {
     /// — which cannot happen with well-formed kernels; the caller then
     /// runs into the cycle limit exactly as the polled loop would).
     ///
-    /// Only meaningful in event-driven mode immediately after an unchanged
+    /// Only meaningful on the fast path immediately after an unchanged
     /// tick: every blocked-warp reason other than the three above implies
     /// the tick *did* change state (a grant drained a queue, a fetch filled
     /// a buffer, …), so those three are the complete wake set.
     pub(crate) fn wake_hint(&self, now: u64) -> u64 {
-        debug_assert!(self.fast, "wake hints are only valid in event-driven mode");
+        debug_assert!(self.fast, "wake hints are only valid on the fast scan path");
         if self.is_idle() {
             return u64::MAX;
         }
@@ -447,9 +490,10 @@ impl SmCore {
         for (di, d) in self.domains.iter().enumerate() {
             debug_assert!(!self.active_dirty[di], "unchanged tick leaves ready lists clean");
             for &slot in &d.active {
-                let w = self.warps[slot as usize].as_ref().expect("active warps are resident");
-                if w.stall_until > now {
-                    wake = wake.min(w.stall_until);
+                debug_assert_eq!(self.warps.state[slot as usize], SlotState::Ready);
+                let stall_until = self.warps.stall_until[slot as usize];
+                if stall_until > now {
+                    wake = wake.min(stall_until);
                 }
             }
             for cu in &d.cus {
@@ -529,15 +573,18 @@ impl SmCore {
             }
             self.completions.pop();
             retired = true;
-            let w = self.warps[slot as usize]
-                .as_mut()
-                .expect("completions never outlive their warp's block");
-            w.outstanding -= 1;
+            let s = slot as usize;
+            debug_assert_ne!(
+                self.warps.state[s],
+                SlotState::Vacant,
+                "completions never outlive their warp's block"
+            );
+            self.warps.outstanding[s] -= 1;
             if let Some(d) = dst {
-                w.scoreboard.clear(d);
+                self.warps.scoreboard[s].clear(d);
                 if self.rf_write_port_contention {
-                    let dom = w.domain as usize;
-                    let bank = self.domains[dom].bank_of(d, w.local_index);
+                    let dom = self.warps.domain[s] as usize;
+                    let bank = self.domains[dom].bank_of(d, self.warps.local_index[s]);
                     self.write_masks[dom] |= 1 << bank;
                 }
             }
@@ -550,9 +597,7 @@ impl SmCore {
     /// the most-loaded sub-core, paying a register-copy penalty.
     fn steal_warps(&mut self, now: u64) -> bool {
         let mut stole = false;
-        let runnable = |warps: &[Option<WarpContext>], s: u32| {
-            warps[s as usize].as_ref().is_some_and(|w| w.run == WarpRun::Ready)
-        };
+        let runnable = |warps: &WarpTable, s: u32| warps.state[s as usize] == SlotState::Ready;
         for di in 0..self.domains.len() {
             let recipient_ready =
                 self.domains[di].warps.iter().filter(|&&s| runnable(&self.warps, s)).count();
@@ -583,9 +628,11 @@ impl SmCore {
             else {
                 continue;
             };
+            let s = slot as usize;
             let regs = {
-                let w = self.warps[slot as usize].as_ref().expect("live warp resident");
-                self.blocks[w.block_slot].as_ref().expect("block resident").regs_per_warp
+                let bs = self.warps.block_slot[s];
+                debug_assert!(self.blocks[bs].occupied, "live warp's block resident");
+                self.blocks[bs].regs_per_warp
             };
             // Idealized: the stolen warp squats on an extra scheduler-table
             // entry (real hardware could not), but register capacity is
@@ -594,22 +641,19 @@ impl SmCore {
                 continue;
             }
             let pos =
-                self.domains[donor].warps.iter().position(|&s| s == slot).expect("slot in donor");
+                self.domains[donor].warps.iter().position(|&x| x == slot).expect("slot in donor");
             self.domains[donor].warps.remove(pos);
             self.domains[donor].regs_used -= regs;
             let new_local = self.domains[di].warps.len() as u32;
             self.domains[di].warps.push(slot);
             self.domains[di].regs_used += regs;
-            if self.fast {
-                self.active_dirty[donor] = true;
-                self.active_dirty[di] = true;
-            }
-            let w = self.warps[slot as usize].as_mut().expect("live warp resident");
-            w.domain = di as u32;
-            w.local_index = new_local;
+            self.active_dirty[donor] = true;
+            self.active_dirty[di] = true;
+            self.warps.domain[s] = di as u32;
+            self.warps.local_index[s] = new_local;
             // Register-file copy penalty: regs/2 cycles (two banks move one
             // 128 B register each per cycle).
-            w.stall_until = now + u64::from(regs / 2);
+            self.warps.stall_until[s] = now + u64::from(regs / 2);
             stole = true;
         }
         stole
@@ -629,7 +673,7 @@ impl SmCore {
                 let pipeline = op.pipeline();
                 let slot = cu.warp_slot;
                 let done_at = if let Some(pattern) = instr.instr.mem {
-                    let w = warps[slot as usize].as_ref().expect("warp resident");
+                    debug_assert_ne!(warps.state[slot as usize], SlotState::Vacant);
                     match pattern {
                         MemPattern::SharedConflict { degree } => {
                             if d.exec.pool_mut(Pipeline::Lsu).try_dispatch(now, 1).is_none() {
@@ -639,8 +683,10 @@ impl SmCore {
                         }
                         _ => {
                             txn_scratch.clear();
-                            let ctx =
-                                StreamCtx { stream_id: w.stream_id, dynamic_index: instr.dyn_idx };
+                            let ctx = StreamCtx {
+                                stream_id: warps.stream_id[slot as usize],
+                                dynamic_index: instr.dyn_idx,
+                            };
                             let n = coalesce(pattern, ctx, *line_bytes, txn_scratch);
                             if d.exec.pool_mut(Pipeline::Lsu).try_dispatch(now, n as u64).is_none()
                             {
@@ -682,7 +728,6 @@ impl SmCore {
             fast,
             barrier_counts,
             active_dirty,
-            ibuf_pool,
             ..
         } = self;
         let fast = *fast;
@@ -705,27 +750,31 @@ impl SmCore {
         candidates.clear();
         let scan: &[u32] = if fast { &d.active } else { &d.warps };
         for &slot in scan {
-            let w = warps[slot as usize].as_ref().expect("domain warps are resident");
-            match w.run {
-                WarpRun::Exited => continue,
-                WarpRun::AtBarrier => {
+            let s = slot as usize;
+            match warps.state[s] {
+                SlotState::Vacant => {
+                    debug_assert!(false, "domain warps are resident");
+                    continue;
+                }
+                SlotState::Exited => continue,
+                SlotState::AtBarrier => {
                     saw_barrier = true;
                     continue;
                 }
-                WarpRun::Ready => saw_live = true,
+                SlotState::Ready => saw_live = true,
             }
-            if now < w.stall_until {
+            if now < warps.stall_until[s] {
                 continue;
             }
-            let Some(head) = w.ibuffer.front() else {
+            let Some(head) = warps.ibuf_front(s) else {
                 continue;
             };
             let i = head.instr;
-            if i.op == OpClass::Exit && w.outstanding > 0 {
+            if i.op == OpClass::Exit && warps.outstanding[s] > 0 {
                 blocked_scoreboard += 1;
                 continue;
             }
-            if !w.scoreboard.clear_of_hazards(i.dst, &i.srcs) {
+            if !warps.scoreboard[s].clear_of_hazards(i.dst, &i.srcs) {
                 blocked_scoreboard += 1;
                 continue;
             }
@@ -736,12 +785,12 @@ impl SmCore {
             let mut banks = [0u8; 3];
             let mut num_srcs = 0u8;
             for src in i.sources() {
-                banks[num_srcs as usize] = d.bank_of(src, w.local_index);
+                banks[num_srcs as usize] = d.bank_of(src, warps.local_index[s]);
                 num_srcs += 1;
             }
             candidates.push(IssueCandidate {
                 warp_slot: slot,
-                age: w.age,
+                age: warps.age[s],
                 num_srcs,
                 banks,
                 pipeline: i.op.pipeline(),
@@ -768,21 +817,18 @@ impl SmCore {
             let rba_score = if tracer.enabled() { view.rba_score(ci) } else { 0 };
             let cand = candidates.swap_remove(ci);
             let slot = cand.warp_slot;
-            let (decoded, block_slot) = {
-                let w = warps[slot as usize].as_mut().expect("candidate warp resident");
-                let decoded = w.ibuffer.pop_front().expect("candidate had an ibuffer head");
-                w.issued += 1;
-                (decoded, w.block_slot)
-            };
+            let s = slot as usize;
+            let decoded = warps.ibuf_pop(s);
+            warps.issued[s] += 1;
+            let block_slot = warps.block_slot[s];
             let i = decoded.instr;
             match i.op {
                 OpClass::Barrier => {
-                    warps[slot as usize].as_mut().expect("resident").run = WarpRun::AtBarrier;
-                    if fast {
-                        barrier_counts[di] += 1;
-                        active_dirty[di] = true;
-                    }
-                    let block = blocks[block_slot].as_mut().expect("warp's block resident");
+                    warps.state[s] = SlotState::AtBarrier;
+                    barrier_counts[di] += 1;
+                    active_dirty[di] = true;
+                    let block = &mut blocks[block_slot];
+                    debug_assert!(block.occupied, "warp's block resident");
                     block.at_barrier += 1;
                     tracer.emit(|| TraceEvent::BarrierWait {
                         cycle: now,
@@ -793,14 +839,7 @@ impl SmCore {
                     });
                     if block.at_barrier == block.live_warps {
                         let released = block.at_barrier;
-                        release_barrier(
-                            block,
-                            block_slot,
-                            warps,
-                            fast,
-                            barrier_counts,
-                            active_dirty,
-                        );
+                        release_barrier(block, block_slot, warps, barrier_counts, active_dirty);
                         tracer.emit(|| TraceEvent::BarrierRelease {
                             cycle: now,
                             sm,
@@ -810,29 +849,21 @@ impl SmCore {
                     }
                 }
                 OpClass::Exit => {
-                    warps[slot as usize].as_mut().expect("resident").run = WarpRun::Exited;
-                    if fast {
-                        active_dirty[di] = true;
-                    }
+                    warps.state[s] = SlotState::Exited;
+                    active_dirty[di] = true;
                     *live_warps -= 1;
                     tracer.emit(|| TraceEvent::Occupancy {
                         cycle: now,
                         sm,
                         live_warps: *live_warps,
                     });
-                    let block = blocks[block_slot].as_mut().expect("warp's block resident");
+                    let block = &mut blocks[block_slot];
+                    debug_assert!(block.occupied, "warp's block resident");
                     block.live_warps -= 1;
                     if block.live_warps == 0 {
                         finalize.push(block_slot);
                     } else if block.at_barrier == block.live_warps && block.at_barrier > 0 {
-                        release_barrier(
-                            block,
-                            block_slot,
-                            warps,
-                            fast,
-                            barrier_counts,
-                            active_dirty,
-                        );
+                        release_barrier(block, block_slot, warps, barrier_counts, active_dirty);
                         tracer.emit(|| TraceEvent::BarrierRelease {
                             cycle: now,
                             sm,
@@ -845,12 +876,10 @@ impl SmCore {
                         // free immediately (shared memory and the block
                         // entry itself still wait for the whole block).
                         let pos =
-                            d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
+                            d.warps.iter().position(|&x| x == slot).expect("warp in its domain");
                         d.warps.remove(pos);
                         d.regs_used -= block.regs_per_warp;
-                        if let Some(w) = warps[slot as usize].take() {
-                            ibuf_pool.push(w.ibuffer);
-                        }
+                        warps.remove(s);
                         tracer.emit(|| TraceEvent::WarpDealloc {
                             cycle: now,
                             sm,
@@ -870,11 +899,10 @@ impl SmCore {
                     for k in 0..cand.num_srcs as usize {
                         d.arbiter.enqueue(cand.banks[k] as usize, cu_idx as u16);
                     }
-                    let w = warps[slot as usize].as_mut().expect("resident");
                     if let Some(dst) = i.dst {
-                        w.scoreboard.set(dst);
+                        warps.scoreboard[s].set(dst);
                     }
-                    w.outstanding += 1;
+                    warps.outstanding[s] += 1;
                     free_cus -= 1;
                 }
             }
@@ -943,32 +971,32 @@ impl SmCore {
             // Oldest issuable warp whose head instruction reads this bank.
             let mut best: Option<(u64, u32)> = None;
             for &slot in &d.warps {
-                let w = warps[slot as usize].as_ref().expect("resident");
-                if !w.issuable(now) {
+                let s = slot as usize;
+                if !warps.issuable(s, now) {
                     continue;
                 }
-                let head = w.ibuffer.front().expect("issuable implies head");
+                let head = warps.ibuf_front(s).expect("issuable implies head");
                 let i = head.instr;
                 if i.op.is_control()
-                    || !w.scoreboard.clear_of_hazards(i.dst, &i.srcs)
-                    || !i.sources().any(|s| d.bank_of(s, w.local_index) as usize == bank)
+                    || !warps.scoreboard[s].clear_of_hazards(i.dst, &i.srcs)
+                    || !i.sources().any(|src| d.bank_of(src, warps.local_index[s]) as usize == bank)
                 {
                     continue;
                 }
-                if best.is_none_or(|(age, _)| w.age < age) {
-                    best = Some((w.age, slot));
+                if best.is_none_or(|(age, _)| warps.age[s] < age) {
+                    best = Some((warps.age[s], slot));
                 }
             }
             let Some((_, slot)) = best else {
                 continue;
             };
-            let w = warps[slot as usize].as_mut().expect("resident");
-            let decoded = w.ibuffer.pop_front().expect("head");
+            let s = slot as usize;
+            let decoded = warps.ibuf_pop(s);
             let i = decoded.instr;
             let mut src_banks = [0u8; 3];
             let mut num_srcs = 0usize;
             for src in i.sources() {
-                src_banks[num_srcs] = d.bank_of(src, w.local_index);
+                src_banks[num_srcs] = d.bank_of(src, warps.local_index[s]);
                 num_srcs += 1;
             }
             let cu = &mut d.cus[cu_idx];
@@ -981,10 +1009,10 @@ impl SmCore {
                 d.arbiter.enqueue(b as usize, cu_idx as u16);
             }
             if let Some(dst) = i.dst {
-                w.scoreboard.set(dst);
+                warps.scoreboard[s].set(dst);
             }
-            w.outstanding += 1;
-            w.issued += 1;
+            warps.outstanding[s] += 1;
+            warps.issued[s] += 1;
             d.issued += 1;
             *issued_total += 1;
             stole = true;
@@ -1004,59 +1032,71 @@ impl SmCore {
     }
 
     fn free_block(&mut self, block_slot: usize) {
-        let block = self.blocks[block_slot].take().expect("finalized block resident");
+        let Self { warps, blocks, domains, shared_used, resident_blocks, .. } = self;
+        let block = &mut blocks[block_slot];
+        debug_assert!(block.occupied, "finalized block resident");
         for &slot in &block.warp_slots {
+            let s = slot as usize;
             // Under warp-level deallocation the warp may already be gone —
             // and its slot may even host a *different* block's warp by now,
             // so only reclaim warps that still belong to this block.
-            if self.warps[slot as usize].as_ref().is_none_or(|w| w.block_slot != block_slot) {
+            if warps.state[s] == SlotState::Vacant || warps.block_slot[s] != block_slot {
                 continue;
             }
-            let w = self.warps[slot as usize].take().expect("checked above");
-            debug_assert_eq!(w.run, WarpRun::Exited);
-            debug_assert_eq!(w.outstanding, 0);
-            let d = &mut self.domains[w.domain as usize];
+            debug_assert_eq!(warps.state[s], SlotState::Exited);
+            debug_assert_eq!(warps.outstanding[s], 0);
+            let d = &mut domains[warps.domain[s] as usize];
             d.regs_used -= block.regs_per_warp;
-            let pos = d.warps.iter().position(|&s| s == slot).expect("warp in its domain");
+            let pos = d.warps.iter().position(|&x| x == slot).expect("warp in its domain");
             d.warps.remove(pos);
-            self.ibuf_pool.push(w.ibuffer);
+            warps.remove(s);
         }
-        self.shared_used -= block.shared_mem;
-        self.resident_blocks -= 1;
+        // Recycle the arena entry: keep `warp_slots`' capacity for the next
+        // resident block.
+        block.occupied = false;
+        block.warp_slots.clear();
+        *shared_used -= block.shared_mem;
+        *resident_blocks -= 1;
     }
 
     fn fetch(&mut self) -> bool {
         let mut fetched = false;
-        if self.fast {
+        let Self { domains, warps, active_dirty, ibuffer_depth, fast, .. } = self;
+        if *fast {
             // Barrier releases during issue may have woken warps in any
             // domain (including ones already issued this cycle), so refresh
             // stale ready lists first — the polled reference fetches those
             // warps this very cycle, and the lists must also be exact for
             // the wake-hint scan that may follow this tick.
-            let Self { domains, warps, active_dirty, ibuffer_depth, .. } = self;
             for (di, d) in domains.iter_mut().enumerate() {
                 if active_dirty[di] {
                     rebuild_active(d, warps);
                     active_dirty[di] = false;
                 }
                 for &slot in &d.active {
-                    let w = warps[slot as usize].as_mut().expect("active warps are resident");
-                    if w.ibuffer.len() >= *ibuffer_depth {
+                    let s = slot as usize;
+                    if warps.ibuf_len(s) >= *ibuffer_depth {
                         continue;
                     }
-                    if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
-                        w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+                    let next = warps.cursor[s]
+                        .as_mut()
+                        .expect("active warps are resident")
+                        .next_instruction();
+                    if let Some((instr, dyn_idx)) = next {
+                        warps.ibuf_push(s, DecodedInstr { instr, dyn_idx });
                         fetched = true;
                     }
                 }
             }
         } else {
-            for w in self.warps.iter_mut().flatten() {
-                if w.run != WarpRun::Ready || w.ibuffer.len() >= self.ibuffer_depth {
+            for s in 0..warps.len() {
+                if warps.state[s] != SlotState::Ready || warps.ibuf_len(s) >= *ibuffer_depth {
                     continue;
                 }
-                if let Some((instr, dyn_idx)) = w.cursor.next_instruction() {
-                    w.ibuffer.push_back(DecodedInstr { instr, dyn_idx });
+                let next =
+                    warps.cursor[s].as_mut().expect("ready warps are resident").next_instruction();
+                if let Some((instr, dyn_idx)) = next {
+                    warps.ibuf_push(s, DecodedInstr { instr, dyn_idx });
                     fetched = true;
                 }
             }
@@ -1136,28 +1176,24 @@ impl SmCore {
 
 /// Wakes every warp of the block in `block_slot` waiting at the barrier.
 /// Slots freed by warp-level deallocation (possibly reused by another
-/// block's warps) are skipped via the block-identity check. In fast mode
-/// each woken warp's domain gets its barrier count decremented and its
-/// ready list marked stale (rebuilding keeps warp-table order, so the
-/// woken warps re-enter the candidate scan exactly where the polled
-/// reference would see them).
+/// block's warps) are skipped via the block-identity check. Each woken
+/// warp's domain gets its barrier count decremented and its ready list
+/// marked stale (rebuilding keeps warp-table order, so the woken warps
+/// re-enter the candidate scan exactly where the polled reference would
+/// see them).
 fn release_barrier(
     block: &mut BlockState,
     block_slot: usize,
-    warps: &mut [Option<WarpContext>],
-    fast: bool,
+    warps: &mut WarpTable,
     barrier_counts: &mut [u32],
     active_dirty: &mut [bool],
 ) {
     for &slot in &block.warp_slots {
-        if let Some(w) = warps[slot as usize].as_mut() {
-            if w.block_slot == block_slot && w.run == WarpRun::AtBarrier {
-                w.run = WarpRun::Ready;
-                if fast {
-                    barrier_counts[w.domain as usize] -= 1;
-                    active_dirty[w.domain as usize] = true;
-                }
-            }
+        let s = slot as usize;
+        if warps.state[s] == SlotState::AtBarrier && warps.block_slot[s] == block_slot {
+            warps.state[s] = SlotState::Ready;
+            barrier_counts[warps.domain[s] as usize] -= 1;
+            active_dirty[warps.domain[s] as usize] = true;
         }
     }
     block.at_barrier = 0;

@@ -11,7 +11,7 @@
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
 //! repro lint --calibrate [<app>...] [--window N] [--json]
-//! repro bench-engine [--out DIR]
+//! repro bench-engine [--out DIR] [--check] [--baseline PATH]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
 //!              fig16 fig17 fig18 latency banks hashtable contribution
@@ -35,10 +35,14 @@
 //! mean bank-queue depths.
 //!
 //! `bench-engine` is the engine-mode perf smoke: it runs the headline
-//! workload subset under both the event-driven and polled-reference
-//! engines (bypassing the session cache so timings are honest), fails if
-//! any stats diverge, and writes the measured speedups to
-//! `<out>/BENCH_engine.json`.
+//! workload subset under both the shipping adaptive engine and the
+//! polled reference (bypassing the session cache so timings are honest),
+//! fails if any stats diverge, and writes the measured speedups to
+//! `<out>/BENCH_engine.json`. With `--check` it instead compares the
+//! fresh measurements against the committed baseline (default
+//! `<out>/BENCH_engine.json`, override with `--baseline PATH`) and exits
+//! nonzero if any case loses to the reference or the geomean falls below
+//! the baseline's recorded floor; the baseline file is left untouched.
 //!
 //! Simulations are memoized on disk under `<out>/.simcache/` (keyed by a
 //! content fingerprint and stamped with the engine version), so re-running
@@ -72,6 +76,13 @@ use subcore_experiments::{set_policy, SupervisorPolicy};
 use subcore_isa::Suite;
 use subcore_persist::Json;
 use subcore_sched::Design;
+
+/// Tolerance band on the `bench-engine --check` per-case parity floor: a
+/// case only fails below `1.0 - TOLERANCE`. Dense ~40ms cases have been
+/// observed swinging ±10% run-to-run on loaded machines, so the band is
+/// sized to catch real fast-path regressions (which show up as 2x), not
+/// scheduler noise.
+const BENCH_SPEEDUP_TOLERANCE: f64 = 0.12;
 
 const EXPERIMENTS: &[&str] = &[
     "fig1",
@@ -255,7 +266,7 @@ fn main() -> ExitCode {
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
         eprintln!("       repro lint --calibrate [<app>...] [--window N] [--json]");
-        eprintln!("       repro bench-engine [--out DIR]");
+        eprintln!("       repro bench-engine [--out DIR] [--check] [--baseline PATH]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
@@ -316,6 +327,14 @@ fn main() -> ExitCode {
     }
     if args[0] == "bench-engine" {
         args.remove(0);
+        let check = take_flag(&mut args, "--check");
+        let baseline_path = match take_value(&mut args, "--baseline") {
+            Ok(p) => p.map(PathBuf::from),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if !args.is_empty() {
             eprintln!("bench-engine takes no further arguments, got: {args:?}");
             return ExitCode::FAILURE;
@@ -329,10 +348,44 @@ fn main() -> ExitCode {
             }
         };
         print!("{}", report.render());
-        let path = out_dir.join("BENCH_engine.json");
-        if let Err(e) = std::fs::create_dir_all(&out_dir) {
-            eprintln!("failed to create {}: {e}", out_dir.display());
-            return ExitCode::FAILURE;
+        if check {
+            // Gate mode: compare against the committed baseline and leave
+            // it untouched, so a passing run can't quietly lower the bar.
+            let path = baseline_path.unwrap_or_else(|| out_dir.join("BENCH_engine.json"));
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench-engine --check: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let baseline = match Json::parse(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!(
+                        "bench-engine --check: baseline {} is not valid JSON: {e}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            return match report.check_against_baseline(&baseline, BENCH_SPEEDUP_TOLERANCE) {
+                Ok(()) => {
+                    eprintln!("bench-engine --check: no regression vs {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(v) => {
+                    eprintln!("bench-engine --check FAILED vs {}:\n{v}", path.display());
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let path = baseline_path.unwrap_or_else(|| out_dir.join("BENCH_engine.json"));
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
         }
         return match std::fs::write(&path, report.to_json().render()) {
             Ok(()) => {

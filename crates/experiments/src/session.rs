@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use crate::cache::DiskCache;
 use crate::telemetry::{RunRecord, RunSource, Telemetry};
-use subcore_engine::{simulate_app, GpuConfig, RunStats, SimError};
+use subcore_engine::{simulate_app_reported, GpuConfig, RunStats, SimError};
 use subcore_isa::App;
 use subcore_sched::Design;
 
@@ -186,13 +186,18 @@ impl SimSession {
                 traced: base.stats.trace_window > 0,
                 wall: t0.elapsed(),
                 cycles: stats.cycles,
+                // The configured mode, with zero window counts: the result
+                // came off disk, so no engine ran here.
+                engine_mode: base.engine_mode.tag(),
+                adaptive_windows: 0,
+                adaptive_fallbacks: 0,
             });
             return Ok(Arc::new(stats));
         }
         let cfg = design.config(base);
-        let result = simulate_app(&cfg, &design.policies(), app);
+        let result = simulate_app_reported(&cfg, &design.policies(), app);
         let wall = t0.elapsed();
-        if let Ok(stats) = &result {
+        if let Ok((stats, report)) = &result {
             self.telemetry.note_materialized(RunRecord {
                 key: key.as_u64(),
                 app: app.name().to_owned(),
@@ -201,6 +206,9 @@ impl SimSession {
                 traced: cfg.stats.trace_window > 0,
                 wall,
                 cycles: stats.cycles,
+                engine_mode: report.mode.tag(),
+                adaptive_windows: report.adaptive_windows,
+                adaptive_fallbacks: report.adaptive_fallbacks,
             });
             if let Some(disk) = &self.disk {
                 if !disk.store(key, stats) {
@@ -208,7 +216,7 @@ impl SimSession {
                 }
             }
         }
-        result.map(Arc::new)
+        result.map(|(stats, _)| Arc::new(stats))
     }
 }
 

@@ -60,6 +60,14 @@ pub struct RunRecord {
     pub wall: Duration,
     /// Simulated cycles of the result.
     pub cycles: u64,
+    /// Engine-mode tag the run's configuration selected
+    /// ([`subcore_engine::EngineMode::tag`]).
+    pub engine_mode: &'static str,
+    /// Adaptive evaluation windows the run completed (0 for fixed modes
+    /// and for disk-cache loads, whose engine never ran here).
+    pub adaptive_windows: u64,
+    /// Adaptive windows that ended on the reference-scan fallback.
+    pub adaptive_fallbacks: u64,
 }
 
 /// Counter block owned by a [`crate::session::SimSession`].
@@ -73,6 +81,13 @@ pub struct Telemetry {
     sim_cycles: AtomicU64,
     traced_sims: AtomicU64,
     traced_wall_nanos: AtomicU64,
+    // Fresh simulations by engine mode (event / reference / adaptive), and
+    // the adaptive controller's aggregate window decisions.
+    mode_event: AtomicU64,
+    mode_reference: AtomicU64,
+    mode_adaptive: AtomicU64,
+    adaptive_windows: AtomicU64,
+    adaptive_fallbacks: AtomicU64,
     cache_write_failures: AtomicU64,
     records: Mutex<Vec<RunRecord>>,
     // Positions of the process-wide pool and supervision logs at
@@ -100,6 +115,11 @@ impl Default for Telemetry {
             sim_cycles: AtomicU64::new(0),
             traced_sims: AtomicU64::new(0),
             traced_wall_nanos: AtomicU64::new(0),
+            mode_event: AtomicU64::new(0),
+            mode_reference: AtomicU64::new(0),
+            mode_adaptive: AtomicU64::new(0),
+            adaptive_windows: AtomicU64::new(0),
+            adaptive_fallbacks: AtomicU64::new(0),
             cache_write_failures: AtomicU64::new(0),
             records: Mutex::new(Vec::new()),
             pool_base_busy_nanos: pool.busy_nanos,
@@ -143,6 +163,14 @@ impl Telemetry {
                     self.traced_sims.fetch_add(1, Ordering::Relaxed);
                     self.traced_wall_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
                 }
+                match record.engine_mode {
+                    "event" => self.mode_event.fetch_add(1, Ordering::Relaxed),
+                    "reference" => self.mode_reference.fetch_add(1, Ordering::Relaxed),
+                    "adaptive" => self.mode_adaptive.fetch_add(1, Ordering::Relaxed),
+                    _ => 0,
+                };
+                self.adaptive_windows.fetch_add(record.adaptive_windows, Ordering::Relaxed);
+                self.adaptive_fallbacks.fetch_add(record.adaptive_fallbacks, Ordering::Relaxed);
             }
             RunSource::Disk => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +222,11 @@ impl Telemetry {
             sim_cycles: self.sim_cycles.load(Ordering::Relaxed),
             traced_sims: self.traced_sims.load(Ordering::Relaxed),
             traced_wall: Duration::from_nanos(self.traced_wall_nanos.load(Ordering::Relaxed)),
+            mode_event: self.mode_event.load(Ordering::Relaxed),
+            mode_reference: self.mode_reference.load(Ordering::Relaxed),
+            mode_adaptive: self.mode_adaptive.load(Ordering::Relaxed),
+            adaptive_windows: self.adaptive_windows.load(Ordering::Relaxed),
+            adaptive_fallbacks: self.adaptive_fallbacks.load(Ordering::Relaxed),
             pool_busy,
             pool_wall,
             pool_max_workers,
@@ -215,27 +248,33 @@ impl Telemetry {
     }
 
     /// Writes the per-run records as CSV (`key,app,design,source,traced,
-    /// wall_ms,cycles,cycles_per_sec,jobs`), creating parent directories
-    /// as needed. Free-form fields are escaped via [`csv_field`]; the
-    /// `jobs` column carries the session's worker-count ceiling (empty
-    /// when uncapped) so archived telemetry records the pool geometry the
-    /// wall times were measured under. Supervised-job failures append as
-    /// rows whose `source` is the failure kind (`panic`, `timeout`, …)
-    /// with zero cycles, so a campaign's gaps are archived next to its
-    /// results.
+    /// wall_ms,cycles,cycles_per_sec,jobs,engine_mode,adaptive_windows,
+    /// adaptive_fallbacks`), creating parent directories as needed.
+    /// Free-form fields are escaped via [`csv_field`]; the `jobs` column
+    /// carries the session's worker-count ceiling (empty when uncapped) so
+    /// archived telemetry records the pool geometry the wall times were
+    /// measured under, and the trailing engine columns record which engine
+    /// core produced each result and what the adaptive controller decided.
+    /// Supervised-job failures append as rows whose `source` is the
+    /// failure kind (`panic`, `timeout`, …) with zero cycles and an empty
+    /// engine mode, so a campaign's gaps are archived next to its results.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
         let jobs = crate::runner::jobs_cap().map_or(String::new(), |n| n.to_string());
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(out, "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs")?;
+        writeln!(
+            out,
+            "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
+             engine_mode,adaptive_windows,adaptive_fallbacks"
+        )?;
         for r in self.records() {
             let secs = r.wall.as_secs_f64();
             let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
             writeln!(
                 out,
-                "{:016x},{},{},{},{},{:.3},{},{:.0},{}",
+                "{:016x},{},{},{},{},{:.3},{},{:.0},{},{},{},{}",
                 r.key,
                 csv_field(&r.app),
                 csv_field(&r.design),
@@ -244,13 +283,16 @@ impl Telemetry {
                 secs * 1e3,
                 r.cycles,
                 rate,
-                jobs
+                jobs,
+                r.engine_mode,
+                r.adaptive_windows,
+                r.adaptive_fallbacks
             )?;
         }
         for e in self.failure_records() {
             writeln!(
                 out,
-                "{:016x},{},{},{},false,{:.3},0,nan,{}",
+                "{:016x},{},{},{},false,{:.3},0,nan,{},,0,0",
                 e.key.unwrap_or(0),
                 csv_field(&e.app),
                 csv_field(&e.design),
@@ -298,6 +340,16 @@ pub struct TelemetrySnapshot {
     /// Cumulative wall time of traced fresh simulations (a subset of
     /// `sim_wall`; the observable cost of the tracing subsystem).
     pub traced_wall: Duration,
+    /// Fresh simulations that ran the event-driven engine.
+    pub mode_event: u64,
+    /// Fresh simulations that ran the polled reference engine.
+    pub mode_reference: u64,
+    /// Fresh simulations that ran the adaptive engine.
+    pub mode_adaptive: u64,
+    /// Adaptive evaluation windows completed across fresh simulations.
+    pub adaptive_windows: u64,
+    /// Adaptive windows that ended on the reference-scan fallback.
+    pub adaptive_fallbacks: u64,
     /// Cumulative busy time across all pool workers (since this session's
     /// telemetry was created).
     pub pool_busy: Duration,
@@ -350,6 +402,21 @@ impl TelemetrySnapshot {
             line(
                 "  traced (probes on)",
                 format!("{} runs, {:.2}s", self.traced_sims, self.traced_wall.as_secs_f64()),
+            );
+        }
+        if self.sims > 0 {
+            line(
+                "engine modes",
+                format!(
+                    "{} adaptive, {} event, {} reference",
+                    self.mode_adaptive, self.mode_event, self.mode_reference
+                ),
+            );
+        }
+        if self.adaptive_windows > 0 {
+            line(
+                "  adaptive fallbacks",
+                format!("{} of {} windows", self.adaptive_fallbacks, self.adaptive_windows),
             );
         }
         line("sim cycles", self.sim_cycles.to_string());
@@ -474,6 +541,9 @@ mod tests {
             traced: false,
             wall: Duration::from_millis(wall_ms),
             cycles,
+            engine_mode: "adaptive",
+            adaptive_windows: 0,
+            adaptive_fallbacks: 0,
         }
     }
 
@@ -529,8 +599,13 @@ mod tests {
         // Concurrent tests may report supervision failures that append
         // extra rows, so check the materialized-run rows positionally.
         assert!(lines.len() >= 3, "got {} lines", lines.len());
-        assert_eq!(lines[0], "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs");
+        assert_eq!(
+            lines[0],
+            "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
+             engine_mode,adaptive_windows,adaptive_fallbacks"
+        );
         assert!(lines[1].contains(",sim,false,"), "got {}", lines[1]);
+        assert!(lines[1].ends_with(",adaptive,0,0"), "engine columns trail: {}", lines[1]);
         assert!(lines[2].contains(",disk,false,"), "got {}", lines[2]);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -546,6 +621,9 @@ mod tests {
             traced: true,
             wall: Duration::from_millis(1),
             cycles: 10,
+            engine_mode: "event",
+            adaptive_windows: 0,
+            adaptive_fallbacks: 0,
         });
         let dir =
             std::env::temp_dir().join(format!("subcore-telemetry-esc-{}", std::process::id()));
@@ -555,7 +633,7 @@ mod tests {
         let row = text.lines().nth(1).expect("one data row");
         assert!(row.contains("\"scan,filter\""), "app not quoted: {row}");
         assert!(row.contains("\"rba \"\"tuned\"\"\""), "design not quoted: {row}");
-        // Escaped, the row has exactly the 9 header fields: the embedded
+        // Escaped, the row has exactly the 12 header fields: the embedded
         // comma and quotes no longer split it.
         let header_fields = text.lines().next().unwrap().split(',').count();
         let mut fields = 0;
@@ -631,6 +709,28 @@ mod tests {
     }
 
     #[test]
+    fn engine_modes_aggregate_in_snapshot_and_summary() {
+        let t = Telemetry::default();
+        let mut adaptive = record(RunSource::Simulated, 1_000, 5);
+        adaptive.adaptive_windows = 10;
+        adaptive.adaptive_fallbacks = 3;
+        t.note_materialized(adaptive);
+        let mut reference = record(RunSource::Simulated, 1_000, 5);
+        reference.engine_mode = "reference";
+        t.note_materialized(reference);
+        // Disk hits don't count: their engine never ran in this process.
+        let mut disk = record(RunSource::Disk, 1_000, 0);
+        disk.engine_mode = "event";
+        t.note_materialized(disk);
+        let s = t.snapshot();
+        assert_eq!((s.mode_adaptive, s.mode_reference, s.mode_event), (1, 1, 0));
+        assert_eq!((s.adaptive_windows, s.adaptive_fallbacks), (10, 3));
+        let text = s.summary();
+        assert!(text.contains("engine modes"), "summary missing engine modes:\n{text}");
+        assert!(text.contains("3 of 10 windows"), "summary missing fallbacks:\n{text}");
+    }
+
+    #[test]
     fn cache_write_failures_surface_in_summary() {
         let t = Telemetry::default();
         assert!(!t.snapshot().summary().contains("cache write failures"));
@@ -655,6 +755,7 @@ mod tests {
         let row = text.lines().find(|l| l.contains("deadapp")).expect("failure row present in CSV");
         assert!(row.contains(",panic,false,"), "kind tag is the source column: {row}");
         assert!(row.contains("000000000000feed"), "failure row carries the key: {row}");
+        assert!(row.ends_with(",,0,0"), "failure rows carry empty engine columns: {row}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

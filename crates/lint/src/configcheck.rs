@@ -28,7 +28,7 @@ fn error(code: &'static str, message: String) -> Diagnostic {
 
 /// Checks the SM/design combination itself (no kernel involved).
 pub fn check_config(cfg: &GpuConfig, design: Design, out: &mut Vec<Diagnostic>) {
-    let zero_checks: [(&str, u32); 9] = [
+    let zero_checks: [(&str, u32); 10] = [
         ("num_sms", cfg.num_sms),
         ("subcores_per_sm", cfg.subcores_per_sm),
         ("rf_banks_per_subcore", cfg.rf_banks_per_subcore),
@@ -38,6 +38,7 @@ pub fn check_config(cfg: &GpuConfig, design: Design, out: &mut Vec<Diagnostic>) 
         ("issue_width", cfg.issue_width),
         ("max_blocks_per_sm", cfg.max_blocks_per_sm),
         ("max_warps_per_sm", cfg.max_warps_per_sm),
+        ("adaptive_window", cfg.adaptive_window),
     ];
     for (name, value) in zero_checks {
         if value == 0 {
@@ -138,6 +139,13 @@ mod tests {
     fn zero_collector_units_diagnosed_without_panic() {
         let mut cfg = GpuConfig::volta_v100();
         cfg.cus_per_subcore = 0;
+        assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_ZERO_RESOURCE));
+    }
+
+    #[test]
+    fn zero_adaptive_window_diagnosed_without_panic() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.adaptive_window = 0;
         assert!(config_codes(&cfg, Design::Baseline).contains(&codes::CFG_ZERO_RESOURCE));
     }
 

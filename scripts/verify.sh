@@ -37,11 +37,14 @@ cargo run --quiet --release -p subcore-experiments --bin repro -- lint --all --d
 echo "==> trace smoke test"
 cargo test -q -p subcore-integration --test trace_smoke
 
-# Engine-mode perf smoke: the event-driven fast path must stay bit-exact
-# with the polled reference on the headline workload subset; the measured
-# speedups land in results/BENCH_engine.json.
-echo "==> repro bench-engine"
-cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine
+# Engine-mode perf regression gate: the shipping adaptive engine must stay
+# bit-exact with the polled reference on the headline workload subset AND
+# hold the committed baseline (results/BENCH_engine.json): no case below
+# parity (minus a 5% timing-noise band), geomean at or above the recorded
+# floor. Timings are min-of-3 per mode, alternating. To re-record the
+# baseline after an intentional change, run bench-engine without --check.
+echo "==> repro bench-engine --check"
+cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine --check
 
 # Fault-injection smoke: a seeded chaos drill (injected panics, stalls,
 # and cache corruption; mid-campaign kill; journal resume) must recover

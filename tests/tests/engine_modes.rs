@@ -1,11 +1,14 @@
-//! Differential tests of the event-driven engine core against the polled
+//! Differential tests of the fast engine cores against the polled
 //! reference: for any workload, design, connectivity, and engine option
 //! set, `EngineMode::EventDriven` (ready-set scheduling + idle-cycle
-//! skip-ahead) must produce **bit-identical** `RunStats` — cycles, stall
-//! breakdowns, per-scheduler issue counts, and the windowed probe series.
+//! skip-ahead) and `EngineMode::Adaptive` (the same fast path behind a
+//! density-driven fallback to full scans) must produce **bit-identical**
+//! `RunStats` — cycles, stall breakdowns, per-scheduler issue counts, and
+//! the windowed probe series. Each adaptive case also runs with a tiny
+//! evaluation window to force fast/slow switches mid-run.
 
 use proptest::prelude::*;
-use subcore_engine::{simulate_app, EngineMode, GpuConfig, Policies, RunStats};
+use subcore_engine::{simulate_app, EngineMode, GpuConfig, Policies, RunStats, SimError};
 use subcore_integration::test_gpu;
 use subcore_isa::{App, Suite};
 use subcore_sched::Design;
@@ -13,22 +16,35 @@ use subcore_workloads::{
     fma_microbenchmark, AppParams, FmaLayout, Imbalance, KernelParams, MemShape, Mix,
 };
 
-/// Runs `app` under both engine modes of the same configuration and
-/// returns the two results (which callers assert identical).
-fn both_modes(
+/// A labelled simulation outcome for one engine variant.
+type ModeResult = (&'static str, Result<RunStats, SimError>);
+
+/// Runs `app` under the polled reference plus every fast-engine variant of
+/// the same configuration: event-driven, adaptive with the default window,
+/// and adaptive with a 32-cycle window (frequent mid-run mode switches).
+fn mode_variants(
     cfg: &GpuConfig,
     policies: &Policies,
     app: &App,
-) -> (Result<RunStats, subcore_engine::SimError>, Result<RunStats, subcore_engine::SimError>) {
-    let fast = simulate_app(&cfg.clone().with_engine_mode(EngineMode::EventDriven), policies, app);
-    let reference =
-        simulate_app(&cfg.clone().with_engine_mode(EngineMode::Reference), policies, app);
-    (fast, reference)
+) -> (Result<RunStats, SimError>, [ModeResult; 3]) {
+    let run = |c: GpuConfig| simulate_app(&c, policies, app);
+    let reference = run(cfg.clone().with_engine_mode(EngineMode::Reference));
+    let variants = [
+        ("event", run(cfg.clone().with_engine_mode(EngineMode::EventDriven))),
+        ("adaptive", run(cfg.clone().with_engine_mode(EngineMode::Adaptive))),
+        (
+            "adaptive-w32",
+            run(cfg.clone().with_engine_mode(EngineMode::Adaptive).with_adaptive_window(32)),
+        ),
+    ];
+    (reference, variants)
 }
 
 fn assert_bit_exact(cfg: &GpuConfig, policies: &Policies, app: &App, label: &str) {
-    let (fast, reference) = both_modes(cfg, policies, app);
-    assert_eq!(fast, reference, "{label}: event-driven engine diverged from polled reference");
+    let (reference, variants) = mode_variants(cfg, policies, app);
+    for (mode, result) in &variants {
+        assert_eq!(result, &reference, "{label}: {mode} engine diverged from polled reference");
+    }
 }
 
 /// Strategy: a small but diverse random kernel (mirrors the invariants
@@ -90,13 +106,16 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
     /// Random kernels × designs: the full `RunStats` (every counter, both
-    /// connectivities via the design set) must match bit-for-bit.
+    /// connectivities via the design set) must match bit-for-bit in every
+    /// fast mode.
     #[test]
-    fn event_driven_matches_reference(kernel in arb_kernel(), design in arb_design()) {
+    fn fast_engines_match_reference(kernel in arb_kernel(), design in arb_design()) {
         let app = AppParams::single("prop", Suite::Micro, kernel).build();
         let cfg = design.config(&test_gpu());
-        let (fast, reference) = both_modes(&cfg, &design.policies(), &app);
-        prop_assert_eq!(fast, reference);
+        let (reference, variants) = mode_variants(&cfg, &design.policies(), &app);
+        for (mode, result) in &variants {
+            prop_assert_eq!(result, &reference, "{} diverged", mode);
+        }
     }
 
     /// Windowed tracing (the internal aggregator sink) stays exact across
@@ -108,22 +127,26 @@ proptest! {
         let mut cfg = design.config(&test_gpu());
         cfg.stats.trace_window = 256;
         cfg.stats.trace_sm = 0;
-        let (fast, reference) = both_modes(&cfg, &design.policies(), &app);
-        let fast = fast.expect("simulates");
+        let (reference, variants) = mode_variants(&cfg, &design.policies(), &app);
         let reference = reference.expect("simulates");
-        prop_assert!(fast.windowed.is_some(), "trace_window > 0 attaches a series");
-        prop_assert_eq!(fast, reference);
+        prop_assert!(reference.windowed.is_some(), "trace_window > 0 attaches a series");
+        for (mode, result) in variants {
+            let result = result.expect("simulates");
+            prop_assert_eq!(&result, &reference, "{} diverged", mode);
+        }
     }
 
-    /// The cycle limit fires at the identical cycle in both modes: a skip
+    /// The cycle limit fires at the identical cycle in every mode: a skip
     /// can never jump past the limit that the polled loop would hit.
     #[test]
     fn cycle_limit_parity(kernel in arb_kernel(), limit in 1u64..2000) {
         let app = AppParams::single("prop", Suite::Micro, kernel).build();
         let mut cfg = test_gpu();
         cfg.max_cycles = limit;
-        let (fast, reference) = both_modes(&cfg, &Policies::hardware_baseline(), &app);
-        prop_assert_eq!(fast, reference);
+        let (reference, variants) = mode_variants(&cfg, &Policies::hardware_baseline(), &app);
+        for (mode, result) in &variants {
+            prop_assert_eq!(result, &reference, "{} diverged", mode);
+        }
     }
 }
 
@@ -199,6 +222,33 @@ fn exhaustive_registry_bit_exactness() {
             });
         }
     });
+}
+
+/// The adaptive controller's decisions surface through the `EngineReport`
+/// side-channel — never through `RunStats`, which stays bit-identical.
+#[test]
+fn adaptive_report_counts_windows_without_touching_stats() {
+    use subcore_engine::simulate_app_reported;
+    let app = fma_microbenchmark(FmaLayout::Unbalanced, 4, 1024);
+    let policies = Policies::hardware_baseline();
+    let cfg = test_gpu().with_engine_mode(EngineMode::Adaptive).with_adaptive_window(64);
+    let (stats, report) = simulate_app_reported(&cfg, &policies, &app).expect("simulates");
+    assert_eq!(report.mode, EngineMode::Adaptive);
+    assert!(report.adaptive_windows > 0, "a multi-thousand-cycle run completes 64-cycle windows");
+    assert!(report.adaptive_fallbacks <= report.adaptive_windows);
+    let (ref_stats, ref_report) = simulate_app_reported(
+        &cfg.clone().with_engine_mode(EngineMode::Reference),
+        &policies,
+        &app,
+    )
+    .expect("simulates");
+    assert_eq!(ref_report.mode, EngineMode::Reference);
+    assert_eq!(
+        (ref_report.adaptive_windows, ref_report.adaptive_fallbacks),
+        (0, 0),
+        "fixed modes never evaluate windows"
+    );
+    assert_eq!(stats, ref_stats, "the report is a side-channel; stats stay bit-exact");
 }
 
 /// Multi-kernel apps cross kernel boundaries (and the inter-kernel drain,
