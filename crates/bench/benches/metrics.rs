@@ -1,0 +1,59 @@
+//! Benchmarks the metrics layer's zero-cost-when-disabled contract: the
+//! by-name convenience helpers against the same helpers with the global
+//! gate off, and the raw handle fast path. The disabled case must cost a
+//! relaxed load and a branch — nothing else — since every instrumented
+//! call site in the experiment stack pays it unconditionally.
+
+#![forbid(unsafe_code)]
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const EVENTS: u64 = 1000;
+
+fn metrics_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_gate");
+    g.throughput(Throughput::Elements(EVENTS));
+    // Disabled: the default state, and the state `cargo test` /
+    // `bench-engine` run in. This is the overhead every call site pays
+    // when nobody is watching.
+    subcore_metrics::set_enabled(false);
+    g.bench_function("disabled_inc", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                subcore_metrics::inc(black_box("bench.counter"));
+            }
+        })
+    });
+    g.bench_function("disabled_span", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                black_box(subcore_metrics::span(black_box("bench"), "label"));
+            }
+        })
+    });
+    // Enabled by-name: what the instrumented stack pays during a live
+    // campaign (one registry lookup per event).
+    subcore_metrics::set_enabled(true);
+    g.bench_function("enabled_inc_by_name", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                subcore_metrics::inc(black_box("bench.counter"));
+            }
+        })
+    });
+    // Enabled handle: the amortized fast path (one atomic add per event).
+    let counter = subcore_metrics::global().counter("bench.handle");
+    g.bench_function("enabled_inc_handle", |b| {
+        b.iter(|| {
+            for _ in 0..EVENTS {
+                counter.inc();
+            }
+        })
+    });
+    subcore_metrics::set_enabled(false);
+    g.finish();
+}
+
+criterion_group!(benches, metrics_gate);
+criterion_main!(benches);

@@ -5,7 +5,9 @@
 //! ```text
 //! repro <experiment>... | all [--out DIR] [--jobs N] [--resume]
 //!       [--retries N] [--job-timeout SECS] [--fail-fast] [--max-failures N]
-//! repro status [--out DIR]
+//! repro status [--out DIR] [--watch] [--interval MS] [--frames N]
+//! repro top [--out DIR] [--once] [--interval MS] [--frames N]
+//! repro metrics [--out DIR] [--prom]
 //! repro chaos [--seed S] [--fault-rate P] [--out DIR]
 //! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
@@ -64,6 +66,14 @@
 //! `repro chaos` runs the deterministic fault-injection drill: a faulted,
 //! mid-campaign-killed sweep followed by a `--resume` completion, verified
 //! bit-exact against a fault-free reference.
+//!
+//! Experiment runs also stream periodic metrics snapshots (counters,
+//! gauges, histograms, and the campaign → job → phase span tree) to
+//! `<out>/.metrics/<stream>.jsonl`. `repro top` tails the newest stream
+//! as a live dashboard (`--once` prints a single frame and exits),
+//! `repro metrics` dumps the latest snapshot — human-readable by
+//! default, Prometheus text exposition with `--prom` — and
+//! `repro status --watch` re-renders campaign progress on an interval.
 
 #![forbid(unsafe_code)]
 
@@ -260,7 +270,9 @@ fn main() -> ExitCode {
             "usage: repro <experiment>... | all | summary [--out DIR] [--bars] [--no-cache] [--jobs N]"
         );
         eprintln!("             [--resume] [--retries N] [--job-timeout SECS] [--fail-fast] [--max-failures N]");
-        eprintln!("       repro status [--out DIR]");
+        eprintln!("       repro status [--out DIR] [--watch] [--interval MS] [--frames N]");
+        eprintln!("       repro top [--out DIR] [--once] [--interval MS] [--frames N]");
+        eprintln!("       repro metrics [--out DIR] [--prom]");
         eprintln!("       repro chaos [--seed S] [--fault-rate P] [--out DIR]");
         eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
@@ -276,11 +288,97 @@ fn main() -> ExitCode {
     }
     if args[0] == "status" {
         args.remove(0);
+        let watch = take_flag(&mut args, "--watch");
+        let (interval, frames) = match take_watch_knobs(&mut args, 2000) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if !args.is_empty() {
             eprintln!("status takes no further arguments, got: {args:?}");
             return ExitCode::FAILURE;
         }
-        print!("{}", journal::render_status(&out_dir.join(".journal")));
+        let journal_root = out_dir.join(".journal");
+        if !watch {
+            print!("{}", journal::render_status(&journal_root));
+            return ExitCode::SUCCESS;
+        }
+        let mut shown = 0u64;
+        loop {
+            print!("\x1b[2J\x1b[H{}", journal::render_status(&journal_root));
+            shown += 1;
+            if shown >= frames {
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+    if args[0] == "top" {
+        args.remove(0);
+        let once = take_flag(&mut args, "--once");
+        let (interval, frames) = match take_watch_knobs(&mut args, 1000) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !args.is_empty() {
+            eprintln!("top takes no further arguments, got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        let dir = out_dir.join(".metrics");
+        let frames = if once { 1 } else { frames };
+        let mut shown = 0u64;
+        loop {
+            let snaps = subcore_metrics::latest_stream(&dir)
+                .map(|p| subcore_metrics::load_snapshots(&p))
+                .unwrap_or_default();
+            if !once {
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", subcore_experiments::render_frame(&snaps));
+            shown += 1;
+            if shown >= frames {
+                return ExitCode::SUCCESS;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+    if args[0] == "metrics" {
+        args.remove(0);
+        let prom = take_flag(&mut args, "--prom");
+        if !args.is_empty() {
+            eprintln!("metrics takes no further arguments, got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        let dir = out_dir.join(".metrics");
+        let Some(path) = subcore_metrics::latest_stream(&dir) else {
+            eprintln!("no metrics snapshots under {} (run an experiment first)", dir.display());
+            return ExitCode::FAILURE;
+        };
+        let snaps = subcore_metrics::load_snapshots(&path);
+        let Some(last) = snaps.last() else {
+            eprintln!("{} holds no decodable snapshots", path.display());
+            return ExitCode::FAILURE;
+        };
+        if prom {
+            let text = subcore_metrics::render_prometheus(last);
+            return match subcore_metrics::validate_prometheus(&text) {
+                Ok(samples) => {
+                    print!("{text}");
+                    eprintln!("# {samples} samples from {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("internal error: Prometheus rendering failed validation: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        print!("{}", subcore_experiments::render_metrics_summary(last));
         return ExitCode::SUCCESS;
     }
     if args[0] == "chaos" {
@@ -428,6 +526,23 @@ fn main() -> ExitCode {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    // Live observability: stream periodic metrics snapshots under
+    // `<out>/.metrics/` so `repro top` / `repro metrics` can watch the
+    // campaign from another terminal.
+    subcore_metrics::set_enabled(true);
+    let stream: String =
+        if selected.len() == 1 { selected[0].to_owned() } else { "campaign".to_owned() };
+    let flusher = match subcore_metrics::spawn_periodic(
+        out_dir.join(".metrics"),
+        &stream,
+        Duration::from_millis(500),
+    ) {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("metrics stream disabled: {e}");
+            None
+        }
+    };
     for name in &selected {
         let start = Instant::now();
         let Some(tables) = run_one(name) else {
@@ -446,6 +561,12 @@ fn main() -> ExitCode {
         }
         eprintln!("[{name}] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
     }
+    if let Some(f) = flusher {
+        match f.finish() {
+            Ok(path) => eprintln!("metrics → {}", path.display()),
+            Err(e) => eprintln!("failed to flush metrics stream: {e}"),
+        }
+    }
     finish_telemetry(session, &out_dir);
     // Partial results exit zero by default — failed cells are already
     // surfaced as gaps, annotations, and telemetry. The exit code only
@@ -456,6 +577,39 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Parses the shared `--interval MS` / `--frames N` watch knobs of
+/// `repro top` and `repro status --watch`. `--frames` defaults to
+/// unbounded (loop until interrupted).
+fn take_watch_knobs(
+    args: &mut Vec<String>,
+    default_interval_ms: u64,
+) -> Result<(Duration, u64), String> {
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs an argument"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    };
+    let interval_ms = match take_value(args, "--interval")? {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) if ms > 0 => ms,
+            _ => return Err(format!("--interval needs positive milliseconds, got `{v}`")),
+        },
+        None => default_interval_ms,
+    };
+    let frames = match take_value(args, "--frames")? {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format!("--frames needs a positive frame count, got `{v}`")),
+        },
+        None => u64::MAX,
+    };
+    Ok((Duration::from_millis(interval_ms), frames))
 }
 
 /// Prints the session telemetry summary and writes the per-run CSV.

@@ -32,6 +32,7 @@ use std::sync::OnceLock;
 use crate::session::SimKey;
 use crate::supervisor::{JobError, JobErrorKind};
 use subcore_engine::{RunStats, ENGINE_VERSION, STATS_SCHEMA_VERSION};
+use subcore_metrics::names as mx;
 use subcore_persist::{Json, JsonCodec};
 
 /// Version stamp of the journal record format; bump on layout changes so
@@ -136,7 +137,13 @@ impl Journal {
     /// Records a completed cell, best-effort.
     pub fn record_done(&self, key: SimKey, app: &str, design: &str, stats: &RunStats) -> bool {
         let json = Self::envelope("done", app, design, vec![("stats", stats.to_json())]);
-        self.write_atomic(&self.cell_path(key), &json)
+        let ok = self.write_atomic(&self.cell_path(key), &json);
+        if ok {
+            subcore_metrics::inc(mx::JOURNAL_RECORD_DONE);
+        } else {
+            subcore_metrics::inc(mx::JOURNAL_WRITE_DROP);
+        }
+        ok
     }
 
     /// Records a failed cell, best-effort. Failures with no key (generic
@@ -153,7 +160,13 @@ impl Journal {
                 ("attempts", Json::Uint(u64::from(e.attempts))),
             ],
         );
-        self.write_atomic(&self.cell_path(SimKey::from_raw(key)), &json)
+        let ok = self.write_atomic(&self.cell_path(SimKey::from_raw(key)), &json);
+        if ok {
+            subcore_metrics::inc(mx::JOURNAL_RECORD_FAILED);
+        } else {
+            subcore_metrics::inc(mx::JOURNAL_WRITE_DROP);
+        }
+        ok
     }
 
     /// Loads the record for `key`, or `None` on any miss: absent file,

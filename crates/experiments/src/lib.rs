@@ -45,6 +45,7 @@ pub mod summary;
 pub mod supervisor;
 pub mod sweep;
 pub mod telemetry;
+pub mod top;
 pub mod trace;
 
 pub use report::{csv_field, Table};
@@ -55,6 +56,7 @@ pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use supervisor::{policy, set_policy, JobError, JobErrorKind, JobOutcome, SupervisorPolicy};
 pub use sweep::{fill_rows, fill_table, run_cell_sweep, speedup_table, SweepOutcome};
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};
+pub use top::{render_frame, render_metrics_summary};
 
 #[cfg(test)]
 mod digest_tests {

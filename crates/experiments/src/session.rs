@@ -33,6 +33,7 @@ use crate::cache::DiskCache;
 use crate::telemetry::{RunRecord, RunSource, Telemetry};
 use subcore_engine::{simulate_app_reported, GpuConfig, RunStats, SimError};
 use subcore_isa::App;
+use subcore_metrics::names as mx;
 use subcore_sched::Design;
 
 /// Content fingerprint of one simulation request.
@@ -144,6 +145,7 @@ impl SimSession {
     ) -> Result<Arc<RunStats>, SimError> {
         let key = SimKey::compute(base, design, app);
         self.telemetry.note_run();
+        subcore_metrics::inc(mx::SESSION_RUN);
         let cell: MemoCell = {
             // Recover from poisoning: a panicking job dies while holding
             // this lock only between `lock` and the `Arc::clone` below, and
@@ -163,6 +165,7 @@ impl SimSession {
         });
         if !materialized {
             self.telemetry.note_memo_hit();
+            subcore_metrics::inc(mx::SESSION_CACHE_HIT);
         }
         result.clone()
     }
@@ -178,6 +181,7 @@ impl SimSession {
     ) -> Result<Arc<RunStats>, SimError> {
         let t0 = Instant::now();
         if let Some(stats) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            subcore_metrics::inc(mx::SESSION_CACHE_DISK_HIT);
             self.telemetry.note_materialized(RunRecord {
                 key: key.as_u64(),
                 app: app.name().to_owned(),
@@ -195,9 +199,25 @@ impl SimSession {
             return Ok(Arc::new(stats));
         }
         let cfg = design.config(base);
+        // Per-SimKey attribution span: `repro top` shows the key while the
+        // engine runs; the completed span keeps the EngineReport notes.
+        let mut span = subcore_metrics::span("sim", &key.to_string());
         let result = simulate_app_reported(&cfg, &design.policies(), app);
         let wall = t0.elapsed();
         if let Ok((stats, report)) = &result {
+            let cycles_per_sec = stats.cycles as f64 / wall.as_secs_f64().max(1e-9);
+            subcore_metrics::inc(mx::SESSION_SIM);
+            subcore_metrics::add(mx::ENGINE_CYCLES, stats.cycles);
+            subcore_metrics::gauge_set(mx::ENGINE_CYCLES_PER_SEC, cycles_per_sec);
+            subcore_metrics::inc(&format!("{}{}", mx::ENGINE_MODE_PREFIX, report.mode.tag()));
+            subcore_metrics::add(mx::ENGINE_ADAPTIVE_WINDOWS, report.adaptive_windows);
+            subcore_metrics::add(mx::ENGINE_ADAPTIVE_FALLBACKS, report.adaptive_fallbacks);
+            subcore_metrics::observe(mx::SESSION_SIM_WALL_US, wall.as_micros() as u64);
+            span.note("app", app.name());
+            span.note("design", design.label());
+            span.note("engine_mode", report.mode.tag());
+            span.note("cycles_per_sec", format!("{cycles_per_sec:.0}"));
+            span.note("adaptive_fallbacks", report.adaptive_fallbacks);
             self.telemetry.note_materialized(RunRecord {
                 key: key.as_u64(),
                 app: app.name().to_owned(),

@@ -29,6 +29,8 @@ use std::sync::mpsc;
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use subcore_metrics::names as mx;
+
 /// How a job failure is classified, which decides whether the supervisor
 /// retries it and how it is reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -398,6 +400,7 @@ where
                             .is_ok()
                         {
                             let tag = &tags[j];
+                            subcore_metrics::inc(mx::SUPERVISOR_JOB_ABORTED);
                             let _ = spawner_tx.send((
                                 j,
                                 JobOutcome::Failed(JobError {
@@ -418,6 +421,7 @@ where
                 s.spawn(move || {
                     let job_start = Instant::now();
                     *running[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(job_start);
+                    subcore_metrics::inc(mx::SUPERVISOR_JOB_STARTED);
                     let mut attempt: u32 = 1;
                     loop {
                         let t0 = Instant::now();
@@ -426,7 +430,14 @@ where
                         busy_nanos.fetch_add(nanos, Ordering::Relaxed);
                         let failure = match result {
                             Ok(Ok(r)) => {
-                                settle(i, JobOutcome::Done(r), settled, slots, &job_tx);
+                                if settle(i, JobOutcome::Done(r), settled, slots, &job_tx) {
+                                    subcore_metrics::inc(mx::SUPERVISOR_JOB_DONE);
+                                    subcore_metrics::observe(
+                                        mx::SUPERVISOR_JOB_WALL_US,
+                                        u64::try_from(job_start.elapsed().as_micros())
+                                            .unwrap_or(u64::MAX),
+                                    );
+                                }
                                 break;
                             }
                             Ok(Err(fail)) => fail,
@@ -442,12 +453,14 @@ where
                             && !cancel.load(Ordering::Relaxed)
                         {
                             retried_ctr.fetch_add(1, Ordering::Relaxed);
+                            subcore_metrics::inc(mx::SUPERVISOR_JOB_RETRY);
                             std::thread::sleep(policy.backoff * 2u32.pow(attempt - 1));
                             attempt += 1;
                             continue;
                         }
                         let tag = &tags[i];
-                        settle(
+                        let elapsed = job_start.elapsed();
+                        if settle(
                             i,
                             JobOutcome::Failed(JobError {
                                 app: tag.app.clone(),
@@ -455,13 +468,19 @@ where
                                 kind: failure.kind,
                                 payload: failure.payload,
                                 attempts: attempt,
-                                elapsed: job_start.elapsed(),
+                                elapsed,
                                 key: tag.key,
                             }),
                             settled,
                             slots,
                             &job_tx,
-                        );
+                        ) {
+                            subcore_metrics::inc(mx::SUPERVISOR_JOB_FAILED);
+                            subcore_metrics::observe(
+                                mx::SUPERVISOR_JOB_WALL_US,
+                                u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                            );
+                        }
                         break;
                     }
                     *running[i].lock().unwrap_or_else(|p| p.into_inner()) = None;
@@ -515,6 +534,8 @@ where
                         recorded += 1;
                         failed += 1;
                         timed_out += 1;
+                        subcore_metrics::inc(mx::SUPERVISOR_JOB_TIMEOUT);
+                        subcore_metrics::inc(mx::SUPERVISOR_JOB_FAILED);
                         // Free the abandoned job's slot so the pool keeps
                         // its parallelism while the straggler drains.
                         slots.release();
@@ -558,20 +579,24 @@ where
 }
 
 /// Records `outcome` for job `i` if nobody else (watchdog, abort) has, and
-/// releases the job's worker slot. Losing the race means the job was
-/// abandoned: its result is discarded and its slot was already released.
+/// releases the job's worker slot. Returns whether this call won the
+/// settlement race; losing means the job was abandoned, its result is
+/// discarded, and its slot was already released.
 fn settle<R>(
     i: usize,
     outcome: JobOutcome<R>,
     settled: &[AtomicBool],
     slots: &Slots,
     tx: &mpsc::Sender<(usize, JobOutcome<R>)>,
-) {
+) -> bool {
     if settled[i].compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire).is_ok() {
         // The collector outlives every sender (same scope); a failed send
         // means it already stopped, and there is nothing left to do.
         let _ = tx.send((i, outcome));
         slots.release();
+        true
+    } else {
+        false
     }
 }
 

@@ -96,6 +96,11 @@ pub fn run_cell_sweep_on(
         ..policy.clone()
     };
     let journal_skips = AtomicU64::new(0);
+    // Campaign → job → phase span hierarchy: `repro top` shows in-flight
+    // jobs under their campaign while the sweep runs; closed jobs keep
+    // their attempt / resume notes for the recent-completions list.
+    let campaign_span =
+        subcore_metrics::span("campaign", journal.map_or("adhoc", |j| j.campaign()));
 
     let report = supervise_map(
         &cells,
@@ -103,9 +108,16 @@ pub fn run_cell_sweep_on(
         |&(ai, design), attempt| {
             let app = &apps[ai];
             let key = sess.key(base, design, app);
+            let mut job_span = campaign_span.child("job", &key.to_string());
+            job_span.note("app", app.name());
+            job_span.note("design", design.label());
+            if attempt > 1 {
+                job_span.note("attempt", attempt);
+            }
             if resume {
                 if let Some(stats) = journal.and_then(|j| j.completed(key)) {
                     journal_skips.fetch_add(1, Ordering::Relaxed);
+                    job_span.note("resume", "journal-skip");
                     return Ok(Arc::new(stats));
                 }
             }
@@ -119,14 +131,17 @@ pub fn run_cell_sweep_on(
                 }
                 _ => {}
             }
-            let stats =
-                sess.try_run(base, design, app).map_err(|e| JobFailure::sim(e.to_string()))?;
+            let stats = {
+                let _simulate = job_span.child("simulate", &design.label());
+                sess.try_run(base, design, app).map_err(|e| JobFailure::sim(e.to_string()))?
+            };
             if fault == Some(Fault::CorruptEntry) {
                 if let Some(disk) = sess.disk_cache() {
                     faultgen::corrupt_file(&disk.entry_path(key));
                 }
             }
             if let Some(j) = journal {
+                let _persist = job_span.child("persist", "journal");
                 j.record_done(key, app.name(), &design.label(), &stats);
             }
             Ok(stats)
@@ -138,6 +153,7 @@ pub fn run_cell_sweep_on(
     if skips > 0 {
         crate::telemetry::note_journal_skips(skips);
     }
+    let collect_span = campaign_span.child("collect", "merge");
     let mut cells_out: Vec<Vec<Option<Arc<RunStats>>>> = vec![vec![None; slots]; apps.len()];
     let mut failures = Vec::new();
     for (&(ai, design), outcome) in cells.iter().zip(report.outcomes) {
@@ -155,6 +171,7 @@ pub fn run_cell_sweep_on(
             }
         }
     }
+    collect_span.finish();
     SweepOutcome { cells: cells_out, failures, aborted: report.aborted, journal_skips: skips }
 }
 
@@ -222,7 +239,7 @@ where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
-    L: Fn(&T) -> String,
+    L: Fn(&T) -> String + Sync,
 {
     let tags: Vec<JobTag> = items
         .iter()
@@ -234,7 +251,15 @@ where
             .effective_timeout(crate::runner::suite_base().max_cycles, ROW_SIMS_ESTIMATE),
         ..base_policy.clone()
     };
-    let report = supervise_map(&items, tags, |item, _attempt| Ok(f(item)), &row_policy);
+    let report = supervise_map(
+        &items,
+        tags,
+        |item, _attempt| {
+            let _span = subcore_metrics::span("job", &label(item));
+            Ok(f(item))
+        },
+        &row_policy,
+    );
     for e in report.failures() {
         table.note_gap(e.to_string());
     }
@@ -250,7 +275,7 @@ pub fn fill_table<T, F, L>(table: &mut Table, items: Vec<T>, label: L, f: F)
 where
     T: Send + Sync,
     F: Fn(&T) -> Vec<f64> + Sync,
-    L: Fn(&T) -> String,
+    L: Fn(&T) -> String + Sync,
 {
     let labels: Vec<String> = items.iter().map(&label).collect();
     let cols = table.columns.len();

@@ -19,6 +19,38 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+use subcore_metrics::names as mx;
+
+/// Schema version of `run_telemetry.csv`, mirroring the engine's
+/// [`subcore_engine::STATS_SCHEMA_VERSION`] discipline: the first CSV
+/// line is a `# subcore-run-telemetry schema=N …` tag so downstream
+/// tooling can detect column drift instead of silently misparsing.
+/// History: v1 (untagged, header-first) through PR 6; v2 adds the tag
+/// line itself.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+
+/// Detects the schema version of `run_telemetry.csv` text. Files
+/// starting with the `# subcore-run-telemetry schema=N` tag report `N`;
+/// anything else (including pre-tag archives whose first line is the
+/// header row) is treated as legacy v1 — the loader tolerates, never
+/// rejects.
+pub fn csv_schema_version(text: &str) -> u32 {
+    let Some(first) = text.lines().next() else {
+        return 1;
+    };
+    let Some(rest) = first.strip_prefix("# subcore-run-telemetry ") else {
+        return 1;
+    };
+    rest.split_whitespace().find_map(|word| word.strip_prefix("schema=")?.parse().ok()).unwrap_or(1)
+}
+
+/// The header columns of `run_telemetry.csv` text: the first
+/// non-comment line, split on commas. `None` for empty input.
+pub fn csv_columns(text: &str) -> Option<Vec<String>> {
+    text.lines()
+        .find(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| l.split(',').map(str::to_string).collect())
+}
 
 /// Where a [`crate::session::SimSession::run`] result came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +131,7 @@ pub struct Telemetry {
     sup_base_retried: u64,
     sup_base_timed_out: u64,
     sup_base_journal_skips: u64,
+    sup_base_trace_drops: u64,
     sup_base_failures: usize,
 }
 
@@ -129,6 +162,7 @@ impl Default for Telemetry {
             sup_base_retried: sup.retried,
             sup_base_timed_out: sup.timed_out,
             sup_base_journal_skips: sup.journal_skips,
+            sup_base_trace_drops: sup.trace_drops,
             sup_base_failures: sup.failures.len(),
         }
     }
@@ -185,6 +219,7 @@ impl Telemetry {
     /// persistence.
     pub(crate) fn note_cache_write_failure(&self) {
         self.cache_write_failures.fetch_add(1, Ordering::Relaxed);
+        subcore_metrics::inc(mx::SESSION_CACHE_STORE_DROP);
     }
 
     /// A point-in-time copy of the counters, including the pool usage and
@@ -199,13 +234,14 @@ impl Telemetry {
                 pool.workers[since..].iter().copied().max().unwrap_or(0),
             )
         };
-        let (failed, retried, timed_out, journal_skips) = {
+        let (failed, retried, timed_out, journal_skips, trace_drops) = {
             let sup = lock_recover(&SUPERVISION);
             (
                 sup.failed.saturating_sub(self.sup_base_failed),
                 sup.retried.saturating_sub(self.sup_base_retried),
                 sup.timed_out.saturating_sub(self.sup_base_timed_out),
                 sup.journal_skips.saturating_sub(self.sup_base_journal_skips),
+                sup.trace_drops.saturating_sub(self.sup_base_trace_drops),
             )
         };
         TelemetrySnapshot {
@@ -213,6 +249,7 @@ impl Telemetry {
             retried,
             timed_out,
             journal_skips,
+            trace_drops,
             cache_write_failures: self.cache_write_failures.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
@@ -249,7 +286,9 @@ impl Telemetry {
 
     /// Writes the per-run records as CSV (`key,app,design,source,traced,
     /// wall_ms,cycles,cycles_per_sec,jobs,engine_mode,adaptive_windows,
-    /// adaptive_fallbacks`), creating parent directories as needed.
+    /// adaptive_fallbacks`), creating parent directories as needed. The
+    /// first line is the `# subcore-run-telemetry schema=N` version tag
+    /// (see [`TELEMETRY_SCHEMA_VERSION`] / [`csv_schema_version`]).
     /// Free-form fields are escaped via [`csv_field`]; the `jobs` column
     /// carries the session's worker-count ceiling (empty when uncapped) so
     /// archived telemetry records the pool geometry the wall times were
@@ -264,6 +303,12 @@ impl Telemetry {
         }
         let jobs = crate::runner::jobs_cap().map_or(String::new(), |n| n.to_string());
         let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            out,
+            "# subcore-run-telemetry schema={TELEMETRY_SCHEMA_VERSION} \
+             stats_schema={}",
+            subcore_engine::STATS_SCHEMA_VERSION
+        )?;
         writeln!(
             out,
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
@@ -319,6 +364,9 @@ pub struct TelemetrySnapshot {
     /// Sweep cells skipped because the campaign journal already recorded
     /// them complete (`repro --resume`).
     pub journal_skips: u64,
+    /// Trace events dropped by bounded `JsonlSink`s (event limit reached
+    /// or a failed write), reported by `repro trace` captures.
+    pub trace_drops: u64,
     /// Failed writes to the on-disk result cache (e.g. a read-only
     /// `results/` directory).
     pub cache_write_failures: u64,
@@ -453,6 +501,12 @@ impl TelemetrySnapshot {
         if self.journal_skips > 0 {
             line("journal skips", format!("{} cells already complete", self.journal_skips));
         }
+        if self.trace_drops > 0 {
+            line(
+                "trace events dropped",
+                format!("{} (bounded sink limit reached; raise --limit)", self.trace_drops),
+            );
+        }
         if self.cache_write_failures > 0 {
             line(
                 "cache write failures",
@@ -484,6 +538,8 @@ static POOL: Mutex<PoolLog> =
 /// Reports one `parallel_map` invocation's worker-pool usage.
 pub fn note_pool_usage(busy: Duration, wall: Duration, workers: usize) {
     let nanos = |d: Duration| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+    subcore_metrics::gauge_set(mx::POOL_WORKERS, workers as f64);
+    subcore_metrics::add(mx::POOL_BUSY_US, u64::try_from(busy.as_micros()).unwrap_or(u64::MAX));
     let mut pool = lock_recover(&POOL);
     pool.busy_nanos = pool.busy_nanos.saturating_add(nanos(busy));
     pool.wall_nanos = pool.wall_nanos.saturating_add(nanos(wall));
@@ -499,6 +555,7 @@ struct SupLog {
     retried: u64,
     timed_out: u64,
     journal_skips: u64,
+    trace_drops: u64,
     /// Every failure record reported, in settlement order.
     failures: Vec<JobError>,
 }
@@ -508,6 +565,7 @@ static SUPERVISION: Mutex<SupLog> = Mutex::new(SupLog {
     retried: 0,
     timed_out: 0,
     journal_skips: 0,
+    trace_drops: 0,
     failures: Vec::new(),
 });
 
@@ -524,8 +582,21 @@ pub fn note_supervision(failed: u64, retried: u64, timed_out: u64, failures: &[J
 /// Reports sweep cells skipped because the campaign journal already
 /// recorded them complete (`repro --resume`).
 pub fn note_journal_skips(skipped: u64) {
+    subcore_metrics::add(mx::JOURNAL_SKIP, skipped);
     let mut sup = lock_recover(&SUPERVISION);
     sup.journal_skips = sup.journal_skips.saturating_add(skipped);
+}
+
+/// Reports trace events a bounded `JsonlSink` dropped (limit reached or
+/// write failure) during a `repro trace` capture, surfacing them in the
+/// end-of-run summary and as the `trace.events.dropped` metric.
+pub fn note_trace_drops(dropped: u64) {
+    if dropped == 0 {
+        return;
+    }
+    subcore_metrics::add(mx::TRACE_EVENTS_DROPPED, dropped);
+    let mut sup = lock_recover(&SUPERVISION);
+    sup.trace_drops = sup.trace_drops.saturating_add(dropped);
 }
 
 #[cfg(test)]
@@ -598,16 +669,72 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         // Concurrent tests may report supervision failures that append
         // extra rows, so check the materialized-run rows positionally.
-        assert!(lines.len() >= 3, "got {} lines", lines.len());
+        assert!(lines.len() >= 4, "got {} lines", lines.len());
         assert_eq!(
             lines[0],
+            format!(
+                "# subcore-run-telemetry schema={TELEMETRY_SCHEMA_VERSION} stats_schema={}",
+                subcore_engine::STATS_SCHEMA_VERSION
+            )
+        );
+        assert_eq!(csv_schema_version(&text), TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(
+            lines[1],
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
              engine_mode,adaptive_windows,adaptive_fallbacks"
         );
-        assert!(lines[1].contains(",sim,false,"), "got {}", lines[1]);
-        assert!(lines[1].ends_with(",adaptive,0,0"), "engine columns trail: {}", lines[1]);
-        assert!(lines[2].contains(",disk,false,"), "got {}", lines[2]);
+        assert!(lines[2].contains(",sim,false,"), "got {}", lines[2]);
+        assert!(lines[2].ends_with(",adaptive,0,0"), "engine columns trail: {}", lines[2]);
+        assert!(lines[3].contains(",disk,false,"), "got {}", lines[3]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_schema_version_tolerates_legacy_and_garbage() {
+        // Tagged (current) files report their schema.
+        assert_eq!(csv_schema_version("# subcore-run-telemetry schema=2 stats_schema=2\nkey\n"), 2);
+        assert_eq!(csv_schema_version("# subcore-run-telemetry schema=7\n"), 7);
+        // Legacy archives start straight at the header row → v1.
+        assert_eq!(csv_schema_version("key,app,design\n1,a,b\n"), 1);
+        // Damaged tags and empty input degrade to v1, never error.
+        assert_eq!(csv_schema_version("# subcore-run-telemetry schema=zap\n"), 1);
+        assert_eq!(csv_schema_version(""), 1);
+        // Column extraction skips the tag line (and works on legacy text).
+        let tagged = "# subcore-run-telemetry schema=2\nkey,app\n1,a\n";
+        assert_eq!(csv_columns(tagged).unwrap(), ["key", "app"]);
+        assert_eq!(csv_columns("key,app\n1,a\n").unwrap(), ["key", "app"]);
+        assert_eq!(csv_columns(""), None);
+    }
+
+    #[test]
+    fn written_csv_columns_match_schema() {
+        let t = Telemetry::default();
+        t.note_materialized(record(RunSource::Simulated, 1, 1));
+        let dir =
+            std::env::temp_dir().join(format!("subcore-telemetry-cols-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let cols = csv_columns(&text).expect("header row");
+        assert_eq!(cols.first().map(String::as_str), Some("key"));
+        assert_eq!(cols.last().map(String::as_str), Some("adaptive_fallbacks"));
+        assert_eq!(cols.len(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_drops_are_deltas_and_surface_in_summary() {
+        // Same delta discipline as the pool/supervision logs: drops
+        // reported before construction are invisible, later ones appear.
+        note_trace_drops(5_000_000);
+        let t = Telemetry::default();
+        assert!(t.snapshot().trace_drops < 5_000_000, "inherited prior trace drops");
+        assert!(!t.snapshot().summary().contains("trace events dropped"));
+        note_trace_drops(0); // zero reports are free and invisible
+        note_trace_drops(3);
+        let s = t.snapshot();
+        assert!(s.trace_drops >= 3, "missed new trace drops: {}", s.trace_drops);
+        assert!(s.summary().contains("trace events dropped"));
     }
 
     #[test]
@@ -630,12 +757,12 @@ mod tests {
         let path = dir.join("run_telemetry.csv");
         t.write_csv(&path).expect("write csv");
         let text = std::fs::read_to_string(&path).expect("read back");
-        let row = text.lines().nth(1).expect("one data row");
+        let row = text.lines().nth(2).expect("one data row after tag + header");
         assert!(row.contains("\"scan,filter\""), "app not quoted: {row}");
         assert!(row.contains("\"rba \"\"tuned\"\"\""), "design not quoted: {row}");
         // Escaped, the row has exactly the 12 header fields: the embedded
         // comma and quotes no longer split it.
-        let header_fields = text.lines().next().unwrap().split(',').count();
+        let header_fields = csv_columns(&text).unwrap().len();
         let mut fields = 0;
         let mut in_quotes = false;
         for c in row.chars() {

@@ -1,0 +1,68 @@
+//! Stable dotted metric names used across the experiment stack.
+//!
+//! The scheme is `<layer>.<noun>[.<event>]`, lowercase, dot-separated:
+//! the first segment names the emitting layer (`session`, `engine`,
+//! `supervisor`, `pool`, `journal`, `trace`), the rest name the thing
+//! counted. Exporters derive the Prometheus name mechanically
+//! (`session.cache.hit` → `subcore_session_cache_hit`), so renaming a
+//! constant here is a breaking change for downstream dashboards — add
+//! new names instead.
+
+/// Counter: `SimSession` run requests (any source).
+pub const SESSION_RUN: &str = "session.run";
+/// Counter: runs answered from the in-memory memo.
+pub const SESSION_CACHE_HIT: &str = "session.cache.hit";
+/// Counter: runs answered from the on-disk cache.
+pub const SESSION_CACHE_DISK_HIT: &str = "session.cache.disk_hit";
+/// Counter: disk-cache store attempts that were dropped (write failed).
+pub const SESSION_CACHE_STORE_DROP: &str = "session.cache.store_drop";
+/// Counter: fresh simulations executed.
+pub const SESSION_SIM: &str = "session.sim";
+/// Histogram: wall time of one fresh simulation, microseconds.
+pub const SESSION_SIM_WALL_US: &str = "session.sim.wall_us";
+
+/// Counter: simulated cycles accumulated by fresh simulations.
+pub const ENGINE_CYCLES: &str = "engine.cycles";
+/// Gauge: simulated cycles per wall-clock second of the most recent
+/// fresh simulation.
+pub const ENGINE_CYCLES_PER_SEC: &str = "engine.cycles_per_sec";
+/// Counter: adaptive-controller windows observed (from `EngineReport`).
+pub const ENGINE_ADAPTIVE_WINDOWS: &str = "engine.adaptive.windows";
+/// Counter: adaptive-controller fallbacks to reference-style scans.
+pub const ENGINE_ADAPTIVE_FALLBACKS: &str = "engine.adaptive.fallbacks";
+/// Counter-name prefix for per-mode run counts; append
+/// `EngineMode::tag()` (`engine.mode.adaptive`, `engine.mode.event`,
+/// `engine.mode.reference`).
+pub const ENGINE_MODE_PREFIX: &str = "engine.mode.";
+
+/// Counter: job attempts handed to a supervisor worker.
+pub const SUPERVISOR_JOB_STARTED: &str = "supervisor.job.started";
+/// Counter: jobs settled successfully.
+pub const SUPERVISOR_JOB_DONE: &str = "supervisor.job.done";
+/// Counter: jobs settled as failed (all kinds, after retries).
+pub const SUPERVISOR_JOB_FAILED: &str = "supervisor.job.failed";
+/// Counter: retry attempts granted for transient failures.
+pub const SUPERVISOR_JOB_RETRY: &str = "supervisor.job.retry";
+/// Counter: jobs settled by the watchdog as timed out.
+pub const SUPERVISOR_JOB_TIMEOUT: &str = "supervisor.job.timeout";
+/// Counter: jobs settled as aborted (budget exhausted / stop request).
+pub const SUPERVISOR_JOB_ABORTED: &str = "supervisor.job.aborted";
+/// Histogram: wall time of one settled job, microseconds.
+pub const SUPERVISOR_JOB_WALL_US: &str = "supervisor.job.wall_us";
+
+/// Gauge: worker threads of the most recent supervised pool.
+pub const POOL_WORKERS: &str = "pool.workers";
+/// Counter: busy worker-microseconds accumulated across pools.
+pub const POOL_BUSY_US: &str = "pool.busy_us";
+
+/// Counter: sweep cells skipped because the journal already had them.
+pub const JOURNAL_SKIP: &str = "journal.skip";
+/// Counter: journal `Done` records written.
+pub const JOURNAL_RECORD_DONE: &str = "journal.record.done";
+/// Counter: journal `Failed` records written.
+pub const JOURNAL_RECORD_FAILED: &str = "journal.record.failed";
+/// Counter: journal record writes that were dropped (I/O error).
+pub const JOURNAL_WRITE_DROP: &str = "journal.write_drop";
+
+/// Counter: trace events dropped by bounded `JsonlSink`s.
+pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";

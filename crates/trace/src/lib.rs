@@ -682,23 +682,32 @@ pub struct JsonlSink<W: Write> {
     out: W,
     limit: Option<u64>,
     written: u64,
+    dropped: u64,
     failed: bool,
 }
 
 impl<W: Write> JsonlSink<W> {
     /// An unbounded writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out, limit: None, written: 0, failed: false }
+        JsonlSink { out, limit: None, written: 0, dropped: 0, failed: false }
     }
 
-    /// A writer that silently drops events after the first `limit`.
+    /// A writer that drops (and counts) events after the first `limit`.
     pub fn with_limit(out: W, limit: u64) -> Self {
-        JsonlSink { out, limit: Some(limit), written: 0, failed: false }
+        JsonlSink { out, limit: Some(limit), written: 0, dropped: 0, failed: false }
     }
 
     /// Events written so far.
     pub fn written(&self) -> u64 {
         self.written
+    }
+
+    /// Events offered but not written — past the limit, after an I/O
+    /// failure, or the event whose write failed. `written + dropped`
+    /// always equals the events offered, so callers can report bounded
+    /// truncation exactly.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Whether an I/O error truncated the trace (tracing never fails the
@@ -717,10 +726,12 @@ impl<W: Write> JsonlSink<W> {
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn event(&mut self, ev: &TraceEvent) {
         if self.failed || self.limit.is_some_and(|l| self.written >= l) {
+            self.dropped += 1;
             return;
         }
         if writeln!(self.out, "{}", ev.to_json().render()).is_err() {
             self.failed = true;
+            self.dropped += 1;
             return;
         }
         self.written += 1;
@@ -913,11 +924,43 @@ mod tests {
             sink.event(&ev);
         }
         assert_eq!(sink.written(), 2);
+        assert_eq!(sink.dropped(), 3, "5 offered − 2 written = exactly 3 dropped");
         assert!(!sink.failed());
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {
             TraceEvent::from_json(&Json::parse(line).unwrap()).unwrap();
         }
+    }
+
+    #[test]
+    fn jsonl_sink_counts_io_failure_drops_exactly() {
+        /// Accepts `good` writes, then errors forever.
+        struct Flaky {
+            good: usize,
+        }
+        impl Write for Flaky {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.good == 0 {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                self.good -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // 4 successful write calls cover at most 4 events (writeln! may
+        // split an event into multiple writes, so possibly fewer).
+        let mut sink = JsonlSink::new(Flaky { good: 4 });
+        let ev = TraceEvent::Occupancy { cycle: 0, sm: 0, live_warps: 1 };
+        for _ in 0..6 {
+            sink.event(&ev);
+        }
+        assert!(sink.failed());
+        assert!(sink.written() <= 4, "4 good writes bound the written events");
+        assert!(sink.dropped() >= 2, "the failing and short-circuited events are drops");
+        assert_eq!(sink.written() + sink.dropped(), 6, "offered events are partitioned exactly");
     }
 }

@@ -43,6 +43,9 @@ cargo test -q -p subcore-integration --test trace_smoke
 # parity (minus a 5% timing-noise band), geomean at or above the recorded
 # floor. Timings are min-of-3 per mode, alternating. To re-record the
 # baseline after an intentional change, run bench-engine without --check.
+# This also doubles as the metrics-overhead gate: subcore-metrics is
+# compiled into the engine path but gate-disabled here, so the baseline
+# only holds if the disabled metrics path is genuinely free.
 echo "==> repro bench-engine --check"
 cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine --check
 
@@ -51,5 +54,19 @@ cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine -
 # to results bit-exact with a fault-free reference run.
 echo "==> repro chaos --seed 42 --fault-rate 0.3"
 cargo run --quiet --release -p subcore-experiments --bin repro -- chaos --seed 42 --fault-rate 0.3
+
+# Metrics smoke: a small campaign must leave a loadable snapshot stream
+# under <out>/.metrics/, `repro top --once` must render a frame from it,
+# and `repro metrics --prom` must emit validated Prometheus text.
+echo "==> metrics smoke test (repro fig3 + top --once + metrics --prom)"
+METRICS_TMP="$(mktemp -d)"
+trap 'rm -rf "$METRICS_TMP"' EXIT
+cargo run --quiet --release -p subcore-experiments --bin repro -- fig3 --out "$METRICS_TMP" \
+    > /dev/null
+cargo run --quiet --release -p subcore-experiments --bin repro -- top --once --out "$METRICS_TMP" \
+    > /dev/null
+cargo run --quiet --release -p subcore-experiments --bin repro -- metrics --prom \
+    --out "$METRICS_TMP" > "$METRICS_TMP/metrics.prom"
+test -s "$METRICS_TMP/metrics.prom"
 
 echo "verify: OK"
