@@ -360,6 +360,44 @@ impl GpuConfig {
         self.max_warps_per_sm / self.subcores_per_sm
     }
 
+    /// Upper bound on simultaneously resident blocks of one kernel shape
+    /// per SM, mirroring the engine's admission checks: block-slot arena,
+    /// shared-memory capacity, per-scheduler warp slots, and per-sub-core
+    /// register file. Round-robin placement sends warp `w` of a block to
+    /// scheduler `w % S`, so the fullest scheduler absorbs
+    /// `ceil(warps / S)` warps of every block. The static occupancy input
+    /// to the `subcore-opt` cost model's wave count.
+    pub fn max_resident_blocks(
+        &self,
+        warps_per_block: u32,
+        regs_per_thread: u32,
+        shared_mem_bytes: u32,
+    ) -> u32 {
+        let mut bound = self.max_blocks_per_sm;
+        if let Some(by_shared) = self.shared_mem_per_sm.checked_div(shared_mem_bytes) {
+            bound = bound.min(by_shared);
+        }
+        if warps_per_block == 0 {
+            return bound;
+        }
+        let (slots, regs, domains) = match self.connectivity {
+            Connectivity::Partitioned => (
+                self.warp_slots_per_scheduler(),
+                self.rf_regs_per_subcore,
+                self.subcores_per_sm.max(1),
+            ),
+            Connectivity::FullyConnected => {
+                (self.max_warps_per_sm, self.rf_regs_per_subcore * self.subcores_per_sm, 1)
+            }
+        };
+        let fullest_domain_warps = warps_per_block.div_ceil(domains).max(1);
+        bound = bound.min(slots / fullest_domain_warps);
+        if regs_per_thread > 0 {
+            bound = bound.min(regs / (fullest_domain_warps * regs_per_thread));
+        }
+        bound
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -407,6 +445,24 @@ mod tests {
         assert_eq!(c.warp_slots_per_scheduler(), 16);
         assert_eq!(c.mem.l2_kb, 6 * 1024);
         c.validate();
+    }
+
+    #[test]
+    fn max_resident_blocks_mirrors_admission_limits() {
+        let c = GpuConfig::volta_v100();
+        // 8 warps → 2 per scheduler → 16/2 = 8 by slots; registers agree:
+        // 512 / (2 × 32) = 8; block arena (32) and shared (unused) higher.
+        assert_eq!(c.max_resident_blocks(8, 32, 0), 8);
+        // Shared memory becomes the binding limit at 32 KB per block.
+        assert_eq!(c.max_resident_blocks(8, 32, 32 * 1024), 3);
+        // A fat register footprint binds: 512 / (2 × 200) = 1.
+        assert_eq!(c.max_resident_blocks(8, 200, 0), 1);
+        // One-warp blocks: conservatively one scheduler absorbs every
+        // block's warp, so its 16 slots bind before the 32-entry arena.
+        assert_eq!(c.max_resident_blocks(1, 8, 0), 16);
+        // Fully connected pools slots and registers into one domain.
+        let fc = GpuConfig::volta_v100().fully_connected();
+        assert_eq!(fc.max_resident_blocks(8, 32, 0), 8);
     }
 
     #[test]

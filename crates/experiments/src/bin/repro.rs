@@ -13,6 +13,9 @@
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
 //! repro lint --calibrate [<app>...] [--window N] [--json]
+//! repro estimate <app>... | --all [--design D] [--json]
+//! repro estimate --calibrate [--json]
+//! repro opt <app>... | --all
 //! repro bench-engine [--out DIR] [--check] [--baseline PATH]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
@@ -35,6 +38,20 @@
 //! registry and is the verify-gate invocation. `lint --calibrate` ranks
 //! apps by static bank pressure and correlates the ranking against traced
 //! mean bank-queue depths.
+//!
+//! `estimate` prints the static cost model's per-design cycle predictions
+//! (issue-, bank-, and divergence-bound decomposition) without
+//! simulating. `estimate --calibrate` sweeps the 112-app registry,
+//! simulating each app to score the predictions: it writes
+//! `<out>/estimate_calibration.json` and exits nonzero if the Spearman
+//! rank correlation falls below the 0.8 floor (the verify-gate
+//! invocation). `opt` prints the conflict-free register remapper's
+//! per-kernel evidence — the fix `lint`'s L036 advisory names.
+//!
+//! Sweeps start their longest-predicted cells first (cost-aware LPT
+//! ordering; predictions also land in the telemetry CSV's
+//! `predicted_cycles`/`estimate_error` columns). `--no-reorder` restores
+//! submission order.
 //!
 //! `bench-engine` is the engine-mode perf smoke: it runs the headline
 //! workload subset under both the shipping adaptive engine and the
@@ -80,7 +97,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use subcore_experiments::{chaos, engine_bench, figs, journal, lint, trace};
+use subcore_experiments::{chaos, engine_bench, estimate, figs, journal, lint, trace};
 use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
 use subcore_experiments::{set_policy, SupervisorPolicy};
 use subcore_isa::Suite;
@@ -169,6 +186,10 @@ fn main() -> ExitCode {
     } else {
         false
     };
+    if let Some(i) = args.iter().position(|a| a == "--no-reorder") {
+        args.remove(i);
+        subcore_experiments::set_reorder(false);
+    }
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if i + 1 >= args.len() {
             eprintln!("--out needs a directory argument");
@@ -278,6 +299,8 @@ fn main() -> ExitCode {
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
         eprintln!("       repro lint --calibrate [<app>...] [--window N] [--json]");
+        eprintln!("       repro estimate <app>... | --all | --calibrate [--design D] [--json]");
+        eprintln!("       repro opt <app>... | --all");
         eprintln!("       repro bench-engine [--out DIR] [--check] [--baseline PATH]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
@@ -506,6 +529,21 @@ fn main() -> ExitCode {
         let code = run_lint_command(args);
         finish_telemetry(session, &out_dir);
         return code;
+    }
+    if args[0] == "estimate" {
+        args.remove(0);
+        // `--calibrate` simulates the registry through the session; plain
+        // estimates are static and leave the cache cold.
+        let session = init_global(SessionOptions {
+            disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+        });
+        let code = run_estimate_command(args, &out_dir);
+        finish_telemetry(session, &out_dir);
+        return code;
+    }
+    if args[0] == "opt" {
+        args.remove(0);
+        return run_opt_command(args);
     }
     if args[0] == "trace" || args[0] == "trace-diff" {
         let cmd = args.remove(0);
@@ -758,6 +796,144 @@ fn run_lint_command(mut args: Vec<String>) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Resolves positional app arguments (or `--all` → the whole registry)
+/// the way `lint`/`estimate`/`opt` share: registry names plus the `fma`/
+/// `fig3`/`fig8` synthetic targets.
+fn resolve_apps(all: bool, args: &[String], usage: &str) -> Result<Vec<subcore_isa::App>, String> {
+    if all {
+        if !args.is_empty() {
+            return Err(format!(
+                "--all covers the whole registry; drop the app arguments: {args:?}"
+            ));
+        }
+        return Ok(subcore_workloads::all_apps());
+    }
+    if args.is_empty() {
+        return Err(usage.to_owned());
+    }
+    let mut apps = Vec::new();
+    for name in args {
+        let Some(app) = trace::resolve_target(name) else {
+            return Err(format!(
+                "unknown target `{name}` (use a registry app name, `fma`, `fig3`, or `fig8`)"
+            ));
+        };
+        apps.push(app);
+    }
+    Ok(apps)
+}
+
+/// Implements `repro estimate` (and `repro estimate --calibrate`).
+fn run_estimate_command(mut args: Vec<String>, out_dir: &Path) -> ExitCode {
+    let take_flag = |args: &mut Vec<String>, flag: &str| -> bool {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            args.remove(i);
+            true
+        } else {
+            false
+        }
+    };
+    let take_value = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
+        let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs an argument"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    };
+    let all = take_flag(&mut args, "--all");
+    let json = take_flag(&mut args, "--json");
+    let calibrate = take_flag(&mut args, "--calibrate");
+    let mut design = Design::Baseline;
+    match take_value(&mut args, "--design") {
+        Ok(Some(label)) => match trace::parse_design(&label) {
+            Some(d) => design = d,
+            None => {
+                eprintln!("unknown design `{label}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if calibrate {
+        if !args.is_empty() {
+            eprintln!("estimate --calibrate sweeps the whole registry; got: {args:?}");
+            return ExitCode::FAILURE;
+        }
+        let report = estimate::calibrate(subcore_experiments::session());
+        let artifact = out_dir.join("estimate_calibration.json");
+        if let Some(dir) = artifact.parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        match std::fs::write(&artifact, report.to_json().render()) {
+            Ok(()) => eprintln!("calibration → {}", artifact.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", artifact.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if json {
+            println!("{}", report.to_json().render());
+        } else {
+            print!("{}", report.render());
+        }
+        return if report.passes() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let apps = match resolve_apps(
+        all,
+        &args,
+        "usage: repro estimate <app>... | --all | --calibrate [--design D] [--json]",
+    ) {
+        Ok(apps) => apps,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reports_json = Vec::new();
+    for app in &apps {
+        let e = subcore_opt::estimate_app(app, &lint::base_for(app), design);
+        if json {
+            reports_json.push(estimate::estimate_to_json(&e));
+        } else {
+            print!("{}", estimate::render_estimate(&e));
+        }
+    }
+    if json {
+        println!("{}", Json::Arr(reports_json).render());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Implements `repro opt`: the conflict-free register remapper's
+/// per-kernel evidence (the fix `lint`'s L036 advisory names).
+fn run_opt_command(mut args: Vec<String>) -> ExitCode {
+    let all = if let Some(i) = args.iter().position(|a| a == "--all") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let apps = match resolve_apps(all, &args, "usage: repro opt <app>... | --all") {
+        Ok(apps) => apps,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for app in &apps {
+        print!("{}", estimate::render_remap(app));
+    }
+    ExitCode::SUCCESS
 }
 
 /// Implements `repro trace` and `repro trace-diff`.

@@ -34,6 +34,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod engine_bench;
+pub mod estimate;
 pub mod faultgen;
 pub mod figs;
 pub mod journal;
@@ -54,7 +55,10 @@ pub use runner::{
 };
 pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use supervisor::{policy, set_policy, JobError, JobErrorKind, JobOutcome, SupervisorPolicy};
-pub use sweep::{fill_rows, fill_table, run_cell_sweep, speedup_table, SweepOutcome};
+pub use sweep::{
+    fill_rows, fill_table, reorder_enabled, run_cell_sweep, set_reorder, speedup_table,
+    SweepOutcome,
+};
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};
 pub use top::{render_frame, render_metrics_summary};
 

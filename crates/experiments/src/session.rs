@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::cache::DiskCache;
-use crate::telemetry::{RunRecord, RunSource, Telemetry};
+use crate::telemetry::{lock_recover, RunRecord, RunSource, Telemetry};
 use subcore_engine::{simulate_app_reported, GpuConfig, RunStats, SimError};
 use subcore_isa::App;
 use subcore_metrics::names as mx;
@@ -87,6 +87,10 @@ pub struct SimSession {
     memo: Mutex<HashMap<SimKey, MemoCell>>,
     disk: Option<DiskCache>,
     telemetry: Telemetry,
+    // Static cost-model cycle predictions by key, registered before the
+    // corresponding run so materialization can stamp predicted-vs-actual
+    // error into the run's telemetry record.
+    predictions: Mutex<HashMap<SimKey, u64>>,
 }
 
 impl SimSession {
@@ -96,6 +100,7 @@ impl SimSession {
             memo: Mutex::new(HashMap::new()),
             disk: opts.disk_cache.map(DiskCache::new),
             telemetry: Telemetry::default(),
+            predictions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -117,6 +122,20 @@ impl SimSession {
     /// The fingerprint [`SimSession::run`] would use for this request.
     pub fn key(&self, base: &GpuConfig, design: Design, app: &App) -> SimKey {
         SimKey::compute(base, design, app)
+    }
+
+    /// Registers a static cost-model cycle prediction for `key`. When the
+    /// key later materializes (fresh simulation or disk load), its
+    /// [`RunRecord`] carries the prediction and the derived
+    /// predicted-vs-actual error — the calibration signal cost-aware
+    /// scheduling is judged by. Re-registering overwrites.
+    pub fn predict(&self, key: SimKey, cycles: u64) {
+        lock_recover(&self.predictions).insert(key, cycles);
+    }
+
+    /// The registered prediction for `key`, if any.
+    pub fn predicted(&self, key: SimKey) -> Option<u64> {
+        lock_recover(&self.predictions).get(&key).copied()
     }
 
     /// Runs `app` under `design` applied to `base`, memoized by content
@@ -180,6 +199,7 @@ impl SimSession {
         app: &App,
     ) -> Result<Arc<RunStats>, SimError> {
         let t0 = Instant::now();
+        let predicted_cycles = self.predicted(key);
         if let Some(stats) = self.disk.as_ref().and_then(|d| d.load(key)) {
             subcore_metrics::inc(mx::SESSION_CACHE_DISK_HIT);
             self.telemetry.note_materialized(RunRecord {
@@ -195,6 +215,7 @@ impl SimSession {
                 engine_mode: base.engine_mode.tag(),
                 adaptive_windows: 0,
                 adaptive_fallbacks: 0,
+                predicted_cycles,
             });
             return Ok(Arc::new(stats));
         }
@@ -218,7 +239,7 @@ impl SimSession {
             span.note("engine_mode", report.mode.tag());
             span.note("cycles_per_sec", format!("{cycles_per_sec:.0}"));
             span.note("adaptive_fallbacks", report.adaptive_fallbacks);
-            self.telemetry.note_materialized(RunRecord {
+            let record = RunRecord {
                 key: key.as_u64(),
                 app: app.name().to_owned(),
                 design: design.label(),
@@ -229,7 +250,14 @@ impl SimSession {
                 engine_mode: report.mode.tag(),
                 adaptive_windows: report.adaptive_windows,
                 adaptive_fallbacks: report.adaptive_fallbacks,
-            });
+                predicted_cycles,
+            };
+            if let Some(error) = record.estimate_error() {
+                subcore_metrics::observe(mx::ESTIMATE_ERROR_PCT, (error * 100.0) as u64);
+                span.note("predicted_cycles", record.predicted_cycles.unwrap_or(0));
+                span.note("estimate_error", format!("{error:.3}"));
+            }
+            self.telemetry.note_materialized(record);
             if let Some(disk) = &self.disk {
                 if !disk.store(key, stats) {
                     self.telemetry.note_cache_write_failure();
@@ -385,6 +413,27 @@ mod tests {
         assert_eq!(t.runs, 8);
         assert_eq!(t.sims, 1, "seven threads must ride the in-flight run");
         assert_eq!(t.memo_hits, 7);
+    }
+
+    #[test]
+    fn predictions_flow_into_run_records() {
+        let s = SimSession::in_memory();
+        let a = app("predicted", 8);
+        let key = s.key(&base(), Design::Baseline, &a);
+        s.predict(key, 123_456);
+        assert_eq!(s.predicted(key), Some(123_456));
+        let stats = s.run(&base(), Design::Baseline, &a);
+        let records = s.telemetry().records();
+        let r = records.iter().find(|r| r.key == key.as_u64()).expect("materialized record");
+        assert_eq!(r.predicted_cycles, Some(123_456));
+        let expected = (123_456f64 - stats.cycles as f64).abs() / stats.cycles as f64;
+        assert!((r.estimate_error().expect("error defined") - expected).abs() < 1e-12);
+        // Runs without a registered prediction keep the fields empty.
+        s.run(&base(), Design::Baseline, &app("unpredicted", 8));
+        let records = s.telemetry().records();
+        let rb = records.iter().find(|r| r.app == "unpredicted").expect("second record");
+        assert_eq!(rb.predicted_cycles, None);
+        assert_eq!(rb.estimate_error(), None);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! Fault injection ([`crate::faultgen`]) hooks in here too, which is what
 //! lets `repro chaos` drive the whole stack through its failure paths.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::faultgen::{self, Fault, FaultPlan};
@@ -21,6 +21,23 @@ use crate::supervisor::{policy, supervise_map, JobError, JobFailure, JobTag, Sup
 use subcore_engine::{GpuConfig, RunStats};
 use subcore_isa::App;
 use subcore_sched::Design;
+
+// Cost-aware job ordering: sweeps start their longest-predicted cells
+// first (classic LPT list scheduling), which shrinks the tail where the
+// pool idles waiting for one late-started giant. Default on; `repro
+// --no-reorder` (or `set_reorder(false)`) restores submission order.
+static REORDER: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables longest-predicted-first sweep ordering
+/// (process-wide; default enabled).
+pub fn set_reorder(enabled: bool) {
+    REORDER.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether sweeps currently start longest-predicted cells first.
+pub fn reorder_enabled() -> bool {
+    REORDER.load(Ordering::Relaxed)
+}
 
 /// Outcome of one cell-granular sweep.
 #[derive(Debug)]
@@ -73,11 +90,27 @@ pub fn run_cell_sweep_on(
     faults: Option<&FaultPlan>,
 ) -> SweepOutcome {
     let slots = designs.len() + 1;
-    let cells: Vec<(usize, Design)> = (0..apps.len())
+    let mut cells: Vec<(usize, Design)> = (0..apps.len())
         .flat_map(|ai| {
             std::iter::once((ai, Design::Baseline)).chain(designs.iter().map(move |&d| (ai, d)))
         })
         .collect();
+    // Cost-aware ordering: predict every cell statically, register the
+    // predictions with the session (so run records carry the error
+    // columns), and — unless disabled — start the longest-predicted cells
+    // first. The journal, SimKeys, and the outcome grid are all
+    // order-independent, so reordering only moves start times.
+    let mut predictions: Vec<u64> = Vec::with_capacity(cells.len());
+    for &(ai, design) in &cells {
+        let predicted = crate::estimate::predicted_cycles(base, design, &apps[ai]);
+        sess.predict(sess.key(base, design, &apps[ai]), predicted);
+        predictions.push(predicted);
+    }
+    if reorder_enabled() {
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(predictions[i]));
+        cells = order.into_iter().map(|i| cells[i]).collect();
+    }
     let tags: Vec<JobTag> = cells
         .iter()
         .map(|&(ai, design)| JobTag {

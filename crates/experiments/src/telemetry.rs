@@ -100,6 +100,23 @@ pub struct RunRecord {
     pub adaptive_windows: u64,
     /// Adaptive windows that ended on the reference-scan fallback.
     pub adaptive_fallbacks: u64,
+    /// Static cost-model cycle prediction registered for this run's key
+    /// before it materialized ([`crate::session::SimSession::predict`]),
+    /// `None` when no prediction was on file.
+    pub predicted_cycles: Option<u64>,
+}
+
+impl RunRecord {
+    /// Relative predicted-vs-actual cycle error,
+    /// `|predicted − actual| / actual`. `None` when no prediction was on
+    /// file (or the run reported zero cycles, which only failures do).
+    pub fn estimate_error(&self) -> Option<f64> {
+        let predicted = self.predicted_cycles?;
+        if self.cycles == 0 {
+            return None;
+        }
+        Some((predicted as f64 - self.cycles as f64).abs() / self.cycles as f64)
+    }
 }
 
 /// Counter block owned by a [`crate::session::SimSession`].
@@ -286,17 +303,24 @@ impl Telemetry {
 
     /// Writes the per-run records as CSV (`key,app,design,source,traced,
     /// wall_ms,cycles,cycles_per_sec,jobs,engine_mode,adaptive_windows,
-    /// adaptive_fallbacks`), creating parent directories as needed. The
-    /// first line is the `# subcore-run-telemetry schema=N` version tag
-    /// (see [`TELEMETRY_SCHEMA_VERSION`] / [`csv_schema_version`]).
+    /// adaptive_fallbacks,predicted_cycles,estimate_error`), creating
+    /// parent directories as needed. The first line is the
+    /// `# subcore-run-telemetry schema=N` version tag (see
+    /// [`TELEMETRY_SCHEMA_VERSION`] / [`csv_schema_version`]).
     /// Free-form fields are escaped via [`csv_field`]; the `jobs` column
     /// carries the session's worker-count ceiling (empty when uncapped) so
     /// archived telemetry records the pool geometry the wall times were
     /// measured under, and the trailing engine columns record which engine
     /// core produced each result and what the adaptive controller decided.
-    /// Supervised-job failures append as rows whose `source` is the
-    /// failure kind (`panic`, `timeout`, …) with zero cycles and an empty
-    /// engine mode, so a campaign's gaps are archived next to its results.
+    /// `predicted_cycles` / `estimate_error` carry the static cost-model
+    /// prediction and its relative error for runs that had one on file,
+    /// and stay empty otherwise — the columns ride under the same
+    /// schema=2 tag because loaders resolve columns by header name
+    /// ([`csv_columns`]), so pre-prediction v2 archives and new files
+    /// parse identically. Supervised-job failures append as rows whose
+    /// `source` is the failure kind (`panic`, `timeout`, …) with zero
+    /// cycles and an empty engine mode, so a campaign's gaps are archived
+    /// next to its results.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -312,14 +336,16 @@ impl Telemetry {
         writeln!(
             out,
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
-             engine_mode,adaptive_windows,adaptive_fallbacks"
+             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error"
         )?;
         for r in self.records() {
             let secs = r.wall.as_secs_f64();
             let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
+            let predicted = r.predicted_cycles.map_or(String::new(), |p| p.to_string());
+            let error = r.estimate_error().map_or(String::new(), |e| format!("{e:.4}"));
             writeln!(
                 out,
-                "{:016x},{},{},{},{},{:.3},{},{:.0},{},{},{},{}",
+                "{:016x},{},{},{},{},{:.3},{},{:.0},{},{},{},{},{},{}",
                 r.key,
                 csv_field(&r.app),
                 csv_field(&r.design),
@@ -331,13 +357,15 @@ impl Telemetry {
                 jobs,
                 r.engine_mode,
                 r.adaptive_windows,
-                r.adaptive_fallbacks
+                r.adaptive_fallbacks,
+                predicted,
+                error
             )?;
         }
         for e in self.failure_records() {
             writeln!(
                 out,
-                "{:016x},{},{},{},false,{:.3},0,nan,{},,0,0",
+                "{:016x},{},{},{},false,{:.3},0,nan,{},,0,0,,",
                 e.key.unwrap_or(0),
                 csv_field(&e.app),
                 csv_field(&e.design),
@@ -615,6 +643,7 @@ mod tests {
             engine_mode: "adaptive",
             adaptive_windows: 0,
             adaptive_fallbacks: 0,
+            predicted_cycles: None,
         }
     }
 
@@ -681,10 +710,10 @@ mod tests {
         assert_eq!(
             lines[1],
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
-             engine_mode,adaptive_windows,adaptive_fallbacks"
+             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error"
         );
         assert!(lines[2].contains(",sim,false,"), "got {}", lines[2]);
-        assert!(lines[2].ends_with(",adaptive,0,0"), "engine columns trail: {}", lines[2]);
+        assert!(lines[2].ends_with(",adaptive,0,0,,"), "trailing columns: {}", lines[2]);
         assert!(lines[3].contains(",disk,false,"), "got {}", lines[3]);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -717,9 +746,64 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let cols = csv_columns(&text).expect("header row");
         assert_eq!(cols.first().map(String::as_str), Some("key"));
-        assert_eq!(cols.last().map(String::as_str), Some("adaptive_fallbacks"));
-        assert_eq!(cols.len(), 12);
+        assert_eq!(cols.last().map(String::as_str), Some("estimate_error"));
+        assert_eq!(cols.len(), 14);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prediction_columns_round_trip_through_tolerant_loading() {
+        let t = Telemetry::default();
+        let mut predicted = record(RunSource::Simulated, 1_000, 3);
+        predicted.predicted_cycles = Some(1_250);
+        t.note_materialized(predicted);
+        t.note_materialized(record(RunSource::Simulated, 2_000, 3)); // no prediction
+        let dir =
+            std::env::temp_dir().join(format!("subcore-telemetry-pred-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        // Tolerant loading: columns are resolved by header name, not
+        // position, so the new fields read back exactly and legacy v2
+        // archives (12 columns, same tag) still resolve the old fields.
+        assert_eq!(csv_schema_version(&text), TELEMETRY_SCHEMA_VERSION);
+        let cols = csv_columns(&text).expect("header row");
+        let pi = cols.iter().position(|c| c == "predicted_cycles").expect("predicted column");
+        let ei = cols.iter().position(|c| c == "estimate_error").expect("error column");
+        let rows: Vec<Vec<&str>> = text
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').collect())
+            .filter(|f: &Vec<&str>| f.len() == cols.len())
+            .collect();
+        assert!(rows.len() >= 2, "both materialized rows survive");
+        assert_eq!(rows[0][pi], "1250");
+        // |1250 - 1000| / 1000 = 0.25.
+        assert_eq!(rows[0][ei], "0.2500");
+        assert_eq!(rows[1][pi], "", "prediction-free runs leave the columns empty");
+        assert_eq!(rows[1][ei], "");
+        // A legacy v2 archive (pre-prediction header) still resolves its
+        // columns by name; the new fields are simply absent.
+        let legacy = "# subcore-run-telemetry schema=2 stats_schema=2\n\
+                      key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
+                      engine_mode,adaptive_windows,adaptive_fallbacks\n";
+        let legacy_cols = csv_columns(legacy).expect("legacy header");
+        assert_eq!(csv_schema_version(legacy), 2);
+        assert!(legacy_cols.iter().any(|c| c == "cycles"));
+        assert!(!legacy_cols.iter().any(|c| c == "predicted_cycles"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_error_is_relative_and_absent_without_prediction() {
+        let mut r = record(RunSource::Simulated, 2_000, 1);
+        assert_eq!(r.estimate_error(), None);
+        r.predicted_cycles = Some(1_500);
+        assert!((r.estimate_error().unwrap() - 0.25).abs() < 1e-12);
+        r.predicted_cycles = Some(2_500);
+        assert!((r.estimate_error().unwrap() - 0.25).abs() < 1e-12, "error is absolute-valued");
+        r.cycles = 0;
+        assert_eq!(r.estimate_error(), None, "zero-cycle runs have no defined error");
     }
 
     #[test]
@@ -751,6 +835,7 @@ mod tests {
             engine_mode: "event",
             adaptive_windows: 0,
             adaptive_fallbacks: 0,
+            predicted_cycles: None,
         });
         let dir =
             std::env::temp_dir().join(format!("subcore-telemetry-esc-{}", std::process::id()));
@@ -760,7 +845,7 @@ mod tests {
         let row = text.lines().nth(2).expect("one data row after tag + header");
         assert!(row.contains("\"scan,filter\""), "app not quoted: {row}");
         assert!(row.contains("\"rba \"\"tuned\"\"\""), "design not quoted: {row}");
-        // Escaped, the row has exactly the 12 header fields: the embedded
+        // Escaped, the row has exactly the 14 header fields: the embedded
         // comma and quotes no longer split it.
         let header_fields = csv_columns(&text).unwrap().len();
         let mut fields = 0;
@@ -882,7 +967,7 @@ mod tests {
         let row = text.lines().find(|l| l.contains("deadapp")).expect("failure row present in CSV");
         assert!(row.contains(",panic,false,"), "kind tag is the source column: {row}");
         assert!(row.contains("000000000000feed"), "failure row carries the key: {row}");
-        assert!(row.ends_with(",,0,0"), "failure rows carry empty engine columns: {row}");
+        assert!(row.ends_with(",,0,0,,"), "failure rows carry empty trailing columns: {row}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,11 +14,50 @@
 //!   several operands from the *same* bank (excess serialization above the
 //!   unavoidable `ceil(sources/banks)` floor). This is the pattern the
 //!   collector units serialize on and the RBA scheduler routes around.
+//! * **L036** (warning) — the L010 skew is *layout-induced*: a register
+//!   permutation provably flattens the hottest bank below the skew
+//!   threshold. The message names the fix (`repro opt`), closing the loop
+//!   between the diagnosis and the `subcore-opt` remapper.
 
+use crate::dataflow::ProgramDataflow;
 use crate::diag::{codes, Diagnostic, Location, Severity};
 use crate::LintOptions;
 use subcore_engine::{bank_of_register, Connectivity, GpuConfig};
 use subcore_isa::Kernel;
+
+/// The smallest achievable hottest-bank load when register read counts
+/// `reads[r]` may be permuted freely across the register slots `0..len`,
+/// each slot `x` feeding bank `x % banks` (warp 0's view of the engine
+/// swizzle; other warps see a pure rotation, so the bound is warp-
+/// independent).
+///
+/// Greedy: each bank has capacity `#{x : x % banks == b}` slots; registers
+/// are placed heaviest-first onto the least-loaded bank with free slots.
+/// The result is exact when counts are near-uniform and otherwise an upper
+/// bound on the optimum — still a *certificate* that some permutation
+/// achieves this max load, which is all L036 and the remapper need.
+pub fn flattened_max_load(reads: &[u64], banks: u32) -> u64 {
+    let banks = banks.max(1) as usize;
+    if reads.is_empty() {
+        return 0;
+    }
+    let mut capacity = vec![0u64; banks];
+    for slot in 0..reads.len() {
+        capacity[slot % banks] += 1;
+    }
+    let mut load = vec![0u64; banks];
+    let mut counts: Vec<u64> = reads.to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    for c in counts {
+        let b = (0..banks)
+            .filter(|&b| capacity[b] > 0)
+            .min_by_key(|&b| load[b])
+            .expect("total slot capacity equals reads.len()");
+        capacity[b] -= 1;
+        load[b] += c;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
 
 /// Static bank-pressure summary for one kernel under one configuration.
 ///
@@ -164,6 +203,34 @@ pub fn check(kernel: &Kernel, cfg: &GpuConfig, opts: &LintOptions, out: &mut Vec
                 p.worst_warp_skew, p.banks, opts.bank_skew_threshold
             ),
         ));
+        // L036: is that skew layout-induced, i.e. provably removable by a
+        // register permutation? Compute the best achievable hottest-bank
+        // load for the worst warp's read counts; rotation invariance of the
+        // swizzle makes the bound hold for every warp sharing the program.
+        let declared = u32::from(kernel.regs_per_thread());
+        let flow =
+            ProgramDataflow::of(p.worst_warp, p.worst_warp, kernel.program(p.worst_warp), declared);
+        if flow.out_of_range.is_empty() {
+            let reads = flow.read_counts(declared);
+            let total: u64 = reads.iter().sum();
+            if total > 0 {
+                let mean = total as f64 / f64::from(p.banks);
+                let flattened = flattened_max_load(&reads, p.banks) as f64 / mean;
+                if flattened < opts.bank_skew_threshold {
+                    out.push(Diagnostic::new(
+                        codes::BANK_REMAPPABLE,
+                        Severity::Warning,
+                        Location::kernel(kernel.name()).warps(p.worst_warp, p.worst_warp),
+                        format!(
+                            "bank skew is layout-induced: a register permutation flattens the \
+                             hottest bank from {:.2}x to {:.2}x the mean load; run `repro opt` \
+                             to apply the conflict-free remap",
+                            p.worst_warp_skew, flattened
+                        ),
+                    ));
+                }
+            }
+        }
     }
     if p.multi_src_instrs > 0 && p.clustering() >= opts.clustering_threshold {
         out.push(Diagnostic::new(
@@ -251,6 +318,31 @@ mod tests {
         assert_eq!(p.banks, cfg.total_banks());
         // 8 pooled banks: r0, r2, r4 now hit banks 0, 2, 4 — no excess.
         assert_eq!(p.excess_serialization, 0);
+    }
+
+    #[test]
+    fn flattened_load_respects_slot_capacities() {
+        // 4 slots, 2 banks → 2 slots per bank. Heaviest-first placement
+        // puts 10 and 8 on different banks; zeros fill the rest.
+        assert_eq!(flattened_max_load(&[10, 0, 8, 0], 2), 10);
+        // Uniform counts flatten perfectly: 4×6 over 2 banks → 12 each.
+        assert_eq!(flattened_max_load(&[6, 6, 6, 6], 2), 12);
+        // One register dominating is irreducible; slot capacity (2 per
+        // bank) forces one light register to share its bank.
+        assert_eq!(flattened_max_load(&[100, 1, 1, 1], 2), 101);
+        assert_eq!(flattened_max_load(&[], 2), 0);
+    }
+
+    #[test]
+    fn layout_induced_skew_names_the_remap_fix() {
+        let mut out = Vec::new();
+        check(&one_bank_kernel(), &volta(), &LintOptions::default(), &mut out);
+        let hit = out.iter().find(|d| d.code == codes::BANK_REMAPPABLE).expect("L036 fires");
+        assert_eq!(hit.severity, Severity::Warning);
+        assert!(hit.message.contains("repro opt"), "{}", hit.message);
+        // Five equally-hot registers over two banks: best split is 3/2 →
+        // 96/160-per-bank-mean = 1.20x, well under the 2.0 threshold.
+        assert!(hit.message.contains("1.20x"), "{}", hit.message);
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Dataflow pass: register def/use accounting per warp program.
 //!
+//! The accounting itself is a public API ([`KernelDataflow`]): downstream
+//! static tooling (the `subcore-opt` cost model and register remapper)
+//! consumes the same def/use chains and per-register read counts the
+//! diagnostics are computed from, instead of re-walking programs.
+//!
 //! Emits:
 //!
 //! * **L001** (error) — an operand names a register at or above the
@@ -20,23 +25,187 @@
 
 use crate::diag::{codes, Diagnostic, Location, Severity};
 use crate::{program_groups, LintOptions};
+use std::sync::Arc;
 use subcore_engine::GpuConfig;
-use subcore_isa::{Kernel, Reg};
+use subcore_isa::{Kernel, Reg, WarpProgram};
 
-/// Per-register def/use tally for one warp program.
-#[derive(Clone, Copy, Default)]
-struct RegFacts {
+/// Which operand slot of an instruction touched a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Source operand `i` (0-based, left-to-right).
+    Src(u8),
+    /// The destination operand.
+    Dst,
+}
+
+/// One static access site in a warp program: which instruction of which
+/// segment touched the register, and through which operand slot.
+///
+/// Sites are recorded in program order (segments in order, instructions in
+/// body order, sources left-to-right before the destination), so the
+/// per-register site list *is* the register's def/use chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessSite {
+    /// Segment index within the program.
+    pub segment: u32,
+    /// Instruction index within the segment body.
+    pub instr: u32,
+    /// Operand slot.
+    pub operand: Operand,
+}
+
+/// Per-register def/use facts for one warp program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegisterFacts {
     /// Dynamic write count (static occurrences × segment repeat),
     /// saturating.
-    writes: u64,
+    pub writes: u64,
     /// Dynamic read count, saturating.
-    reads: u64,
-    /// Whether the first access in program order was a read.
-    first_is_read: bool,
-    /// Whether the register has been accessed at all.
-    seen: bool,
-    /// Segment index of the (first) write, for the L002 location.
-    write_segment: usize,
+    pub reads: u64,
+    /// Whether the first access in program order was a read (a live-in
+    /// value such as an accumulator's initial contents).
+    pub first_is_read: bool,
+    /// Whether the register is accessed at all by executed segments.
+    pub seen: bool,
+    /// Segment index of the first write, for diagnostics.
+    pub write_segment: usize,
+}
+
+/// Dataflow facts for one program group: the warp slots `first..=last`
+/// that share one program, with per-register tallies and def/use chains.
+#[derive(Debug, Clone)]
+pub struct ProgramDataflow {
+    /// First warp slot running this program.
+    pub first_warp: u32,
+    /// Last warp slot running this program.
+    pub last_warp: u32,
+    /// The shared program.
+    pub program: Arc<WarpProgram>,
+    /// Per-register facts, indexed by [`Reg::index`]. Zero-repeat
+    /// segments never execute and are excluded.
+    pub facts: Vec<RegisterFacts>,
+    /// Registers referenced at or above the kernel's declared register
+    /// count, with the segment of first offense, in discovery order.
+    pub out_of_range: Vec<(Reg, usize)>,
+    /// Per-register ordered access sites (def/use chains), indexed by
+    /// [`Reg::index`]. Zero-repeat segments are excluded.
+    pub chains: Vec<Vec<AccessSite>>,
+}
+
+impl ProgramDataflow {
+    /// Walks `program` (shared by warp slots `first..=last` of a kernel
+    /// declaring `declared_regs` registers per thread) and tallies every
+    /// register access.
+    pub fn of(first: u32, last: u32, program: &Arc<WarpProgram>, declared_regs: u32) -> Self {
+        let mut facts = vec![RegisterFacts::default(); Reg::MAX_REGS];
+        let mut chains = vec![Vec::new(); Reg::MAX_REGS];
+        let mut out_of_range: Vec<(Reg, usize)> = Vec::new();
+        for (seg_idx, seg) in program.segments().iter().enumerate() {
+            if seg.repeat == 0 {
+                continue; // never executes
+            }
+            for (pos, instr) in seg.body.iter().enumerate() {
+                // Reads are tallied before the write so `a = a + b` marks
+                // `a` as read-first (a live-in accumulator).
+                for (slot, src) in instr.sources().enumerate() {
+                    let f = &mut facts[src.index()];
+                    if !f.seen {
+                        f.seen = true;
+                        f.first_is_read = true;
+                    }
+                    f.reads = f.reads.saturating_add(u64::from(seg.repeat));
+                    chains[src.index()].push(AccessSite {
+                        segment: seg_idx as u32,
+                        instr: pos as u32,
+                        operand: Operand::Src(slot as u8),
+                    });
+                    if src.index() as u32 >= declared_regs
+                        && !out_of_range.iter().any(|&(r, _)| r == src)
+                    {
+                        out_of_range.push((src, seg_idx));
+                    }
+                }
+                if let Some(dst) = instr.dst {
+                    let f = &mut facts[dst.index()];
+                    f.seen = true;
+                    if f.writes == 0 {
+                        f.write_segment = seg_idx;
+                    }
+                    f.writes = f.writes.saturating_add(u64::from(seg.repeat));
+                    chains[dst.index()].push(AccessSite {
+                        segment: seg_idx as u32,
+                        instr: pos as u32,
+                        operand: Operand::Dst,
+                    });
+                    if dst.index() as u32 >= declared_regs
+                        && !out_of_range.iter().any(|&(r, _)| r == dst)
+                    {
+                        out_of_range.push((dst, seg_idx));
+                    }
+                }
+            }
+        }
+        ProgramDataflow {
+            first_warp: first,
+            last_warp: last,
+            program: program.clone(),
+            facts,
+            out_of_range,
+            chains,
+        }
+    }
+
+    /// Highest register index touched, plus one (0 if none).
+    pub fn max_used(&self) -> u32 {
+        self.facts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, f)| f.seen)
+            .map_or(0, |(idx, _)| idx as u32 + 1)
+    }
+
+    /// Dynamic read count of each register in `0..num_regs` (the input to
+    /// bank-load flattening).
+    pub fn read_counts(&self, num_regs: u32) -> Vec<u64> {
+        (0..num_regs as usize).map(|r| self.facts[r].reads).collect()
+    }
+
+    /// Registers read before their first write, ascending.
+    pub fn live_in(&self) -> Vec<Reg> {
+        self.facts
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.seen && f.first_is_read && f.writes > 0)
+            .map(|(idx, _)| Reg(idx as u8))
+            .collect()
+    }
+}
+
+/// Dataflow facts for every distinct program of a kernel, in warp-slot
+/// order — the reusable product of the dataflow pass.
+#[derive(Debug, Clone)]
+pub struct KernelDataflow {
+    /// One entry per pointer-distinct program run.
+    pub programs: Vec<ProgramDataflow>,
+}
+
+impl KernelDataflow {
+    /// Analyzes every distinct program of `kernel`.
+    pub fn of(kernel: &Kernel) -> Self {
+        let declared = u32::from(kernel.regs_per_thread());
+        KernelDataflow {
+            programs: program_groups(kernel)
+                .iter()
+                .map(|(first, last, program)| ProgramDataflow::of(*first, *last, program, declared))
+                .collect(),
+        }
+    }
+
+    /// Highest register index touched by any program, plus one.
+    pub fn max_used(&self) -> u32 {
+        self.programs.iter().map(ProgramDataflow::max_used).max().unwrap_or(0)
+    }
 }
 
 /// Runs the dataflow pass over every distinct program of `kernel`.
@@ -57,47 +226,11 @@ pub fn check(kernel: &Kernel, cfg: &GpuConfig, opts: &LintOptions, out: &mut Vec
     }
 
     let declared = u32::from(kernel.regs_per_thread());
+    let flow = KernelDataflow::of(kernel);
     let mut max_used: u32 = 0;
-    for (first, last, program) in program_groups(kernel) {
-        let mut facts = [RegFacts::default(); Reg::MAX_REGS];
-        let mut out_of_range: Vec<(Reg, usize)> = Vec::new();
-        for (seg_idx, seg) in program.segments().iter().enumerate() {
-            if seg.repeat == 0 {
-                continue; // never executes
-            }
-            for instr in seg.body.iter() {
-                // Reads are tallied before the write so `a = a + b` marks
-                // `a` as read-first (a live-in accumulator).
-                for src in instr.sources() {
-                    let f = &mut facts[src.index()];
-                    if !f.seen {
-                        f.seen = true;
-                        f.first_is_read = true;
-                    }
-                    f.reads = f.reads.saturating_add(u64::from(seg.repeat));
-                    if src.index() as u32 >= declared
-                        && !out_of_range.iter().any(|&(r, _)| r == src)
-                    {
-                        out_of_range.push((src, seg_idx));
-                    }
-                }
-                if let Some(dst) = instr.dst {
-                    let f = &mut facts[dst.index()];
-                    f.seen = true;
-                    if f.writes == 0 {
-                        f.write_segment = seg_idx;
-                    }
-                    f.writes = f.writes.saturating_add(u64::from(seg.repeat));
-                    if dst.index() as u32 >= declared
-                        && !out_of_range.iter().any(|&(r, _)| r == dst)
-                    {
-                        out_of_range.push((dst, seg_idx));
-                    }
-                }
-            }
-        }
-
-        for (reg, seg_idx) in out_of_range {
+    for group in &flow.programs {
+        let (first, last) = (group.first_warp, group.last_warp);
+        for &(reg, seg_idx) in &group.out_of_range {
             out.push(Diagnostic::new(
                 codes::REG_OUT_OF_RANGE,
                 Severity::Error,
@@ -107,7 +240,7 @@ pub fn check(kernel: &Kernel, cfg: &GpuConfig, opts: &LintOptions, out: &mut Vec
         }
 
         let mut live_in: Vec<Reg> = Vec::new();
-        for (idx, &f) in facts.iter().enumerate() {
+        for (idx, f) in group.facts.iter().enumerate() {
             if !f.seen {
                 continue;
             }
@@ -254,5 +387,38 @@ mod tests {
         let p = Arc::new(WarpProgram::from_segments(vec![dead, exit]));
         let k = KernelBuilder::new("zr").regs_per_thread(8).uniform_program(p).build();
         assert!(!codes_of(&lint(&k)).contains(&codes::DEAD_WRITE));
+    }
+
+    #[test]
+    fn kernel_dataflow_exposes_counts_and_chains() {
+        let p = ProgramBuilder::new()
+            .repeat(4, |b| {
+                b.fma(Reg(0), Reg(0), Reg(1), Reg(2));
+            })
+            .iadd(Reg(3), Reg(0), Reg(0))
+            .build();
+        let k = KernelBuilder::new("api").regs_per_thread(8).uniform_program(p).build();
+        let flow = KernelDataflow::of(&k);
+        assert_eq!(flow.programs.len(), 1);
+        let g = &flow.programs[0];
+        assert_eq!((g.first_warp, g.last_warp), (0, 0));
+        // r0: read (src0) ×4 in the loop, written ×4, then read twice more.
+        assert_eq!(g.facts[0].reads, 4 + 2);
+        assert_eq!(g.facts[0].writes, 4);
+        assert!(g.facts[0].first_is_read);
+        // Chains record static sites in program order.
+        assert_eq!(
+            g.chains[0],
+            vec![
+                AccessSite { segment: 0, instr: 0, operand: Operand::Src(0) },
+                AccessSite { segment: 0, instr: 0, operand: Operand::Dst },
+                AccessSite { segment: 1, instr: 0, operand: Operand::Src(0) },
+                AccessSite { segment: 1, instr: 0, operand: Operand::Src(1) },
+            ]
+        );
+        assert_eq!(g.read_counts(8), vec![6, 4, 4, 0, 0, 0, 0, 0]);
+        assert_eq!(g.live_in(), vec![Reg(0)]);
+        assert_eq!(g.max_used(), 4);
+        assert_eq!(flow.max_used(), 4);
     }
 }

@@ -12,7 +12,8 @@ use subcore_persist::Json;
 /// * `L00x` — parse / program representation
 /// * `L01x` — bank pressure
 /// * `L02x` — divergence
-/// * `L03x` — configuration validation
+/// * `L030`–`L035` — configuration validation
+/// * `L036` — bank-remap advisory (bank-pressure pass)
 ///
 /// (`L001`–`L005` are the dataflow pass.)
 pub mod codes {
@@ -48,6 +49,9 @@ pub mod codes {
     pub const CFG_DESIGN_PARAM: &str = "L034";
     /// A kernel's blocks can never be scheduled under this configuration.
     pub const CFG_UNSCHEDULABLE: &str = "L035";
+    /// Static bank skew that a register permutation can provably flatten
+    /// (the `subcore-opt` remapper's advisory; names the `repro opt` fix).
+    pub const BANK_REMAPPABLE: &str = "L036";
 }
 
 /// How serious a diagnostic is.

@@ -43,11 +43,12 @@
 
 mod bankpressure;
 mod configcheck;
-mod dataflow;
+pub mod dataflow;
 mod diag;
 mod divergence;
 
-pub use bankpressure::BankPressure;
+pub use bankpressure::{flattened_max_load, BankPressure};
+pub use dataflow::KernelDataflow;
 pub use diag::{codes, Diagnostic, LintReport, Location, Severity};
 pub use divergence::DivergenceSummary;
 
@@ -163,8 +164,9 @@ impl Linter {
 /// Groups a kernel's warp slots by identical (pointer-equal) programs:
 /// `(first_slot, last_slot, program)` runs, mirroring
 /// [`subcore_isa::disassemble_kernel`]. Program-level passes analyze each
-/// distinct program once and report the whole slot range.
-pub(crate) fn program_groups(kernel: &Kernel) -> Vec<(u32, u32, Arc<WarpProgram>)> {
+/// distinct program once and report the whole slot range; `subcore-opt`
+/// remaps each distinct program once and reuses the result per slot.
+pub fn program_groups(kernel: &Kernel) -> Vec<(u32, u32, Arc<WarpProgram>)> {
     let mut groups = Vec::new();
     let mut w = 0;
     while w < kernel.warps_per_block() {

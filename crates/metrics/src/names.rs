@@ -35,6 +35,11 @@ pub const ENGINE_ADAPTIVE_FALLBACKS: &str = "engine.adaptive.fallbacks";
 /// `engine.mode.reference`).
 pub const ENGINE_MODE_PREFIX: &str = "engine.mode.";
 
+/// Histogram: absolute predicted-vs-actual cycle error of one fresh
+/// simulation that had a cost-model prediction attached, in percent of
+/// the simulated cycles.
+pub const ESTIMATE_ERROR_PCT: &str = "estimate.error_pct";
+
 /// Counter: job attempts handed to a supervisor worker.
 pub const SUPERVISOR_JOB_STARTED: &str = "supervisor.job.started";
 /// Counter: jobs settled successfully.

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo verification gate: the tier-1 build+test check, formatting, a
 # zero-warning clippy pass over every target, a zero-warning doc build,
-# the registry lint gate, and a tracing smoke test.
+# the registry lint gate, the cost-model calibration gate, and tracing,
+# remap, bench, chaos, and metrics smoke tests.
 # Run from the repo root:
 #
 #   scripts/verify.sh
@@ -48,6 +49,21 @@ cargo test -q -p subcore-integration --test trace_smoke
 # only holds if the disabled metrics path is genuinely free.
 echo "==> repro bench-engine --check"
 cargo run --quiet --release -p subcore-experiments --bin repro -- bench-engine --check
+
+# Cost-model calibration gate: the static cycle estimator must rank the
+# whole 112-app registry within Spearman >= 0.8 of simulated cycles
+# (repro exits nonzero below the floor) and leave the per-app evidence at
+# results/estimate_calibration.json for the paper digest.
+echo "==> repro estimate --calibrate"
+cargo run --quiet --release -p subcore-experiments --bin repro -- estimate --calibrate \
+    > /dev/null
+test -s results/estimate_calibration.json
+
+# Remap smoke: the conflict-free register remapper must produce evidence
+# (and not crash) on a structured-bank stressor.
+echo "==> repro opt pb-mriq"
+cargo run --quiet --release -p subcore-experiments --bin repro -- opt pb-mriq \
+    | grep -q "static bank cost"
 
 # Fault-injection smoke: a seeded chaos drill (injected panics, stalls,
 # and cache corruption; mid-campaign kill; journal resume) must recover

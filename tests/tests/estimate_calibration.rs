@@ -1,0 +1,34 @@
+//! Registry-wide cost-model calibration: the static cycle estimates must
+//! *rank* apps the way the simulator does (Spearman ≥ 0.8), which is the
+//! contract cost-aware job ordering and the verify.sh gate depend on.
+//!
+//! The release-mode `repro estimate --calibrate` gate checks the same
+//! floor under the full experiment base configs; this test checks it
+//! cross-crate under the small integration GPU, plus a pooled
+//! apps × headline-designs panel.
+
+use subcore_experiments::estimate::calibrate_on;
+use subcore_experiments::SimSession;
+use subcore_integration::test_gpu;
+use subcore_sched::Design;
+
+#[test]
+fn registry_calibration_meets_the_spearman_floor() {
+    let sess = SimSession::in_memory();
+    let apps = subcore_workloads::all_apps();
+    let report = calibrate_on(&sess, &apps, &[Design::Baseline], |_| test_gpu());
+    assert_eq!(report.rows.len(), apps.len());
+    println!("registry spearman under test GPU: {:.3}", report.spearman);
+    assert!(report.passes(), "registry ranking too weak:\n{}", report.render());
+}
+
+#[test]
+fn headline_design_panel_meets_the_spearman_floor() {
+    let sess = SimSession::in_memory();
+    let apps = subcore_workloads::all_apps();
+    let designs = [Design::Rba, Design::FullyConnected];
+    let report = calibrate_on(&sess, &apps, &designs, |_| test_gpu());
+    assert_eq!(report.rows.len(), apps.len() * designs.len());
+    println!("design-panel spearman under test GPU: {:.3}", report.spearman);
+    assert!(report.passes(), "registry x designs ranking too weak:\n{}", report.render());
+}
