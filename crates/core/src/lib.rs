@@ -50,11 +50,13 @@
 mod assign;
 mod classic;
 mod design;
+mod partition;
 mod rba;
 
 pub use assign::{HashTableAssigner, ShuffleAssigner, ShuffleMode, SkewedRoundRobinAssigner};
 pub use classic::{LaggingWarpSelector, OldestFirstSelector, TwoLevelSelector};
 pub use design::{Design, PolicyClass};
+pub use partition::{PartitionPolicy, PARTITION_POLICIES};
 pub use rba::RbaSelector;
 // The register→bank swizzle the RBA score is computed over; re-exported so
 // static analyses built on the scheduling crate use the exact engine mapping.

@@ -1,0 +1,186 @@
+//! SM partition allocation policies for multi-tenant spatial co-scheduling.
+//!
+//! Given `N` tenants and a GPU of `num_sms` SMs, a [`PartitionPolicy`]
+//! decides which [`SmSet`] each tenant dispatches onto. This is a new
+//! policy axis orthogonal to [`crate::Design`]: the design picks *how*
+//! warps schedule inside an SM, the partition policy picks *which* SMs a
+//! tenant gets.
+//!
+//! Two policies are modeled:
+//!
+//! * [`PartitionPolicy::Rigid`] — MIG-style equal split, ignoring what the
+//!   tenants run. Contiguous `num_sms / N` slices (the first
+//!   `num_sms % N` tenants take the remainder SMs).
+//! * [`PartitionPolicy::ContentionAware`] — sizes each slice by a caller
+//!   supplied *demand* weight (e.g. predicted solo cycles scaled by the
+//!   static bank-pressure score), using largest-remainder apportionment
+//!   with a one-SM floor. Tenants that cannot scale past one SM stop
+//!   hoarding SMs the heavy tenants could use.
+//!
+//! Both are deterministic: same inputs, same partition. Overflow (more
+//! tenants than SMs) degrades to empty sets for the surplus tenants so
+//! the lint layer can diagnose instead of the allocator panicking.
+
+use subcore_engine::SmSet;
+
+/// How to carve a GPU's SMs into per-tenant partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionPolicy {
+    /// Equal contiguous slices regardless of tenant demand (MIG-style).
+    Rigid,
+    /// Demand-proportional contiguous slices (largest-remainder method
+    /// with a one-SM floor); falls back to [`PartitionPolicy::Rigid`]
+    /// when the demands are degenerate (all zero / non-finite) or there
+    /// are not enough SMs to differentiate.
+    ContentionAware,
+}
+
+/// Every policy, in presentation order.
+pub const PARTITION_POLICIES: [PartitionPolicy; 2] =
+    [PartitionPolicy::Rigid, PartitionPolicy::ContentionAware];
+
+impl PartitionPolicy {
+    /// Human-readable label used in tables, CSV columns, and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            PartitionPolicy::Rigid => "rigid",
+            PartitionPolicy::ContentionAware => "contention-aware",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into the policy.
+    pub fn from_label(label: &str) -> Option<Self> {
+        PARTITION_POLICIES.into_iter().find(|p| p.label() == label)
+    }
+
+    /// Allocates one [`SmSet`] per entry of `demands` over a
+    /// `num_sms`-SM GPU. `demands[i]` is tenant *i*'s contention weight —
+    /// ignored by [`PartitionPolicy::Rigid`]. Partitions are contiguous,
+    /// disjoint, in tenant order, and cover every SM exactly once
+    /// whenever `demands.len() <= num_sms`; with more tenants than SMs
+    /// the surplus tenants get empty sets (a lint error, not a panic).
+    pub fn allocate(self, num_sms: u32, demands: &[f64]) -> Vec<SmSet> {
+        let n = demands.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let counts = match self {
+            PartitionPolicy::Rigid => rigid_counts(num_sms, n),
+            PartitionPolicy::ContentionAware => proportional_counts(num_sms, demands),
+        };
+        let mut sets = Vec::with_capacity(n);
+        let mut start = 0u32;
+        for count in counts {
+            sets.push(SmSet::contiguous(start, count));
+            start += count;
+        }
+        sets
+    }
+}
+
+/// Equal split: `num_sms / n` each, first `num_sms % n` tenants one more.
+fn rigid_counts(num_sms: u32, n: usize) -> Vec<u32> {
+    let n32 = n as u32;
+    let base = num_sms / n32;
+    let rem = (num_sms % n32) as usize;
+    (0..n).map(|i| base + u32::from(i < rem)).collect()
+}
+
+/// Largest-remainder apportionment of `num_sms` by demand weight, with a
+/// one-SM floor per tenant. Degenerate demands fall back to the rigid
+/// split so the policy never behaves worse than "no information".
+fn proportional_counts(num_sms: u32, demands: &[f64]) -> Vec<u32> {
+    let n = demands.len();
+    let weights: Vec<f64> =
+        demands.iter().map(|&d| if d.is_finite() && d > 0.0 { d } else { 0.0 }).collect();
+    let total: f64 = weights.iter().sum();
+    // Nothing to apportion on, or no slack beyond the one-SM floor.
+    if total <= 0.0 || (num_sms as usize) <= n {
+        return rigid_counts(num_sms, n);
+    }
+    // Reserve the floor, apportion the rest by weight.
+    let spare = num_sms - n as u32;
+    let quotas: Vec<f64> = weights.iter().map(|w| w / total * f64::from(spare)).collect();
+    let mut counts: Vec<u32> = quotas.iter().map(|q| 1 + q.floor() as u32).collect();
+    let assigned: u32 = counts.iter().sum();
+    let mut leftover = num_sms - assigned;
+    // Hand leftover SMs to the largest fractional remainders; ties break
+    // deterministically toward the lower tenant index.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    for &i in &order {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(sets: &[SmSet]) -> Vec<u32> {
+        sets.iter().flat_map(|s| s.ids().iter().copied()).collect()
+    }
+
+    #[test]
+    fn rigid_splits_evenly_and_covers_every_sm() {
+        let sets = PartitionPolicy::Rigid.allocate(8, &[1.0, 1.0]);
+        assert_eq!(sets[0].ids(), &[0, 1, 2, 3]);
+        assert_eq!(sets[1].ids(), &[4, 5, 6, 7]);
+        // Remainder SMs go to the first tenants.
+        let sets = PartitionPolicy::Rigid.allocate(8, &[0.0, 0.0, 0.0]);
+        assert_eq!(sets.iter().map(SmSet::len).collect::<Vec<_>>(), vec![3, 3, 2]);
+        assert_eq!(flat(&sets), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contention_aware_skews_toward_heavy_tenants() {
+        // Heavy tenant demands 3x the light one: on 4 SMs it gets 3.
+        let sets = PartitionPolicy::ContentionAware.allocate(4, &[3.0, 1.0]);
+        assert_eq!(sets[0].len(), 3);
+        assert_eq!(sets[1].len(), 1);
+        assert_eq!(flat(&sets), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn contention_aware_keeps_one_sm_floor() {
+        let sets = PartitionPolicy::ContentionAware.allocate(8, &[100.0, 1.0, 1.0]);
+        assert!(sets.iter().all(|s| !s.is_empty()));
+        assert_eq!(sets.iter().map(SmSet::len).sum::<usize>(), 8);
+        assert!(sets[0].len() >= 5, "heavy tenant got {:?}", sets[0]);
+    }
+
+    #[test]
+    fn degenerate_demands_fall_back_to_rigid() {
+        for demands in [[0.0, 0.0], [f64::NAN, f64::INFINITY], [-1.0, 0.0]] {
+            let sets = PartitionPolicy::ContentionAware.allocate(6, &demands);
+            assert_eq!(sets, PartitionPolicy::Rigid.allocate(6, &demands));
+        }
+    }
+
+    #[test]
+    fn overflow_tenants_get_empty_sets_without_panicking() {
+        for policy in PARTITION_POLICIES {
+            let sets = policy.allocate(2, &[1.0, 1.0, 1.0]);
+            assert_eq!(sets.len(), 3);
+            assert_eq!(sets.iter().filter(|s| s.is_empty()).count(), 1);
+            assert_eq!(flat(&sets), vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for policy in PARTITION_POLICIES {
+            assert_eq!(PartitionPolicy::from_label(policy.label()), Some(policy));
+        }
+        assert_eq!(PartitionPolicy::from_label("nope"), None);
+    }
+}

@@ -3,11 +3,10 @@
 
 use crate::config::{Connectivity, EngineMode, GpuConfig};
 use crate::policy::Policies;
-use crate::sm::SmCore;
-use crate::stats::{RunStats, SimError, StallBreakdown};
+use crate::stats::{RunStats, SimError};
+use crate::tenant::TenantCase;
 use subcore_isa::{App, Kernel};
-use subcore_mem::MemSystem;
-use subcore_trace::{TraceSink, Tracer, WindowAggregator};
+use subcore_trace::TraceSink;
 
 /// How the engine actually ran a simulation: the configured mode plus the
 /// decisions [`EngineMode::Adaptive`]'s density controller made. Kept
@@ -79,6 +78,7 @@ pub fn simulate_app_reported(
 /// [`StatsConfig::trace_sm`]: crate::config::StatsConfig::trace_sm
 /// [`StatsConfig::trace_window`]: crate::config::StatsConfig::trace_window
 /// [`TraceEvent::Occupancy`]: subcore_trace::TraceEvent::Occupancy
+/// [`WindowAggregator`]: subcore_trace::WindowAggregator
 ///
 /// # Errors
 ///
@@ -92,6 +92,12 @@ pub fn simulate_app_traced(
     run_app(cfg, policies, app, sinks).map(|(stats, _)| stats)
 }
 
+/// The single-app entry point: validates, then runs the app as the
+/// degenerate one-tenant case of the multi-tenant dispatcher — one tenant
+/// arriving at cycle 0 that owns every SM. `crate::tenant::run_cases` is
+/// the engine's only main loop; results are bit-identical to the
+/// pre-refactor single-app engine (the per-tenant breakdown is suppressed
+/// so `RunStats` equality holds for cached and archived results).
 fn run_app(
     cfg: &GpuConfig,
     policies: &Policies,
@@ -102,202 +108,14 @@ fn run_app(
     for kernel in app.kernels() {
         check_schedulable(cfg, kernel)?;
     }
-
-    let mut mem_cfg = cfg.mem.clone();
-    mem_cfg.mshr_merging |= cfg.mshr_merging;
-    let mut mem = MemSystem::new(mem_cfg, cfg.num_sms as usize);
-    let mut sms: Vec<SmCore> =
-        (0..cfg.num_sms as usize).map(|i| SmCore::new(cfg, i, policies)).collect();
-
-    let mut aggregator = (cfg.stats.trace_window > 0).then(|| {
-        let (domains, banks) = match cfg.connectivity {
-            Connectivity::Partitioned => (cfg.subcores_per_sm, cfg.rf_banks_per_subcore),
-            Connectivity::FullyConnected => (1, cfg.rf_banks_per_subcore * cfg.subcores_per_sm),
-        };
-        WindowAggregator::new(
-            cfg.stats.trace_sm as u32,
-            u64::from(cfg.stats.trace_window),
-            domains,
-            banks,
-        )
-    });
-    // Quiescent-span skip-ahead is exact for RunStats (including the
-    // cycle-keyed, SM-filtered windowed series), but external sinks observe
-    // the raw cross-SM event interleaving, which per-SM synthesis reorders
-    // — so their presence pins the engine to cycle-by-cycle polling.
-    let allow_skip = cfg.engine_mode != EngineMode::Reference && sinks.is_empty();
-    // Adaptive mode selection: over fixed evaluation windows, measure the
-    // two quantities the fast path converts into wall time — idle polled
-    // cycles (what skip-ahead swallows) and ready-set density (a sparse
-    // ready set makes the list scan beat the full-table scan) — and fall
-    // back to reference-style full scans only while the table is saturated
-    // with ready warps and the timeline too dense to skip. Switches happen
-    // only at cycle boundaries; both per-cycle paths make identical
-    // decisions, so results are unaffected.
-    let adaptive = cfg.engine_mode == EngineMode::Adaptive;
-    let window = u64::from(cfg.adaptive_window);
-    let mut fast = cfg.engine_mode != EngineMode::Reference;
-    let mut window_cycles = 0u64;
-    let mut window_idle = 0u64;
-    let mut adaptive_windows = 0u64;
-    let mut adaptive_fallbacks = 0u64;
-    let mut tracer = Tracer::new(Vec::new());
-    for sink in sinks {
-        tracer.attach(sink);
-    }
-    if let Some(agg) = aggregator.as_mut() {
-        tracer.attach(agg);
-    }
-
-    let mut now: u64 = 0;
-    let mut block_uid: u64 = 0;
-    let mut kernel_end_cycles = Vec::with_capacity(app.kernels().len());
-    let mut rr_sm = 0usize;
-
-    for kernel in app.kernels() {
-        let mut next_block: u32 = 0;
-        loop {
-            let mut changed = false;
-            // Thread-block scheduler: offer at most one block per SM per
-            // cycle, rotating the starting SM for fairness.
-            if next_block < kernel.blocks() {
-                for i in 0..sms.len() {
-                    if next_block >= kernel.blocks() {
-                        break;
-                    }
-                    let s = (rr_sm + i) % sms.len();
-                    if sms[s].try_accept(kernel, block_uid, now, &mut tracer) {
-                        next_block += 1;
-                        block_uid += 1;
-                        changed = true;
-                    }
-                }
-                rr_sm = (rr_sm + 1) % sms.len();
-            }
-
-            let mut all_idle = true;
-            for sm in &mut sms {
-                changed |= sm.tick(now, &mut mem, &mut tracer);
-                all_idle &= sm.is_idle();
-            }
-            now += 1;
-            if now > cfg.max_cycles {
-                return Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles });
-            }
-            if adaptive {
-                window_cycles += 1;
-                window_idle += u64::from(!changed);
-            }
-            if next_block >= kernel.blocks() && all_idle {
-                break;
-            }
-            if allow_skip && fast && !changed {
-                // Nothing moved this cycle, so every cycle until the
-                // earliest wake point repeats it verbatim: admission offers
-                // keep failing identically (failed plans stay stashed), the
-                // memory system is passive, and each SM only re-charges the
-                // same stall classification. Synthesize those cycles
-                // wholesale and jump to the wake point. The tick just run
-                // was at `now - 1`, so hints are computed relative to it.
-                let mut target = u64::MAX;
-                for sm in &sms {
-                    target = target.min(sm.wake_hint(now - 1));
-                }
-                // A MAX target (barrier deadlock in a malformed kernel) runs
-                // into the cycle limit exactly as the polled loop would.
-                let target = target.min(cfg.max_cycles.saturating_add(1));
-                if target > now {
-                    let skipped = target - now;
-                    for sm in &mut sms {
-                        sm.account_skipped(now, skipped, &mut tracer);
-                    }
-                    if next_block < kernel.blocks() {
-                        // The block scheduler would have rotated once per
-                        // polled cycle.
-                        rr_sm = (rr_sm + skipped as usize) % sms.len();
-                    }
-                    now = target;
-                    if now > cfg.max_cycles {
-                        return Err(SimError::CycleLimitExceeded { limit: cfg.max_cycles });
-                    }
-                    if adaptive {
-                        // Skipped cycles are idle by construction: credit
-                        // them so dense-then-sparse workloads read as
-                        // sparse and stay on the fast path.
-                        window_cycles += skipped;
-                        window_idle += skipped;
-                    }
-                }
-            }
-            if adaptive && window_cycles >= window {
-                adaptive_windows += 1;
-                // Ready-set density sample: how full are the slot tables
-                // right now? The ready-list scan wins whenever the ready
-                // set is a strict subset of the slots (few candidates to
-                // visit) OR idle cycles exist for skip-ahead to swallow.
-                // Only a saturated table with a dense timeline makes the
-                // full scan the cheaper path — the list upkeep then tracks
-                // every slot for no scan savings and no skips.
-                let (ready, slots) = sms.iter().fold((0u64, 0u64), |(r, t), sm| {
-                    let (sr, st) = sm.ready_density();
-                    (r + sr, t + st)
-                });
-                let idle16 = window_idle.saturating_mul(16);
-                // Hysteresis: fall back only at full density with under
-                // 1/16 idle; rejoin as soon as density drops below 7/8 or
-                // idle reaches 1/8.
-                if fast && ready >= slots && idle16 < window_cycles {
-                    fast = false;
-                    for sm in &mut sms {
-                        sm.set_fast(false);
-                    }
-                } else if !fast
-                    && (ready.saturating_mul(8) < slots.saturating_mul(7)
-                        || idle16 >= window_cycles.saturating_mul(2))
-                {
-                    fast = true;
-                    for sm in &mut sms {
-                        sm.set_fast(true);
-                    }
-                }
-                adaptive_fallbacks += u64::from(!fast);
-                window_cycles = 0;
-                window_idle = 0;
-            }
-        }
-        kernel_end_cycles.push(now);
-    }
-    drop(tracer);
-
-    let mut stats = RunStats {
-        cycles: now,
-        kernel_end_cycles,
-        mem: mem.stats(),
-        windowed: aggregator.map(|agg| agg.into_series(now)),
-        ..Default::default()
+    let case = TenantCase {
+        name: app.name(),
+        app,
+        arrival: 0,
+        deadline: None,
+        sms: (0..cfg.num_sms as usize).collect(),
     };
-    let mut stalls = StallBreakdown::default();
-    for sm in &mut sms {
-        sm.assert_scheduler_accounting();
-        stats.instructions += sm.issued_total();
-        stats.issued_per_scheduler.push(sm.issued_per_scheduler());
-        let (grants, conflicts) = sm.rf_stats();
-        stats.rf_reads += grants;
-        stats.rf_conflict_enqueues += conflicts;
-        stalls.add(&sm.stalls());
-        stats.issue_cycles += sm.issue_cycles();
-        stats.active_cycles += sm.active_cycles();
-        for (t, v) in stats.pipe_dispatched.iter_mut().zip(sm.pipe_dispatched()) {
-            *t += v;
-        }
-        stats.warp_cycles += sm.warp_cycles();
-        let trace = sm.take_rf_trace();
-        if !trace.is_empty() {
-            stats.rf_read_trace = trace;
-        }
-    }
-    stats.stalls = stalls;
-    Ok((stats, EngineReport { mode: cfg.engine_mode, adaptive_windows, adaptive_fallbacks }))
+    crate::tenant::run_cases(cfg, policies, std::slice::from_ref(&case), sinks, false)
 }
 
 /// Simulates a single kernel (wrapped in a one-kernel app).
@@ -315,7 +133,7 @@ pub fn simulate_kernel(
     simulate_app(cfg, policies, &app)
 }
 
-fn check_schedulable(cfg: &GpuConfig, kernel: &Kernel) -> Result<(), SimError> {
+pub(crate) fn check_schedulable(cfg: &GpuConfig, kernel: &Kernel) -> Result<(), SimError> {
     let err =
         |reason: String| SimError::KernelUnschedulable { kernel: kernel.name().to_owned(), reason };
     if kernel.warps_per_block() > cfg.max_warps_per_sm {

@@ -59,6 +59,7 @@ mod policy;
 mod scoreboard;
 mod sm;
 mod stats;
+mod tenant;
 mod warp;
 
 pub use config::{Connectivity, EngineMode, ExecTimings, GpuConfig, PipeTiming, StatsConfig};
@@ -71,7 +72,10 @@ pub use policy::{
 };
 pub use scoreboard::Scoreboard;
 pub use sm::bank_of_register;
-pub use stats::{RunStats, SimError, StallBreakdown, ENGINE_VERSION, STATS_SCHEMA_VERSION};
+pub use stats::{
+    RunStats, SimError, StallBreakdown, TenantStats, ENGINE_VERSION, STATS_SCHEMA_VERSION,
+};
+pub use tenant::{simulate_tenants, simulate_tenants_reported, SmSet, TenantRun};
 // The probe-event vocabulary and sinks live in `subcore-trace`; re-export
 // them so downstream crates need only depend on the engine.
 pub use subcore_trace::{

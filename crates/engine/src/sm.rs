@@ -125,6 +125,9 @@ struct BlockState {
     shared_mem: u32,
     /// Per-thread registers each of its warps holds in its domain.
     regs_per_warp: u32,
+    /// The globally unique block number admission stamped this entry with
+    /// (the multi-tenant dispatcher maps retirements back to tenants by it).
+    uid: u64,
     warp_slots: Vec<u32>,
 }
 
@@ -136,6 +139,7 @@ impl BlockState {
             at_barrier: 0,
             shared_mem: 0,
             regs_per_warp: 0,
+            uid: 0,
             warp_slots: Vec::new(),
         }
     }
@@ -191,6 +195,11 @@ pub(crate) struct SmCore {
     active_dirty: Vec<bool>,
     /// Scratch for per-domain warp demand during block admission.
     demand_scratch: Vec<u32>,
+    /// When set, [`SmCore::free_block`] records the uid of every retired
+    /// block so the multi-tenant dispatcher can attribute completions.
+    track_retired: bool,
+    /// Uids of blocks retired since the last [`SmCore::take_retired`] drain.
+    retired_uids: Vec<u64>,
 }
 
 impl SmCore {
@@ -270,7 +279,20 @@ impl SmCore {
             barrier_counts: vec![0; num_domains as usize],
             active_dirty: vec![false; num_domains as usize],
             demand_scratch: Vec::new(),
+            track_retired: false,
+            retired_uids: Vec::new(),
         }
+    }
+
+    /// Enables retired-block uid tracking (multi-tenant dispatch only; the
+    /// single-tenant path leaves it off so the hot loop stays untouched).
+    pub(crate) fn set_track_retired(&mut self, on: bool) {
+        self.track_retired = on;
+    }
+
+    /// Drains the uids of blocks retired since the last call into `out`.
+    pub(crate) fn take_retired(&mut self, out: &mut Vec<u64>) {
+        out.append(&mut self.retired_uids);
     }
 
     /// True when nothing is resident or in flight.
@@ -319,6 +341,12 @@ impl SmCore {
             return false;
         }
         // Plan (or re-use a stashed plan for) the warp → sub-core assignment.
+        // A stashed plan is only reusable for a block of the same shape; a
+        // shape change (next kernel, or another tenant's kernel on a shared
+        // SM) invalidates it and forces a fresh plan.
+        if self.plan_valid && self.plan_buf.len() != block_warps as usize {
+            self.plan_valid = false;
+        }
         if !self.plan_valid {
             self.plan_buf.clear();
             self.assigner.assign_block_into(
@@ -381,6 +409,7 @@ impl SmCore {
             block.at_barrier = 0;
             block.shared_mem = kernel.shared_mem_bytes();
             block.regs_per_warp = regs_per_warp;
+            block.uid = block_uid;
         }
         self.shared_used += kernel.shared_mem_bytes();
         self.resident_blocks += 1;
@@ -1032,6 +1061,9 @@ impl SmCore {
     }
 
     fn free_block(&mut self, block_slot: usize) {
+        if self.track_retired {
+            self.retired_uids.push(self.blocks[block_slot].uid);
+        }
         let Self { warps, blocks, domains, shared_used, resident_blocks, .. } = self;
         let block = &mut blocks[block_slot];
         debug_assert!(block.occupied, "finalized block resident");

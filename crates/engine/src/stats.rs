@@ -17,7 +17,8 @@ pub const ENGINE_VERSION: &str = env!("CARGO_PKG_VERSION");
 ///
 /// v2: added `issue_cycles`, `active_cycles`, and the optional `windowed`
 /// trace series.
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+/// v3: added the per-tenant `tenants` breakdown (multi-tenant runs).
+pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// Why a scheduler slot failed to issue in a given cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -92,6 +93,92 @@ impl JsonCodec for StallBreakdown {
     }
 }
 
+/// Per-tenant breakdown of a multi-tenant run.
+///
+/// Filled by [`crate::simulate_tenants`], one entry per tenant in
+/// submission order; single-tenant runs through [`crate::simulate_app`]
+/// leave [`RunStats::tenants`] empty so legacy stats stay bit-identical.
+///
+/// `instructions` and `stalls` are summed over the SMs of the tenant's
+/// partition; when tenants *share* SMs the shared SMs' counters are
+/// charged to every tenant on them (attribution is per-SM, not per-warp).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name (its application's name).
+    pub name: String,
+    /// Cycle the tenant arrived at.
+    pub arrival: u64,
+    /// Cycle the tenant's last kernel finished draining.
+    pub finish: u64,
+    /// Cycle at which each of the tenant's kernels finished draining.
+    pub kernel_end_cycles: Vec<u64>,
+    /// The absolute-cycle deadline, if the tenant declared one.
+    pub deadline: Option<u64>,
+    /// The SM ids of the tenant's partition, ascending.
+    pub sm_set: Vec<u32>,
+    /// Warp instructions issued by the partition's SMs.
+    pub instructions: u64,
+    /// Scheduler stall attribution summed over the partition's SMs.
+    pub stalls: StallBreakdown,
+}
+
+impl TenantStats {
+    /// Arrival-to-finish span.
+    pub fn makespan(&self) -> u64 {
+        self.finish.saturating_sub(self.arrival)
+    }
+
+    /// Signed slack against the deadline: positive means the tenant
+    /// finished early, negative means it missed. `None` without a deadline.
+    pub fn deadline_slack(&self) -> Option<i64> {
+        self.deadline.map(|d| d as i64 - self.finish as i64)
+    }
+
+    /// Whether the tenant had a deadline and finished after it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_slack().is_some_and(|slack| slack < 0)
+    }
+}
+
+impl JsonCodec for TenantStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("arrival", Json::Uint(self.arrival)),
+            ("finish", Json::Uint(self.finish)),
+            ("kernel_end_cycles", Json::from_u64_list(&self.kernel_end_cycles)),
+            ("deadline", self.deadline.map_or(Json::Null, Json::Uint)),
+            ("sm_set", Json::Arr(self.sm_set.iter().map(|&s| Json::Uint(u64::from(s))).collect())),
+            ("instructions", Json::Uint(self.instructions)),
+            ("stalls", self.stalls.to_json()),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TenantStats {
+            name: json.field("name")?.as_str()?.to_owned(),
+            arrival: json.field("arrival")?.as_u64()?,
+            finish: json.field("finish")?.as_u64()?,
+            kernel_end_cycles: json.field("kernel_end_cycles")?.as_u64_list()?,
+            deadline: match json.field("deadline")? {
+                Json::Null => None,
+                other => Some(other.as_u64()?),
+            },
+            sm_set: json
+                .field("sm_set")?
+                .as_u64_list()?
+                .into_iter()
+                .map(|s| {
+                    u32::try_from(s)
+                        .map_err(|_| JsonError { msg: format!("sm_set entry {s} exceeds u32") })
+                })
+                .collect::<Result<_, _>>()?,
+            instructions: json.field("instructions")?.as_u64()?,
+            stalls: StallBreakdown::from_json(json.field("stalls")?)?,
+        })
+    }
+}
+
 /// Results of simulating an application (or single kernel) to completion.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -133,6 +220,9 @@ pub struct RunStats {
     /// The windowed probe-event time-series of the traced SM; `None`
     /// unless [`crate::StatsConfig::trace_window`] was nonzero.
     pub windowed: Option<WindowedSeries>,
+    /// Per-tenant breakdowns of a multi-tenant run; empty for
+    /// single-tenant runs through [`crate::simulate_app`].
+    pub tenants: Vec<TenantStats>,
 }
 
 impl RunStats {
@@ -231,6 +321,7 @@ impl JsonCodec for RunStats {
             ("issue_cycles", Json::Uint(self.issue_cycles)),
             ("active_cycles", Json::Uint(self.active_cycles)),
             ("windowed", self.windowed.as_ref().map_or(Json::Null, JsonCodec::to_json)),
+            ("tenants", Json::Arr(self.tenants.iter().map(JsonCodec::to_json).collect())),
         ])
     }
 
@@ -271,6 +362,13 @@ impl JsonCodec for RunStats {
                 Json::Null => None,
                 other => Some(WindowedSeries::from_json(other)?),
             },
+            // Tolerate v2 archives that predate the field.
+            tenants: match json.field("tenants") {
+                Err(_) | Ok(Json::Null) => Vec::new(),
+                Ok(list) => {
+                    list.as_arr()?.iter().map(TenantStats::from_json).collect::<Result<_, _>>()?
+                }
+            },
         })
     }
 }
@@ -293,6 +391,14 @@ pub enum SimError {
         /// Human-readable description of the resource that does not fit.
         reason: String,
     },
+    /// A multi-tenant run was given an unusable SM partition (empty set,
+    /// SM id beyond the GPU, or no tenants at all).
+    InvalidPartition {
+        /// Name of the offending tenant (empty when no tenant is at fault).
+        tenant: String,
+        /// Human-readable description of what is wrong with the partition.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -303,6 +409,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::KernelUnschedulable { kernel, reason } => {
                 write!(f, "kernel `{kernel}` can never be scheduled: {reason}")
+            }
+            SimError::InvalidPartition { tenant, reason } => {
+                if tenant.is_empty() {
+                    write!(f, "invalid tenant partition: {reason}")
+                } else {
+                    write!(f, "tenant `{tenant}` has an invalid partition: {reason}")
+                }
             }
         }
     }
@@ -379,6 +492,16 @@ mod tests {
                 total_cycles: 128,
                 windows: Vec::new(),
             }),
+            tenants: vec![TenantStats {
+                name: "t0".into(),
+                arrival: 10,
+                finish: 200,
+                kernel_end_cycles: vec![100, 200],
+                deadline: Some(250),
+                sm_set: vec![0, 1],
+                instructions: 42,
+                stalls: StallBreakdown { idle: 6, ..Default::default() },
+            }],
         };
         let text = stats.to_json().render();
         let back = RunStats::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -408,5 +531,38 @@ mod tests {
         assert!(e.to_string().contains("42"));
         let e = SimError::KernelUnschedulable { kernel: "k".into(), reason: "too fat".into() };
         assert!(e.to_string().contains("too fat"));
+        let e = SimError::InvalidPartition { tenant: "t".into(), reason: "empty SM set".into() };
+        assert!(e.to_string().contains("`t`") && e.to_string().contains("empty SM set"));
+        let e = SimError::InvalidPartition { tenant: String::new(), reason: "no tenants".into() };
+        assert!(e.to_string().contains("no tenants"));
+    }
+
+    #[test]
+    fn tenant_stats_qos_accessors() {
+        let mut t = TenantStats {
+            arrival: 100,
+            finish: 600,
+            deadline: Some(500),
+            ..TenantStats::default()
+        };
+        assert_eq!(t.makespan(), 500);
+        assert_eq!(t.deadline_slack(), Some(-100));
+        assert!(t.missed_deadline());
+        t.deadline = Some(800);
+        assert_eq!(t.deadline_slack(), Some(200));
+        assert!(!t.missed_deadline());
+        t.deadline = None;
+        assert_eq!(t.deadline_slack(), None);
+        assert!(!t.missed_deadline());
+    }
+
+    #[test]
+    fn v2_stats_without_tenants_field_still_decode() {
+        let mut legacy = RunStats::default().to_json();
+        if let Json::Obj(map) = &mut legacy {
+            map.remove("tenants");
+        }
+        let back = RunStats::from_json(&legacy).unwrap();
+        assert!(back.tenants.is_empty());
     }
 }

@@ -16,6 +16,7 @@
 //! repro estimate <app>... | --all [--design D] [--json]
 //! repro estimate --calibrate [--json]
 //! repro opt <app>... | --all
+//! repro tenants [--mix NAME]... [--out DIR] [--resume]
 //! repro bench-engine [--out DIR] [--check] [--baseline PATH]
 //!
 //! experiments: fig1 fig3 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
@@ -47,6 +48,16 @@
 //! rank correlation falls below the 0.8 floor (the verify-gate
 //! invocation). `opt` prints the conflict-free register remapper's
 //! per-kernel evidence — the fix `lint`'s L036 advisory names.
+//!
+//! `tenants` is the multi-tenant spatial-partitioning sweep: every
+//! registered tenant mix (or the `--mix` selection) is co-scheduled under
+//! {baseline, rba, srr, shuffle} × {rigid, contention-aware} partitions,
+//! producing one interference matrix per mix
+//! (`<out>/tenants_<mix>.csv`, tenant slowdown vs solo full-GPU run) and
+//! a deadline-slack table (`<out>/tenants_deadlines.csv`). Cells journal
+//! under the `tenants` campaign, so `--resume` replays finished cells;
+//! per-tenant rows land in the telemetry CSV's `tenant`/`deadline_slack`/
+//! `partition_sms` columns and `tenant.*` metrics feed `repro top`.
 //!
 //! Sweeps start their longest-predicted cells first (cost-aware LPT
 //! ordering; predictions also land in the telemetry CSV's
@@ -301,6 +312,7 @@ fn main() -> ExitCode {
         eprintln!("       repro lint --calibrate [<app>...] [--window N] [--json]");
         eprintln!("       repro estimate <app>... | --all | --calibrate [--design D] [--json]");
         eprintln!("       repro opt <app>... | --all");
+        eprintln!("       repro tenants [--mix NAME]... [--out DIR] [--resume]");
         eprintln!("       repro bench-engine [--out DIR] [--check] [--baseline PATH]");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
@@ -545,6 +557,34 @@ fn main() -> ExitCode {
         args.remove(0);
         return run_opt_command(args);
     }
+    if args[0] == "tenants" {
+        args.remove(0);
+        let session = init_global(SessionOptions {
+            disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+        });
+        journal::set_root(out_dir.join(".journal"));
+        subcore_metrics::set_enabled(true);
+        let flusher = match subcore_metrics::spawn_periodic(
+            out_dir.join(".metrics"),
+            "tenants",
+            Duration::from_millis(500),
+        ) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("metrics stream disabled: {e}");
+                None
+            }
+        };
+        let code = run_tenants_command(args, &out_dir, bars);
+        if let Some(f) = flusher {
+            match f.finish() {
+                Ok(path) => eprintln!("metrics → {}", path.display()),
+                Err(e) => eprintln!("failed to flush metrics stream: {e}"),
+            }
+        }
+        finish_telemetry(session, &out_dir);
+        return code;
+    }
     if args[0] == "trace" || args[0] == "trace-diff" {
         let cmd = args.remove(0);
         let session = init_global(SessionOptions {
@@ -615,6 +655,89 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Implements `repro tenants`: the multi-tenant spatial-partitioning
+/// sweep over the registered tenant mixes (or a `--mix` selection).
+fn run_tenants_command(mut args: Vec<String>, out_dir: &Path, bars: bool) -> ExitCode {
+    let mut selected: Vec<String> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--mix") {
+        if i + 1 >= args.len() {
+            eprintln!("--mix needs a tenant-mix name");
+            return ExitCode::FAILURE;
+        }
+        selected.push(args.remove(i + 1));
+        args.remove(i);
+    }
+    if !args.is_empty() {
+        eprintln!("tenants takes only --mix NAME arguments, got: {args:?}");
+        return ExitCode::FAILURE;
+    }
+    let mixes: Vec<subcore_workloads::TenantMix> = if selected.is_empty() {
+        subcore_workloads::tenant_mixes()
+    } else {
+        let mut mixes = Vec::new();
+        for name in &selected {
+            let Some(mix) = subcore_workloads::tenant_mix_by_name(name) else {
+                let known: Vec<&str> =
+                    subcore_workloads::tenant_mixes().iter().map(|m| m.name).collect();
+                eprintln!("unknown tenant mix `{name}`; known: {}", known.join(" "));
+                return ExitCode::FAILURE;
+            };
+            mixes.push(mix);
+        }
+        mixes
+    };
+
+    let start = Instant::now();
+    let base = suite_base();
+    let outcome = subcore_experiments::run_tenant_sweep(&base, &mixes);
+    for mix in &outcome.mixes {
+        println!("{}", mix.table.render());
+        if bars && !mix.table.columns.is_empty() {
+            println!("{}", mix.table.render_bars(0));
+        }
+        if let Err(e) = mix.table.save_csv(out_dir) {
+            eprintln!("failed to write {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let wins = mix.contention_aware_wins();
+        if wins.is_empty() {
+            println!("[{}] contention-aware placement never beat rigid", mix.name);
+        } else {
+            let labels: Vec<String> = wins.iter().map(|d| d.label()).collect();
+            println!(
+                "[{}] contention-aware beats rigid (geomean slowdown) under: {}",
+                mix.name,
+                labels.join(" ")
+            );
+        }
+    }
+    if !outcome.deadlines.rows.is_empty() {
+        println!("{}", outcome.deadlines.render());
+        if let Err(e) = outcome.deadlines.save_csv(out_dir) {
+            eprintln!("failed to write {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if outcome.journal_skips > 0 {
+        eprintln!("[tenants] {} cell(s) resumed from the journal", outcome.journal_skips);
+    }
+    for e in &outcome.failures {
+        eprintln!("[tenants] failed cell: {e}");
+    }
+    eprintln!("[tenants] done in {:.1}s → {}", start.elapsed().as_secs_f64(), out_dir.display());
+    if !outcome.failures.is_empty() && outcome.failures.len() as u64 >= total_cells(&mixes) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Number of cells the tenant sweep schedules for `mixes`.
+fn total_cells(mixes: &[subcore_workloads::TenantMix]) -> u64 {
+    (mixes.len()
+        * subcore_experiments::tenant_designs().len()
+        * subcore_sched::PARTITION_POLICIES.len()) as u64
 }
 
 /// Parses the shared `--interval MS` / `--frames N` watch knobs of
@@ -785,10 +908,47 @@ fn run_lint_command(mut args: Vec<String>) -> ExitCode {
             }
         }
     }
+    // Registry-wide runs also gate the tenant-mix partitions (L040–L042):
+    // allocator output for every registered mix under both policies.
+    let mut tenant_findings = 0usize;
+    if all {
+        for (label, diags) in lint::lint_tenant_mixes() {
+            for d in &diags {
+                match d.severity {
+                    subcore_lint::Severity::Error => totals.errors += 1,
+                    subcore_lint::Severity::Warning => totals.warnings += 1,
+                    subcore_lint::Severity::Info => totals.infos += 1,
+                }
+                tenant_findings += 1;
+            }
+            if json {
+                reports_json.push(Json::obj([
+                    ("tenant_mix", Json::Str(label.clone())),
+                    (
+                        "diagnostics",
+                        Json::Arr(diags.iter().map(|d| Json::Str(d.render())).collect()),
+                    ),
+                ]));
+            } else {
+                println!("== tenant mix {label}");
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+            }
+        }
+    }
     if json {
         println!("{}", Json::Arr(reports_json).render());
     } else {
         let verdict = if totals.passes(deny_warnings) { "PASS" } else { "FAIL" };
+        if all {
+            println!(
+                "tenant mixes: {} findings across {} mixes x {} policies",
+                tenant_findings,
+                subcore_workloads::tenant_mixes().len(),
+                subcore_sched::PARTITION_POLICIES.len()
+            );
+        }
         println!("lint {}: {}", verdict, totals.render());
     }
     if totals.passes(deny_warnings) {

@@ -46,6 +46,7 @@ pub mod summary;
 pub mod supervisor;
 pub mod sweep;
 pub mod telemetry;
+pub mod tenants;
 pub mod top;
 pub mod trace;
 
@@ -60,6 +61,7 @@ pub use sweep::{
     SweepOutcome,
 };
 pub use telemetry::{RunRecord, RunSource, Telemetry, TelemetrySnapshot};
+pub use tenants::{run_tenant_sweep, tenant_designs, MixOutcome, TenantSweepOutcome};
 pub use top::{render_frame, render_metrics_summary};
 
 #[cfg(test)]

@@ -16,6 +16,29 @@ use subcore_persist::Json;
 use subcore_sched::Design;
 use subcore_workloads::lint_allowances;
 
+/// Lints every registered tenant mix under both partition policies:
+/// the allocator's SM sets and each tenant's kernels are validated by
+/// [`subcore_lint::check_tenants`] (codes L040–L042). Returns one
+/// labelled diagnostic list per `(mix, policy)` pair that produced any
+/// findings; an empty vector is a clean pass. Run by `repro lint --all`
+/// after the registry pass.
+pub fn lint_tenant_mixes() -> Vec<(String, Vec<subcore_lint::Diagnostic>)> {
+    use subcore_sched::{PartitionPolicy, PARTITION_POLICIES};
+    let base = suite_base();
+    let mut out = Vec::new();
+    for mix in subcore_workloads::tenant_mixes() {
+        for policy in PARTITION_POLICIES {
+            let runs = crate::tenants::mix_tenant_runs(&base, &mix, Design::Baseline, policy);
+            let mut diags = Vec::new();
+            subcore_lint::check_tenants(&base, &runs, policy == PartitionPolicy::Rigid, &mut diags);
+            if !diags.is_empty() {
+                out.push((format!("{}/{}", mix.name, policy.label()), diags));
+            }
+        }
+    }
+    out
+}
+
 /// The base configuration an app is analyzed (and simulated) under: the
 /// TPC-H suites use the 8-SM database setup, everything else the 4-SM
 /// suite setup — matching `runner`.
@@ -288,6 +311,19 @@ mod tests {
         assert!(totals.passes(true));
         // The stressors are diagnosed (not silenced by weakened rules).
         assert!(totals.allowed > 0, "expected allowed stressor findings");
+    }
+
+    #[test]
+    fn registered_tenant_mixes_pass_the_tenant_lint_gate() {
+        // Same dogfooding discipline as the registry gate: every shipped
+        // tenant mix allocates cleanly under both partition policies.
+        let findings = lint_tenant_mixes();
+        assert!(
+            findings.iter().all(|(_, diags)| {
+                diags.iter().all(|d| d.severity < subcore_lint::Severity::Warning)
+            }),
+            "tenant mixes should lint clean: {findings:?}"
+        );
     }
 
     /// The ISSUE's calibration acceptance test: static bank-pressure

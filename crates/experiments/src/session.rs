@@ -216,6 +216,9 @@ impl SimSession {
                 adaptive_windows: 0,
                 adaptive_fallbacks: 0,
                 predicted_cycles,
+                tenant: None,
+                deadline_slack: None,
+                partition_sms: None,
             });
             return Ok(Arc::new(stats));
         }
@@ -251,6 +254,9 @@ impl SimSession {
                 adaptive_windows: report.adaptive_windows,
                 adaptive_fallbacks: report.adaptive_fallbacks,
                 predicted_cycles,
+                tenant: None,
+                deadline_slack: None,
+                partition_sms: None,
             };
             if let Some(error) = record.estimate_error() {
                 subcore_metrics::observe(mx::ESTIMATE_ERROR_PCT, (error * 100.0) as u64);

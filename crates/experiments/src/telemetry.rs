@@ -104,6 +104,15 @@ pub struct RunRecord {
     /// before it materialized ([`crate::session::SimSession::predict`]),
     /// `None` when no prediction was on file.
     pub predicted_cycles: Option<u64>,
+    /// Tenant name for per-tenant rows of a multi-tenant co-schedule cell
+    /// (`repro tenants`); `None` for ordinary single-app runs.
+    pub tenant: Option<String>,
+    /// Deadline slack (deadline − finish, cycles; negative = missed) for
+    /// tenant rows whose tenant carries a deadline.
+    pub deadline_slack: Option<i64>,
+    /// Compact SM-partition label (`SmSet::label`, e.g. `0-2`) for tenant
+    /// rows.
+    pub partition_sms: Option<String>,
 }
 
 impl RunRecord {
@@ -138,6 +147,7 @@ pub struct Telemetry {
     adaptive_windows: AtomicU64,
     adaptive_fallbacks: AtomicU64,
     cache_write_failures: AtomicU64,
+    tenant_jobs: AtomicU64,
     records: Mutex<Vec<RunRecord>>,
     // Positions of the process-wide pool and supervision logs at
     // construction; snapshots only report usage logged after these points.
@@ -171,6 +181,7 @@ impl Default for Telemetry {
             adaptive_windows: AtomicU64::new(0),
             adaptive_fallbacks: AtomicU64::new(0),
             cache_write_failures: AtomicU64::new(0),
+            tenant_jobs: AtomicU64::new(0),
             records: Mutex::new(Vec::new()),
             pool_base_busy_nanos: pool.busy_nanos,
             pool_base_wall_nanos: pool.wall_nanos,
@@ -230,6 +241,15 @@ impl Telemetry {
         lock_recover(&self.records).push(record);
     }
 
+    /// Records one per-tenant row of a multi-tenant co-schedule cell.
+    /// Tenant rows are bookkept separately from single-app simulations —
+    /// they describe a slice of a cell another record already counted, so
+    /// they bump only the `tenant jobs` counter, never the sim totals.
+    pub(crate) fn note_tenant_run(&self, record: RunRecord) {
+        self.tenant_jobs.fetch_add(1, Ordering::Relaxed);
+        lock_recover(&self.records).push(record);
+    }
+
     /// Counts one failed write to the on-disk result cache (see
     /// [`crate::cache::DiskCache::store`]); surfaced once per session in
     /// the summary so a read-only `results/` can't silently disable
@@ -281,6 +301,7 @@ impl Telemetry {
             mode_adaptive: self.mode_adaptive.load(Ordering::Relaxed),
             adaptive_windows: self.adaptive_windows.load(Ordering::Relaxed),
             adaptive_fallbacks: self.adaptive_fallbacks.load(Ordering::Relaxed),
+            tenant_jobs: self.tenant_jobs.load(Ordering::Relaxed),
             pool_busy,
             pool_wall,
             pool_max_workers,
@@ -317,10 +338,13 @@ impl Telemetry {
     /// and stay empty otherwise — the columns ride under the same
     /// schema=2 tag because loaders resolve columns by header name
     /// ([`csv_columns`]), so pre-prediction v2 archives and new files
-    /// parse identically. Supervised-job failures append as rows whose
-    /// `source` is the failure kind (`panic`, `timeout`, …) with zero
-    /// cycles and an empty engine mode, so a campaign's gaps are archived
-    /// next to its results.
+    /// parse identically. The same discipline covers the trailing
+    /// multi-tenant columns (`tenant`, `deadline_slack`, `partition_sms`):
+    /// they are populated only for per-tenant rows of `repro tenants`
+    /// cells and stay empty for ordinary runs. Supervised-job failures
+    /// append as rows whose `source` is the failure kind (`panic`,
+    /// `timeout`, …) with zero cycles and an empty engine mode, so a
+    /// campaign's gaps are archived next to its results.
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -336,16 +360,22 @@ impl Telemetry {
         writeln!(
             out,
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
-             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error"
+             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error,\
+             tenant,deadline_slack,partition_sms"
         )?;
         for r in self.records() {
             let secs = r.wall.as_secs_f64();
             let rate = if secs > 0.0 { r.cycles as f64 / secs } else { f64::NAN };
             let predicted = r.predicted_cycles.map_or(String::new(), |p| p.to_string());
             let error = r.estimate_error().map_or(String::new(), |e| format!("{e:.4}"));
+            let tenant =
+                r.tenant.as_deref().map_or_else(String::new, |s| csv_field(s).into_owned());
+            let slack = r.deadline_slack.map_or(String::new(), |s| s.to_string());
+            let sms =
+                r.partition_sms.as_deref().map_or_else(String::new, |s| csv_field(s).into_owned());
             writeln!(
                 out,
-                "{:016x},{},{},{},{},{:.3},{},{:.0},{},{},{},{},{},{}",
+                "{:016x},{},{},{},{},{:.3},{},{:.0},{},{},{},{},{},{},{},{},{}",
                 r.key,
                 csv_field(&r.app),
                 csv_field(&r.design),
@@ -359,13 +389,16 @@ impl Telemetry {
                 r.adaptive_windows,
                 r.adaptive_fallbacks,
                 predicted,
-                error
+                error,
+                tenant,
+                slack,
+                sms
             )?;
         }
         for e in self.failure_records() {
             writeln!(
                 out,
-                "{:016x},{},{},{},false,{:.3},0,nan,{},,0,0,,",
+                "{:016x},{},{},{},false,{:.3},0,nan,{},,0,0,,,,,",
                 e.key.unwrap_or(0),
                 csv_field(&e.app),
                 csv_field(&e.design),
@@ -426,6 +459,10 @@ pub struct TelemetrySnapshot {
     pub adaptive_windows: u64,
     /// Adaptive windows that ended on the reference-scan fallback.
     pub adaptive_fallbacks: u64,
+    /// Per-tenant rows recorded by multi-tenant co-schedule cells
+    /// (`repro tenants`); counted separately from `sims`, which tallies
+    /// whole cells.
+    pub tenant_jobs: u64,
     /// Cumulative busy time across all pool workers (since this session's
     /// telemetry was created).
     pub pool_busy: Duration,
@@ -494,6 +531,9 @@ impl TelemetrySnapshot {
                 "  adaptive fallbacks",
                 format!("{} of {} windows", self.adaptive_fallbacks, self.adaptive_windows),
             );
+        }
+        if self.tenant_jobs > 0 {
+            line("tenant jobs", format!("{} per-tenant rows", self.tenant_jobs));
         }
         line("sim cycles", self.sim_cycles.to_string());
         let rate = self.cycles_per_sec();
@@ -644,6 +684,9 @@ mod tests {
             adaptive_windows: 0,
             adaptive_fallbacks: 0,
             predicted_cycles: None,
+            tenant: None,
+            deadline_slack: None,
+            partition_sms: None,
         }
     }
 
@@ -710,10 +753,11 @@ mod tests {
         assert_eq!(
             lines[1],
             "key,app,design,source,traced,wall_ms,cycles,cycles_per_sec,jobs,\
-             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error"
+             engine_mode,adaptive_windows,adaptive_fallbacks,predicted_cycles,estimate_error,\
+             tenant,deadline_slack,partition_sms"
         );
         assert!(lines[2].contains(",sim,false,"), "got {}", lines[2]);
-        assert!(lines[2].ends_with(",adaptive,0,0,,"), "trailing columns: {}", lines[2]);
+        assert!(lines[2].ends_with(",adaptive,0,0,,,,,"), "trailing columns: {}", lines[2]);
         assert!(lines[3].contains(",disk,false,"), "got {}", lines[3]);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -746,8 +790,8 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         let cols = csv_columns(&text).expect("header row");
         assert_eq!(cols.first().map(String::as_str), Some("key"));
-        assert_eq!(cols.last().map(String::as_str), Some("estimate_error"));
-        assert_eq!(cols.len(), 14);
+        assert_eq!(cols.last().map(String::as_str), Some("partition_sms"));
+        assert_eq!(cols.len(), 17);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -795,6 +839,41 @@ mod tests {
     }
 
     #[test]
+    fn tenant_rows_round_trip_and_count_separately() {
+        let t = Telemetry::default();
+        t.note_materialized(record(RunSource::Simulated, 10_000, 4)); // the cell itself
+        let mut row = record(RunSource::Simulated, 7_000, 0);
+        row.tenant = Some("latency".into());
+        row.deadline_slack = Some(-250);
+        row.partition_sms = Some("2-3".into());
+        t.note_tenant_run(row);
+        let s = t.snapshot();
+        assert_eq!(s.sims, 1, "tenant rows must not inflate the sim count");
+        assert_eq!(s.tenant_jobs, 1);
+        assert!(s.summary().contains("tenant jobs"), "summary:\n{}", s.summary());
+        let dir =
+            std::env::temp_dir().join(format!("subcore-telemetry-tenant-{}", std::process::id()));
+        let path = dir.join("run_telemetry.csv");
+        t.write_csv(&path).expect("write csv");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let cols = csv_columns(&text).expect("header row");
+        let ti = cols.iter().position(|c| c == "tenant").expect("tenant column");
+        let di = cols.iter().position(|c| c == "deadline_slack").expect("slack column");
+        let pi = cols.iter().position(|c| c == "partition_sms").expect("partition column");
+        let rows: Vec<Vec<&str>> = text
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').collect())
+            .filter(|f: &Vec<&str>| f.len() == cols.len())
+            .collect();
+        assert_eq!(rows[0][ti], "", "single-app rows leave the tenant columns empty");
+        assert_eq!(rows[1][ti], "latency");
+        assert_eq!(rows[1][di], "-250");
+        assert_eq!(rows[1][pi], "2-3");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn estimate_error_is_relative_and_absent_without_prediction() {
         let mut r = record(RunSource::Simulated, 2_000, 1);
         assert_eq!(r.estimate_error(), None);
@@ -836,6 +915,9 @@ mod tests {
             adaptive_windows: 0,
             adaptive_fallbacks: 0,
             predicted_cycles: None,
+            tenant: None,
+            deadline_slack: None,
+            partition_sms: None,
         });
         let dir =
             std::env::temp_dir().join(format!("subcore-telemetry-esc-{}", std::process::id()));
@@ -967,7 +1049,7 @@ mod tests {
         let row = text.lines().find(|l| l.contains("deadapp")).expect("failure row present in CSV");
         assert!(row.contains(",panic,false,"), "kind tag is the source column: {row}");
         assert!(row.contains("000000000000feed"), "failure row carries the key: {row}");
-        assert!(row.ends_with(",,0,0,,"), "failure rows carry empty trailing columns: {row}");
+        assert!(row.ends_with(",,0,0,,,,,"), "failure rows carry empty trailing columns: {row}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

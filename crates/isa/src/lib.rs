@@ -52,6 +52,7 @@ mod kernel;
 mod op;
 mod program;
 mod reg;
+mod tenant;
 mod text;
 
 pub use analysis::{KernelProfile, ProgramProfile};
@@ -61,6 +62,7 @@ pub use kernel::{fma_kernel, Kernel, KernelBuilder, LaunchDims};
 pub use op::{OpClass, Pipeline};
 pub use program::{Cursor, ProgramBuilder, Segment, WarpProgram};
 pub use reg::Reg;
+pub use tenant::TenantSpec;
 pub use text::{disassemble_kernel, parse_program, write_program, ParseError, SourcePos};
 
 /// Number of threads in a warp. Fixed at 32 to match every NVIDIA

@@ -1,0 +1,78 @@
+//! Tenant workload specification for multi-tenant (MIG-style) spatial
+//! partitioning: an [`App`] plus its arrival offset and optional deadline.
+//!
+//! A *tenant* is one application stream submitted to a shared GPU. The
+//! engine's multi-tenant dispatcher runs several tenants concurrently,
+//! each confined to an SM partition; this crate only describes *what* a
+//! tenant wants (work, arrival time, QoS deadline), never *where* it runs
+//! — partition placement is a scheduling-policy concern layered on top.
+
+use crate::app::App;
+
+/// One tenant: an application, the cycle it arrives at, and an optional
+/// completion deadline (absolute cycle, QoS contract).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TenantSpec {
+    app: App,
+    arrival: u64,
+    deadline: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A tenant arriving at cycle 0 with no deadline.
+    pub fn new(app: App) -> Self {
+        TenantSpec { app, arrival: 0, deadline: None }
+    }
+
+    /// Sets the arrival cycle: the tenant submits no work before it.
+    pub fn with_arrival(mut self, cycle: u64) -> Self {
+        self.arrival = cycle;
+        self
+    }
+
+    /// Sets the absolute-cycle deadline the tenant should finish by.
+    pub fn with_deadline(mut self, cycle: u64) -> Self {
+        self.deadline = Some(cycle);
+        self
+    }
+
+    /// The tenant's application.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// The tenant's name (its application's name).
+    pub fn name(&self) -> &str {
+        self.app.name()
+    }
+
+    /// The cycle the tenant arrives at.
+    pub fn arrival(&self) -> u64 {
+        self.arrival
+    }
+
+    /// The absolute-cycle deadline, if the tenant has one.
+    pub fn deadline(&self) -> Option<u64> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::Suite;
+    use crate::kernel::fma_kernel;
+
+    #[test]
+    fn builder_style_accessors_round_trip() {
+        let app = App::new("t", Suite::Micro, vec![fma_kernel("k", 1, 8, 4)]);
+        let t = TenantSpec::new(app.clone());
+        assert_eq!(t.arrival(), 0);
+        assert_eq!(t.deadline(), None);
+        assert_eq!(t.name(), "t");
+        let t = t.with_arrival(100).with_deadline(5000);
+        assert_eq!(t.arrival(), 100);
+        assert_eq!(t.deadline(), Some(5000));
+        assert_eq!(t.app(), &app);
+    }
+}

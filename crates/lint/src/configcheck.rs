@@ -16,9 +16,19 @@
 //!   parameter (e.g. a 0-entry shuffle hash table or 0-bank file).
 //! * **L035** (error) — a kernel's blocks can never be scheduled (shared
 //!   memory or warp demand exceeds what one SM owns).
+//!
+//! The multi-tenant pass ([`check_tenants`]) validates spatial partitions
+//! the same way — diagnostics, never panics:
+//!
+//! * **L040** (error) — a tenant's SM set is empty or out of range.
+//! * **L041** (error) — two tenants' SM sets overlap under a rigid
+//!   (exclusive) partition policy.
+//! * **L042** (error) — a tenant's kernel can never be scheduled on any
+//!   SM of its partition (warps, shared memory, or per-sub-core register
+//!   demand exceed one SM, so partition size cannot save it).
 
 use crate::diag::{codes, Diagnostic, Location, Severity};
-use subcore_engine::GpuConfig;
+use subcore_engine::{Connectivity, GpuConfig, TenantRun};
 use subcore_isa::Kernel;
 use subcore_sched::Design;
 
@@ -117,6 +127,99 @@ pub fn check_kernel_fit(kernel: &Kernel, cfg: &GpuConfig, out: &mut Vec<Diagnost
     }
 }
 
+/// Validates a multi-tenant partition layout: per-tenant SM sets, rigid
+/// exclusivity, and whether each tenant's kernels can schedule at all
+/// within its partition. `rigid` says the partition policy promises
+/// exclusive SM ownership, making overlaps an error.
+pub fn check_tenants(
+    cfg: &GpuConfig,
+    tenants: &[TenantRun],
+    rigid: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    for t in tenants {
+        let name = t.spec.name();
+        if t.sm_set.is_empty() {
+            out.push(error(
+                codes::TENANT_SMSET,
+                format!("tenant `{name}` has an empty SM set and can never run"),
+            ));
+        } else if let Some(max) = t.sm_set.max_id() {
+            if max >= cfg.num_sms {
+                out.push(error(
+                    codes::TENANT_SMSET,
+                    format!("tenant `{name}` claims SM {max} but the GPU has {} SMs", cfg.num_sms),
+                ));
+            }
+        }
+        for kernel in t.spec.app().kernels() {
+            check_tenant_kernel(cfg, name, kernel, out);
+        }
+    }
+    if rigid {
+        for (i, a) in tenants.iter().enumerate() {
+            for b in &tenants[i + 1..] {
+                if a.sm_set.overlaps(&b.sm_set) {
+                    out.push(error(
+                        codes::TENANT_OVERLAP,
+                        format!(
+                            "tenants `{}` and `{}` share SMs under a rigid partition \
+                             (sets {} and {})",
+                            a.spec.name(),
+                            b.spec.name(),
+                            a.sm_set.label(),
+                            b.sm_set.label()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of the engine's schedulability check, scoped to one tenant:
+/// partition size never changes per-SM capacity, so a block that cannot
+/// fit on one SM is unschedulable for the tenant no matter how many SMs
+/// its partition holds.
+fn check_tenant_kernel(cfg: &GpuConfig, tenant: &str, kernel: &Kernel, out: &mut Vec<Diagnostic>) {
+    let mut unschedulable = |why: String| {
+        out.push(Diagnostic::new(
+            codes::TENANT_UNSCHEDULABLE,
+            Severity::Error,
+            Location::kernel(kernel.name()),
+            format!("tenant `{tenant}` can never schedule this kernel: {why}"),
+        ));
+    };
+    if kernel.warps_per_block() > cfg.max_warps_per_sm {
+        unschedulable(format!(
+            "a block needs {} warp slots but an SM of its partition has {}",
+            kernel.warps_per_block(),
+            cfg.max_warps_per_sm
+        ));
+    }
+    if kernel.shared_mem_bytes() > cfg.shared_mem_per_sm {
+        unschedulable(format!(
+            "a block claims {} B of shared memory but an SM of its partition has {} B",
+            kernel.shared_mem_bytes(),
+            cfg.shared_mem_per_sm
+        ));
+    }
+    let (domains, regs_capacity) = match cfg.connectivity {
+        Connectivity::Partitioned => (cfg.subcores_per_sm, cfg.rf_regs_per_subcore),
+        Connectivity::FullyConnected => (1, cfg.rf_regs_per_subcore * cfg.subcores_per_sm),
+    };
+    if domains > 0 {
+        let per_domain = kernel.warps_per_block().div_ceil(domains);
+        if per_domain * u32::from(kernel.regs_per_thread()) > regs_capacity {
+            unschedulable(format!(
+                "{per_domain} warps × {} regs/thread exceed the {regs_capacity}-register \
+                 sub-core file",
+                kernel.regs_per_thread()
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +282,68 @@ mod tests {
             assert!(config_codes(&cfg, design).contains(&codes::CFG_DESIGN_PARAM), "{design:?}");
         }
         assert!(!config_codes(&cfg, Design::ShuffleTable(32)).contains(&codes::CFG_DESIGN_PARAM));
+    }
+
+    #[test]
+    fn tenant_partitions_are_validated() {
+        use subcore_engine::{SmSet, TenantRun};
+        use subcore_isa::{fma_kernel, App, Suite, TenantSpec};
+        let cfg = GpuConfig::volta_v100().with_sms(4);
+        let app = |name: &str| App::new(name, Suite::Micro, vec![fma_kernel("k", 2, 8, 16)]);
+        let tenant =
+            |name: &str, sms: SmSet| TenantRun { spec: TenantSpec::new(app(name)), sm_set: sms };
+        let mut out = Vec::new();
+        check_tenants(
+            &cfg,
+            &[tenant("good", SmSet::contiguous(0, 2)), tenant("peer", SmSet::contiguous(2, 2))],
+            true,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+
+        // Empty and out-of-range sets fire L040.
+        check_tenants(
+            &cfg,
+            &[tenant("empty", SmSet::new(Vec::new())), tenant("oob", SmSet::contiguous(3, 2))],
+            false,
+            &mut out,
+        );
+        assert_eq!(out.iter().filter(|d| d.code == codes::TENANT_SMSET).count(), 2);
+
+        // Overlap only fires when the policy is rigid (exclusive).
+        out.clear();
+        let shared = [tenant("a", SmSet::contiguous(0, 3)), tenant("b", SmSet::contiguous(2, 2))];
+        check_tenants(&cfg, &shared, false, &mut out);
+        assert!(out.is_empty());
+        check_tenants(&cfg, &shared, true, &mut out);
+        assert_eq!(out.iter().filter(|d| d.code == codes::TENANT_OVERLAP).count(), 1);
+    }
+
+    #[test]
+    fn tenant_kernels_that_cannot_fit_are_diagnosed() {
+        use subcore_engine::{SmSet, TenantRun};
+        use subcore_isa::{App, Suite, TenantSpec};
+        let cfg = GpuConfig::volta_v100().with_sms(4);
+        // 32 warps/block × 8 warps/sub-core × 256 regs/thread blows the
+        // per-sub-core register file no matter the partition size.
+        let p = ProgramBuilder::new().barrier().build();
+        let k = KernelBuilder::new("fat")
+            .warps_per_block(32)
+            .regs_per_thread(255)
+            .uniform_program(p)
+            .build();
+        let t = TenantRun {
+            spec: TenantSpec::new(App::new("hog", Suite::Micro, vec![k])),
+            sm_set: SmSet::all(4),
+        };
+        let mut out = Vec::new();
+        check_tenants(&cfg, &[t], true, &mut out);
+        assert!(
+            out.iter().any(|d| d.code == codes::TENANT_UNSCHEDULABLE),
+            "expected L042: {out:?}"
+        );
+        // Diagnostics, not panics: the report renders.
+        assert!(out[0].render().contains("hog"));
     }
 
     #[test]

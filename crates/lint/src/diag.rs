@@ -14,6 +14,7 @@ use subcore_persist::Json;
 /// * `L02x` — divergence
 /// * `L030`–`L035` — configuration validation
 /// * `L036` — bank-remap advisory (bank-pressure pass)
+/// * `L040`–`L042` — multi-tenant partition validation
 ///
 /// (`L001`–`L005` are the dataflow pass.)
 pub mod codes {
@@ -52,6 +53,12 @@ pub mod codes {
     /// Static bank skew that a register permutation can provably flatten
     /// (the `subcore-opt` remapper's advisory; names the `repro opt` fix).
     pub const BANK_REMAPPABLE: &str = "L036";
+    /// A tenant's SM set is empty or names SMs the GPU does not have.
+    pub const TENANT_SMSET: &str = "L040";
+    /// Two tenants' SM sets overlap under a rigid (exclusive) partition.
+    pub const TENANT_OVERLAP: &str = "L041";
+    /// A tenant's kernel can never be scheduled within its partition.
+    pub const TENANT_UNSCHEDULABLE: &str = "L042";
 }
 
 /// How serious a diagnostic is.

@@ -48,6 +48,7 @@ mod diag;
 mod divergence;
 
 pub use bankpressure::{flattened_max_load, BankPressure};
+pub use configcheck::check_tenants;
 pub use dataflow::KernelDataflow;
 pub use diag::{codes, Diagnostic, LintReport, Location, Severity};
 pub use divergence::DivergenceSummary;

@@ -71,3 +71,10 @@ pub const JOURNAL_WRITE_DROP: &str = "journal.write_drop";
 
 /// Counter: trace events dropped by bounded `JsonlSink`s.
 pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
+
+/// Counter: tenants that finished past their deadline in a multi-tenant
+/// co-schedule cell.
+pub const TENANT_DEADLINE_MISS: &str = "tenant.deadline_miss";
+/// Histogram: per-tenant slowdown of a co-scheduled run over the tenant's
+/// solo run on the full GPU, in percent (100 = no interference).
+pub const TENANT_SLOWDOWN_PCT: &str = "tenant.slowdown_pct";

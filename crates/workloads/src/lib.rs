@@ -33,6 +33,7 @@ mod micro;
 mod registry;
 mod spec;
 mod suites;
+mod tenants;
 mod tpch;
 
 pub use lint_allow::{lint_allowances, LintAllowance};
@@ -45,4 +46,5 @@ pub use registry::{
 };
 pub use spec::{AppParams, Imbalance, KernelParams, MemShape, Mix};
 pub use suites::{suite_apps, suite_names};
+pub use tenants::{tenant_mix_by_name, tenant_mixes, TenantMix};
 pub use tpch::{tpch_query, tpch_suite, NUM_QUERIES};

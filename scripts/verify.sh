@@ -71,6 +71,22 @@ cargo run --quiet --release -p subcore-experiments --bin repro -- opt pb-mriq \
 echo "==> repro chaos --seed 42 --fault-rate 0.3"
 cargo run --quiet --release -p subcore-experiments --bin repro -- chaos --seed 42 --fault-rate 0.3
 
+# Multi-tenant smoke: a 2-tenant rigid-vs-contention-aware sweep on the
+# micro mixes must produce the interference matrix and deadline tables,
+# and an immediate --resume rerun must replay every cell from the journal
+# (exercising the tenants campaign's resume path).
+echo "==> tenants smoke test (repro tenants + --resume)"
+TENANTS_TMP="$(mktemp -d)"
+cargo run --quiet --release -p subcore-experiments --bin repro -- tenants \
+    --mix micro-skewed --mix micro-deadline --out "$TENANTS_TMP" > /dev/null
+test -s "$TENANTS_TMP/tenants_micro-skewed.csv"
+test -s "$TENANTS_TMP/tenants_deadlines.csv"
+cargo run --quiet --release -p subcore-experiments --bin repro -- tenants \
+    --mix micro-skewed --mix micro-deadline --resume --out "$TENANTS_TMP" \
+    > /dev/null 2> "$TENANTS_TMP/resume.log"
+grep -q "resumed from the journal" "$TENANTS_TMP/resume.log"
+rm -rf "$TENANTS_TMP"
+
 # Metrics smoke: a small campaign must leave a loadable snapshot stream
 # under <out>/.metrics/, `repro top --once` must render a frame from it,
 # and `repro metrics --prom` must emit validated Prometheus text.

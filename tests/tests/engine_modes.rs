@@ -8,10 +8,13 @@
 //! evaluation window to force fast/slow switches mid-run.
 
 use proptest::prelude::*;
-use subcore_engine::{simulate_app, EngineMode, GpuConfig, Policies, RunStats, SimError};
+use subcore_engine::{
+    simulate_app, simulate_tenants, EngineMode, GpuConfig, Policies, RunStats, SimError, SmSet,
+    TenantRun,
+};
 use subcore_integration::test_gpu;
-use subcore_isa::{App, Suite};
-use subcore_sched::Design;
+use subcore_isa::{App, Suite, TenantSpec};
+use subcore_sched::{Design, PARTITION_POLICIES};
 use subcore_workloads::{
     fma_microbenchmark, AppParams, FmaLayout, Imbalance, KernelParams, MemShape, Mix,
 };
@@ -249,6 +252,72 @@ fn adaptive_report_counts_windows_without_touching_stats() {
         "fixed modes never evaluate windows"
     );
     assert_eq!(stats, ref_stats, "the report is a side-channel; stats stay bit-exact");
+}
+
+/// The multi-tenant dispatcher degenerates to the single-app path: one
+/// tenant owning every SM produces **bit-identical** aggregate `RunStats`
+/// (after dropping the tenant breakdown, which `simulate_app` never
+/// emits) in every engine mode. This is the differential gate for the
+/// engine's per-tenant main-loop refactor.
+#[test]
+fn single_tenant_full_set_is_bit_exact_across_modes() {
+    let app = fma_microbenchmark(FmaLayout::Unbalanced, 4, 1024);
+    for design in [Design::Baseline, Design::Rba, Design::Shuffle] {
+        let base = design.config(&test_gpu());
+        let policies = design.policies();
+        for mode in [EngineMode::Reference, EngineMode::EventDriven, EngineMode::Adaptive] {
+            let cfg = base.clone().with_engine_mode(mode);
+            let solo = simulate_app(&cfg, &policies, &app).expect("solo simulates");
+            let runs =
+                [TenantRun { spec: TenantSpec::new(app.clone()), sm_set: SmSet::all(cfg.num_sms) }];
+            let mut tenant = simulate_tenants(&cfg, &policies, &runs).expect("tenant simulates");
+            assert_eq!(tenant.tenants.len(), 1, "one tenant breakdown");
+            tenant.tenants.clear();
+            assert_eq!(
+                tenant,
+                solo,
+                "{}/{:?}: tenant path diverged from simulate_app",
+                design.label(),
+                mode
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Rigid partition allocation is a pure function of its inputs and
+    /// covers every SM exactly once (no gaps, no overlaps) whenever there
+    /// are at least as many SMs as tenants.
+    #[test]
+    fn rigid_allocation_is_deterministic_and_covers_every_sm(
+        num_sms in 1u32..33,
+        tenants in 1usize..9,
+        raw_demands in proptest::prop::collection::vec(0u64..1_000_000_000, 1..9),
+    ) {
+        let demands: Vec<f64> = raw_demands.iter().map(|&d| d as f64).collect();
+        for policy in PARTITION_POLICIES {
+            let demands = &demands[..tenants.min(demands.len())];
+            let a = policy.allocate(num_sms, demands);
+            let b = policy.allocate(num_sms, demands);
+            prop_assert_eq!(&a, &b, "{} allocation must be deterministic", policy.label());
+            prop_assert_eq!(a.len(), demands.len(), "one set per tenant");
+            if demands.len() <= num_sms as usize {
+                let mut seen = vec![false; num_sms as usize];
+                for set in &a {
+                    prop_assert!(!set.is_empty(), "{}: no empty partitions", policy.label());
+                    for &sm in set.ids() {
+                        prop_assert!(
+                            !std::mem::replace(&mut seen[sm as usize], true),
+                            "{}: SM {} assigned twice", policy.label(), sm
+                        );
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s), "{}: every SM covered", policy.label());
+            }
+        }
+    }
 }
 
 /// Multi-kernel apps cross kernel boundaries (and the inter-kernel drain,
