@@ -8,7 +8,12 @@
 //! repro status [--out DIR] [--watch] [--interval MS] [--frames N]
 //! repro top [--out DIR] [--once] [--interval MS] [--frames N]
 //! repro metrics [--out DIR] [--prom]
-//! repro chaos [--seed S] [--fault-rate P] [--out DIR]
+//! repro chaos [--seed S] [--fault-rate P] [--out DIR] [--serve]
+//! repro serve [--port P] [--dir DIR] [--addr-file PATH] [--capacity N]
+//!             [--serve-workers N] [--lease-ms MS] [--max-attempts N]
+//! repro submit <app>... [--design D] [--sms N] [--max-cycles N]
+//!             (--addr HOST:PORT | --addr-file PATH) [--wait] [--timeout SECS]
+//! repro jobs (--addr HOST:PORT | --addr-file PATH) [--healthz|--metrics|--drain]
 //! repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]
 //! repro trace-diff <fig|app> [--design A --design B] [--window N]
 //! repro lint <app>... | --all [--design D] [--json] [--deny-warnings]
@@ -59,6 +64,16 @@
 //! per-tenant rows land in the telemetry CSV's `tenant`/`deadline_slack`/
 //! `partition_sms` columns and `tenant.*` metrics feed `repro top`.
 //!
+//! `serve` runs the long-lived simulation daemon: a durable job queue
+//! with lease-based ownership, bounded admission with structured
+//! backpressure, and cross-client coalescing by `SimKey` (see DESIGN.md's
+//! service-architecture section). `submit` posts jobs to it (`--wait`
+//! polls to settlement) and `jobs` lists the queue or probes
+//! `--healthz`/`--metrics`/`--drain`. `chaos --serve` is the
+//! process-level recovery drill: SIGKILL a real daemon child
+//! mid-campaign, restart it over the same queue, and verify the campaign
+//! settles bit-exact with no lost or duplicated jobs.
+//!
 //! Sweeps start their longest-predicted cells first (cost-aware LPT
 //! ordering; predictions also land in the telemetry CSV's
 //! `predicted_cycles`/`estimate_error` columns). `--no-reorder` restores
@@ -108,12 +123,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use subcore_experiments::{chaos, engine_bench, estimate, figs, journal, lint, trace};
+use subcore_experiments::{chaos, engine_bench, estimate, figs, journal, lint, serve, trace};
 use subcore_experiments::{init_global, suite_base, tpch_base, SessionOptions, SimSession, Table};
 use subcore_experiments::{set_policy, SupervisorPolicy};
 use subcore_isa::Suite;
-use subcore_persist::Json;
+use subcore_persist::{Json, JsonCodec};
 use subcore_sched::Design;
+use subcore_serve::{JobSpec, ServeOptions, Server};
 
 /// Tolerance band on the `bench-engine --check` per-case parity floor: a
 /// case only fails below `1.0 - TOLERANCE`. Dense ~40ms cases have been
@@ -305,7 +321,16 @@ fn main() -> ExitCode {
         eprintln!("       repro status [--out DIR] [--watch] [--interval MS] [--frames N]");
         eprintln!("       repro top [--out DIR] [--once] [--interval MS] [--frames N]");
         eprintln!("       repro metrics [--out DIR] [--prom]");
-        eprintln!("       repro chaos [--seed S] [--fault-rate P] [--out DIR]");
+        eprintln!("       repro chaos [--seed S] [--fault-rate P] [--out DIR] [--serve]");
+        eprintln!("       repro serve [--port P] [--dir DIR] [--addr-file PATH] [--capacity N]");
+        eprintln!("                   [--serve-workers N] [--lease-ms MS] [--max-attempts N]");
+        eprintln!("       repro submit <app>... [--design D] [--sms N] [--max-cycles N]");
+        eprintln!(
+            "                   (--addr HOST:PORT | --addr-file PATH) [--wait] [--timeout SECS]"
+        );
+        eprintln!(
+            "       repro jobs (--addr HOST:PORT | --addr-file PATH) [--healthz|--metrics|--drain]"
+        );
         eprintln!("       repro trace <fig|app> [--design D]... [--window N] [--events LIMIT]");
         eprintln!("       repro trace-diff <fig|app> [--design A --design B] [--window N]");
         eprintln!("       repro lint <app>... | --all [--design D] [--json] [--deny-warnings]");
@@ -418,6 +443,7 @@ fn main() -> ExitCode {
     }
     if args[0] == "chaos" {
         args.remove(0);
+        let serve_drill = take_flag(&mut args, "--serve");
         let mut seed: u64 = 42;
         let mut rate: f64 = 0.3;
         match take_value(&mut args, "--seed") {
@@ -452,11 +478,43 @@ fn main() -> ExitCode {
             eprintln!("chaos takes no further arguments, got: {args:?}");
             return ExitCode::FAILURE;
         }
+        if serve_drill {
+            // Process-level recovery drill: SIGKILL a real daemon child
+            // mid-campaign, restart it over the same durable queue, and
+            // verify a bit-exact settle against an in-process reference.
+            let exe = match std::env::current_exe() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("cannot locate the repro binary: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dir = std::env::temp_dir()
+                .join(format!("subcore-serve-drill-{}-{seed}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let report =
+                serve::run_serve_drill(&serve::ServeDrillOptions::headline(exe, dir.clone()));
+            let _ = std::fs::remove_dir_all(&dir);
+            print!("{}", report.render());
+            return if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
         // The drill runs against private sessions and a scratch journal —
         // it never touches `<out>` or the global session.
         let report = chaos::run_chaos(&chaos::ChaosOptions::headline(seed, rate));
         print!("{}", report.render());
         return if report.ok() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    if args[0] == "serve" {
+        args.remove(0);
+        return run_serve_command(args, &out_dir, no_cache);
+    }
+    if args[0] == "submit" {
+        args.remove(0);
+        return run_submit_command(args);
+    }
+    if args[0] == "jobs" {
+        args.remove(0);
+        return run_jobs_command(args);
     }
     if args[0] == "bench-engine" {
         args.remove(0);
@@ -738,6 +796,393 @@ fn total_cells(mixes: &[subcore_workloads::TenantMix]) -> u64 {
     (mixes.len()
         * subcore_experiments::tenant_designs().len()
         * subcore_sched::PARTITION_POLICIES.len()) as u64
+}
+
+/// Parses `--flag VALUE` into `T` for the serve-family commands,
+/// reporting missing or unparsable values.
+fn cli_parse<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs {what}"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    v.parse::<T>().map(Some).map_err(|_| format!("{flag} needs {what}, got `{v}`"))
+}
+
+/// Removes `--flag` from `args`, reporting whether it was present.
+fn cli_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Resolves the daemon address for `repro submit` / `repro jobs`: an
+/// explicit `--addr`, or an `--addr-file` polled briefly (the daemon may
+/// still be starting and writes the file atomically once bound).
+fn resolve_addr(addr: Option<String>, addr_file: Option<PathBuf>) -> Result<String, String> {
+    if let Some(addr) = addr {
+        return Ok(addr);
+    }
+    let Some(path) = addr_file else {
+        return Err("need --addr HOST:PORT or --addr-file PATH".to_owned());
+    };
+    subcore_serve::read_addr_file(&path, Duration::from_secs(30))
+        .ok_or_else(|| format!("no daemon address at {} after 30s", path.display()))
+}
+
+/// Implements `repro serve`: the long-running simulation daemon — a
+/// durable job queue with lease-based ownership, bounded admission, and
+/// cross-client coalescing over the `subcore-serve` HTTP front.
+fn run_serve_command(mut args: Vec<String>, out_dir: &Path, no_cache: bool) -> ExitCode {
+    let mut opts = ServeOptions { dir: out_dir.join(".serve"), ..ServeOptions::default() };
+    let parsed = (|| -> Result<(u16, Option<PathBuf>), String> {
+        if let Some(dir) = cli_parse::<PathBuf>(&mut args, "--dir", "a queue directory")? {
+            opts.dir = dir;
+        }
+        if let Some(cap) = cli_parse::<usize>(&mut args, "--capacity", "a queue-depth cap")? {
+            opts.capacity = cap.max(1);
+        }
+        if let Some(w) = cli_parse::<usize>(&mut args, "--serve-workers", "a worker count")? {
+            opts.workers = w.max(1);
+        }
+        if let Some(ms) = cli_parse::<u64>(&mut args, "--lease-ms", "a lease duration in ms")? {
+            opts.lease = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = cli_parse::<u32>(&mut args, "--max-attempts", "an attempt cap")? {
+            opts.max_attempts = n.max(1);
+        }
+        let port = cli_parse::<u16>(&mut args, "--port", "a TCP port")?.unwrap_or(0);
+        let addr_file = cli_parse::<PathBuf>(&mut args, "--addr-file", "a path")?;
+        Ok((port, addr_file))
+    })();
+    let (port, addr_file) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.is_empty() {
+        eprintln!("serve takes no further arguments, got: {args:?}");
+        return ExitCode::FAILURE;
+    }
+    subcore_metrics::set_enabled(true);
+    let flusher = match subcore_metrics::spawn_periodic(
+        out_dir.join(".metrics"),
+        "serve",
+        Duration::from_millis(500),
+    ) {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("metrics stream disabled: {e}");
+            None
+        }
+    };
+    // The daemon's executor owns a private session: results memoize
+    // in-process and (unless --no-cache) on disk, shared across restarts.
+    let exec = std::sync::Arc::new(serve::SimExecutor::new(SessionOptions {
+        disk_cache: (!no_cache).then(|| out_dir.join(".simcache")),
+    }));
+    let server = Server::open(opts, exec);
+    let recovery = server.recovery().clone();
+    let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind 127.0.0.1:{port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => {
+            eprintln!("serve: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &addr_file {
+        if let Err(e) = subcore_serve::write_addr_file(path, &addr) {
+            eprintln!("serve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "serve: listening on {addr} (queue {}; recovered {} record(s): {} reclaimed, \
+         {} replayed, {} skipped)",
+        server.options().dir.display(),
+        recovery.restored,
+        recovery.reclaimed,
+        recovery.replayed,
+        recovery.skipped
+    );
+    let code = match subcore_serve::http::run(&server, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some(f) = flusher {
+        match f.finish() {
+            Ok(path) => eprintln!("metrics → {}", path.display()),
+            Err(e) => eprintln!("failed to flush metrics stream: {e}"),
+        }
+    }
+    eprintln!("serve: drained, exiting");
+    code
+}
+
+/// Implements `repro submit`: posts one job per app to a running daemon,
+/// optionally waiting for settlement.
+/// Flags accepted by `repro submit`, parsed ahead of the app-name operands.
+struct SubmitFlags {
+    addr: Option<String>,
+    addr_file: Option<PathBuf>,
+    design: String,
+    sms: u32,
+    max_cycles: u64,
+    timeout: u64,
+}
+
+fn run_submit_command(mut args: Vec<String>) -> ExitCode {
+    let wait = cli_flag(&mut args, "--wait");
+    let parsed = (|| -> Result<SubmitFlags, String> {
+        let addr = cli_parse::<String>(&mut args, "--addr", "HOST:PORT")?;
+        let addr_file = cli_parse::<PathBuf>(&mut args, "--addr-file", "a path")?;
+        let design = cli_parse::<String>(&mut args, "--design", "a design label")?
+            .unwrap_or_else(|| "baseline".to_owned());
+        let defaults = JobSpec::default();
+        let sms = cli_parse::<u32>(&mut args, "--sms", "an SM count")?.unwrap_or(defaults.sms);
+        let max_cycles = cli_parse::<u64>(&mut args, "--max-cycles", "a cycle cap")?
+            .unwrap_or(defaults.max_cycles);
+        let timeout = cli_parse::<u64>(&mut args, "--timeout", "seconds")?.unwrap_or(900);
+        Ok(SubmitFlags { addr, addr_file, design, sms, max_cycles, timeout })
+    })();
+    let SubmitFlags { addr, addr_file, design, sms, max_cycles, timeout } = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.is_empty() || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("submit needs app names (and only app names) after the flags, got: {args:?}");
+        return ExitCode::FAILURE;
+    }
+    let addr = match resolve_addr(addr, addr_file) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut code = ExitCode::SUCCESS;
+    let mut accepted: Vec<(u64, String)> = Vec::new();
+    for app in args {
+        let spec = JobSpec { app: app.clone(), design: design.clone(), sms, max_cycles };
+        let label = format!("{app}/{design}");
+        match subcore_serve::http_call(&addr, "POST", "/submit", Some(&spec.to_json().render())) {
+            Ok((200, body)) => {
+                let fields = Json::parse(&body).ok().map(|j| {
+                    let u = |n: &str| j.field(n).ok().and_then(|v| v.as_u64().ok()).unwrap_or(0);
+                    let coalesced =
+                        j.field("coalesced").ok().and_then(|v| v.as_bool().ok()).unwrap_or(false);
+                    (u("id"), u("key"), u("predicted_cycles"), u("budget_ms"), coalesced)
+                });
+                let Some((id, key, predicted, budget_ms, coalesced)) = fields else {
+                    eprintln!("unparsable submit response for {label}: {body}");
+                    code = ExitCode::FAILURE;
+                    continue;
+                };
+                println!(
+                    "job {id}: {label} accepted (key {key:016x}, predicted {predicted} cycles, \
+                     budget {budget_ms} ms){}",
+                    if coalesced { " — coalesced with an in-flight duplicate" } else { "" }
+                );
+                accepted.push((id, label));
+            }
+            Ok((429, body)) => {
+                eprintln!("{label} shed by the daemon (queue full): {body}");
+                code = ExitCode::FAILURE;
+            }
+            Ok((status, body)) => {
+                eprintln!("{label} rejected ({status}): {body}");
+                code = ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("submit of {label} failed: {e}");
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    if !wait {
+        return code;
+    }
+    let deadline = Instant::now() + Duration::from_secs(timeout);
+    for (id, label) in accepted {
+        loop {
+            let record = subcore_serve::http_call(&addr, "GET", &format!("/jobs/{id}"), None)
+                .ok()
+                .filter(|(status, _)| *status == 200)
+                .and_then(|(_, body)| Json::parse(&body).ok());
+            let state = record
+                .as_ref()
+                .and_then(|r| r.field("state").ok())
+                .and_then(|s| s.as_str().ok().map(str::to_owned));
+            match state.as_deref() {
+                Some("done") => {
+                    let cycles = record
+                        .as_ref()
+                        .and_then(|r| r.field("stats").ok())
+                        .and_then(|s| s.field("cycles").ok())
+                        .and_then(|c| c.as_u64().ok())
+                        .unwrap_or(0);
+                    println!("job {id}: {label} done ({cycles} cycles)");
+                    break;
+                }
+                Some("failed") => {
+                    let error = record
+                        .as_ref()
+                        .and_then(|r| r.field("error").ok())
+                        .map(Json::render)
+                        .unwrap_or_default();
+                    eprintln!("job {id}: {label} failed: {error}");
+                    code = ExitCode::FAILURE;
+                    break;
+                }
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                eprintln!("job {id}: {label} still unsettled after {timeout}s");
+                return ExitCode::FAILURE;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+    code
+}
+
+/// Implements `repro jobs`: queue listing plus the `--healthz`,
+/// `--metrics`, and `--drain` probes against a running daemon.
+fn run_jobs_command(mut args: Vec<String>) -> ExitCode {
+    let drain = cli_flag(&mut args, "--drain");
+    let healthz = cli_flag(&mut args, "--healthz");
+    let metrics = cli_flag(&mut args, "--metrics");
+    let parsed = (|| -> Result<(Option<String>, Option<PathBuf>), String> {
+        let addr = cli_parse::<String>(&mut args, "--addr", "HOST:PORT")?;
+        let addr_file = cli_parse::<PathBuf>(&mut args, "--addr-file", "a path")?;
+        Ok((addr, addr_file))
+    })();
+    let (addr, addr_file) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.is_empty() {
+        eprintln!("jobs takes no further arguments, got: {args:?}");
+        return ExitCode::FAILURE;
+    }
+    let addr = match resolve_addr(addr, addr_file) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let call = |method: &str, path: &str| match subcore_serve::http_call(&addr, method, path, None)
+    {
+        Ok((200, body)) => Some(body),
+        Ok((status, body)) => {
+            eprintln!("{method} {path} → {status}: {body}");
+            None
+        }
+        Err(e) => {
+            eprintln!("{method} {path} failed: {e}");
+            None
+        }
+    };
+    if drain {
+        return match call("POST", "/drain") {
+            Some(body) => {
+                println!("drain requested: {body}");
+                ExitCode::SUCCESS
+            }
+            None => ExitCode::FAILURE,
+        };
+    }
+    if healthz {
+        return match call("GET", "/healthz") {
+            Some(body) => {
+                println!("{body}");
+                ExitCode::SUCCESS
+            }
+            None => ExitCode::FAILURE,
+        };
+    }
+    if metrics {
+        let Some(text) = call("GET", "/metrics") else { return ExitCode::FAILURE };
+        return match subcore_metrics::validate_prometheus(&text) {
+            Ok(samples) => {
+                print!("{text}");
+                eprintln!("# {samples} samples from {addr}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("daemon /metrics failed validation: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(body) = call("GET", "/jobs") else { return ExitCode::FAILURE };
+    let jobs = Json::parse(&body)
+        .ok()
+        .and_then(|j| j.field("jobs").ok().map(|a| a.as_arr().map(<[Json]>::to_vec)));
+    let Some(Ok(jobs)) = jobs else {
+        eprintln!("unparsable /jobs response: {body}");
+        return ExitCode::FAILURE;
+    };
+    if jobs.is_empty() {
+        println!("no jobs");
+        return ExitCode::SUCCESS;
+    }
+    for job in &jobs {
+        let u = |n: &str| job.field(n).ok().and_then(|v| v.as_u64().ok()).unwrap_or(0);
+        let s = |n: &str| {
+            job.field(n).ok().and_then(|v| v.as_str().ok().map(str::to_owned)).unwrap_or_default()
+        };
+        let cycles = job
+            .field("cycles")
+            .ok()
+            .and_then(|c| c.as_u64().ok())
+            .map_or_else(|| "-".to_owned(), |c| c.to_string());
+        let error = job
+            .field("error")
+            .ok()
+            .filter(|e| !matches!(e, Json::Null))
+            .map(|e| format!("  {}", e.render()))
+            .unwrap_or_default();
+        println!(
+            "#{:<5} {:<7} {:<24} attempts={} predicted={} budget={}ms cycles={}{}",
+            u("id"),
+            s("state"),
+            format!("{}/{}", s("app"), s("design")),
+            u("attempts"),
+            u("predicted_cycles"),
+            u("budget_ms"),
+            cycles,
+            error
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses the shared `--interval MS` / `--frames N` watch knobs of

@@ -41,6 +41,7 @@ pub mod journal;
 pub mod lint;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod session;
 pub mod summary;
 pub mod supervisor;
@@ -54,6 +55,7 @@ pub use report::{csv_field, Table};
 pub use runner::{
     geomean, jobs_cap, mean, parallel_map, run_design, set_jobs, speedup, suite_base, tpch_base,
 };
+pub use serve::{run_serve_drill, ServeDrillOptions, ServeDrillReport, SimExecutor};
 pub use session::{init_global, session, SessionOptions, SimKey, SimSession};
 pub use supervisor::{policy, set_policy, JobError, JobErrorKind, JobOutcome, SupervisorPolicy};
 pub use sweep::{

@@ -119,7 +119,12 @@ where
 {
     let n = items.len();
     let tags = (0..n)
-        .map(|i| JobTag { app: format!("job #{i}"), design: String::new(), key: None })
+        .map(|i| JobTag {
+            app: format!("job #{i}"),
+            design: String::new(),
+            key: None,
+            timeout: None,
+        })
         .collect();
     let policy = SupervisorPolicy {
         retries: 0,

@@ -1,0 +1,514 @@
+//! The `repro` side of the serve daemon: the [`SimExecutor`] that backs
+//! `repro serve` (wiring [`subcore_serve::Executor`] to the session +
+//! supervisor stack), and the SIGKILL recovery drill behind
+//! `repro chaos --serve`.
+//!
+//! The drill is the process-level counterpart of the in-crate restart
+//! test: it computes an uninterrupted in-process reference, runs the same
+//! campaign through a real daemon child process, SIGKILLs the daemon
+//! mid-campaign, restarts it over the same durable queue, and proves that
+//! every submitted job settles exactly once with bit-exact results — no
+//! lost jobs, no duplicated jobs, leases reclaimed and retried.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::session::{SessionOptions, SimSession};
+use crate::supervisor::{supervise_map, JobFailure, JobOutcome, JobTag, SupervisorPolicy};
+use crate::{estimate, trace};
+use subcore_engine::{GpuConfig, RunStats};
+use subcore_isa::App;
+use subcore_persist::{Json, JsonCodec};
+use subcore_sched::Design;
+use subcore_serve::{http_call, read_addr_file, ExecError, Executor, JobSpec};
+
+/// [`subcore_serve::Executor`] over the harness simulation stack: specs
+/// resolve through the trace-target registry, fingerprints are the
+/// session's `SimKey`, predictions come from the static cost model, and
+/// execution runs one supervised job (so the per-job watchdog, retry
+/// classification, and telemetry all apply inside the daemon too).
+pub struct SimExecutor {
+    sess: SimSession,
+    policy: SupervisorPolicy,
+}
+
+impl SimExecutor {
+    /// Builds an executor over a private session with `opts`.
+    #[must_use]
+    pub fn new(opts: SessionOptions) -> SimExecutor {
+        SimExecutor { sess: SimSession::new(opts), policy: SupervisorPolicy::default() }
+    }
+
+    /// Overrides the supervision policy (defaults otherwise).
+    #[must_use]
+    pub fn with_policy(mut self, policy: SupervisorPolicy) -> SimExecutor {
+        self.policy = policy;
+        self
+    }
+
+    /// Resolves a wire spec into simulator inputs, rejecting unknown
+    /// apps/designs and degenerate configs at admission.
+    fn resolve(spec: &JobSpec) -> Result<(GpuConfig, Design, App), ExecError> {
+        let app = trace::resolve_target(&spec.app)
+            .ok_or_else(|| ExecError::invalid(format!("unknown app or target `{}`", spec.app)))?;
+        let design = trace::parse_design(&spec.design)
+            .ok_or_else(|| ExecError::invalid(format!("unknown design `{}`", spec.design)))?;
+        if spec.sms == 0 {
+            return Err(ExecError::invalid("sms must be positive"));
+        }
+        if spec.max_cycles == 0 {
+            return Err(ExecError::invalid("max_cycles must be positive"));
+        }
+        let base = GpuConfig::volta_v100().with_sms(spec.sms).with_max_cycles(spec.max_cycles);
+        Ok((base, design, app))
+    }
+}
+
+impl Executor for SimExecutor {
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, ExecError> {
+        let (base, design, app) = SimExecutor::resolve(spec)?;
+        Ok(self.sess.key(&base, design, &app).as_u64())
+    }
+
+    fn predicted_cycles(&self, spec: &JobSpec) -> u64 {
+        SimExecutor::resolve(spec)
+            .map_or(0, |(base, design, app)| estimate::predicted_cycles(&base, design, &app))
+    }
+
+    fn execute(&self, spec: &JobSpec) -> Result<RunStats, ExecError> {
+        let (base, design, app) = SimExecutor::resolve(spec)?;
+        let key = self.sess.key(&base, design, &app);
+        let predicted = estimate::predicted_cycles(&base, design, &app);
+        // Register the prediction so the run's telemetry record carries
+        // the predicted-vs-actual error, same as a sweep cell.
+        self.sess.predict(key, predicted);
+        let tag = JobTag {
+            app: app.name().to_owned(),
+            design: design.label(),
+            key: Some(key.as_u64()),
+            timeout: Some(SupervisorPolicy::predicted_timeout(predicted)),
+        };
+        let report = supervise_map(
+            &[()],
+            vec![tag],
+            |(), _attempt| {
+                self.sess.try_run(&base, design, &app).map_err(|e| JobFailure::sim(e.to_string()))
+            },
+            &self.policy,
+        );
+        match report.outcomes.into_iter().next() {
+            Some(JobOutcome::Done(stats)) => Ok((*stats).clone()),
+            Some(JobOutcome::Failed(e)) => Err(ExecError::new(e.kind.tag(), e.payload)),
+            None => Err(ExecError::new("aborted", "supervised job produced no outcome")),
+        }
+    }
+}
+
+/// Configuration of the serve SIGKILL drill.
+#[derive(Debug, Clone)]
+pub struct ServeDrillOptions {
+    /// The `repro` binary to run as the daemon.
+    pub exe: PathBuf,
+    /// Scratch directory (queue, address files, daemon out dir) — created
+    /// by the drill; the caller removes it afterwards.
+    pub dir: PathBuf,
+    /// The campaign. Needs at least two specs so the kill can land with
+    /// one job done and another in flight.
+    pub specs: Vec<JobSpec>,
+    /// Wall-clock budget for each wait (daemon startup, kill window,
+    /// post-restart settlement, drain exit).
+    pub settle: Duration,
+}
+
+impl ServeDrillOptions {
+    /// The headline drill: the chaos-drill app set under `rba` on a small
+    /// config — big enough that the SIGKILL lands mid-simulation, small
+    /// enough to finish promptly.
+    #[must_use]
+    pub fn headline(exe: PathBuf, dir: PathBuf) -> ServeDrillOptions {
+        let specs = ["pb-sgemm", "rod-bp", "pb-spmv", "pb-sad", "tpcC-q9"]
+            .into_iter()
+            .map(|app| JobSpec {
+                app: app.to_owned(),
+                design: "rba".to_owned(),
+                sms: 2,
+                max_cycles: 20_000_000,
+            })
+            .collect();
+        ServeDrillOptions { exe, dir, specs, settle: Duration::from_secs(300) }
+    }
+}
+
+/// Evidence from one serve SIGKILL drill. [`ServeDrillReport::ok`] is the
+/// verdict; everything else is the exhibit list.
+#[derive(Debug, Default)]
+pub struct ServeDrillReport {
+    /// Jobs submitted to the first daemon.
+    pub submitted: usize,
+    /// Jobs already done when the SIGKILL was delivered.
+    pub done_before_kill: usize,
+    /// Jobs leased (in flight) when the SIGKILL was delivered.
+    pub leased_at_kill: usize,
+    /// Records the restarted daemon recovered from the durable queue.
+    pub restored: usize,
+    /// Leases the restarted daemon reclaimed back to queued.
+    pub reclaimed: usize,
+    /// Completed results the restarted daemon replayed without re-running.
+    pub replayed: usize,
+    /// Jobs done after the restarted daemon settled the campaign.
+    pub done_after: usize,
+    /// Whether the restarted daemon exited 0 after `POST /drain`.
+    pub clean_exit: bool,
+    /// Everything that contradicted the recovery contract (empty = pass).
+    pub mismatches: Vec<String>,
+}
+
+impl ServeDrillReport {
+    /// Whether the drill proved the recovery contract.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Human-readable drill summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "serve drill: SIGKILL mid-campaign, restart, bit-exact settle");
+        let _ = writeln!(
+            out,
+            "  campaign phase: {} submitted; killed with {} done, {} leased in flight",
+            self.submitted, self.done_before_kill, self.leased_at_kill
+        );
+        let _ = writeln!(
+            out,
+            "  restart phase: {} record(s) restored ({} lease(s) reclaimed, {} replayed as done)",
+            self.restored, self.reclaimed, self.replayed
+        );
+        let _ = writeln!(
+            out,
+            "  settle phase: {} / {} done; drain exit {}",
+            self.done_after,
+            self.submitted,
+            if self.clean_exit { "clean" } else { "UNCLEAN" }
+        );
+        if self.ok() {
+            let _ = writeln!(
+                out,
+                "  verdict: OK — no lost jobs, no duplicates, results bit-exact vs reference"
+            );
+        } else {
+            let _ = writeln!(out, "  verdict: FAILED");
+            for m in &self.mismatches {
+                let _ = writeln!(out, "    - {m}");
+            }
+        }
+        out
+    }
+}
+
+/// Spawns one daemon process over the drill's durable queue. `--no-cache`
+/// matters: the restarted daemon must *re-execute* reclaimed jobs, not
+/// load them from a shared disk cache, for the bit-exactness claim to
+/// test the engine rather than the cache.
+fn spawn_daemon(
+    exe: &Path,
+    scratch: &Path,
+    queue: &Path,
+    addr_file: &Path,
+) -> std::io::Result<Child> {
+    Command::new(exe)
+        .arg("serve")
+        .arg("--port")
+        .arg("0")
+        .arg("--dir")
+        .arg(queue)
+        .arg("--addr-file")
+        .arg(addr_file)
+        .arg("--serve-workers")
+        .arg("1")
+        .arg("--no-cache")
+        .arg("--out")
+        .arg(scratch.join("out"))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+}
+
+/// Extracts the job id from an accepted `POST /submit` response.
+fn submitted_id(body: &str) -> Option<u64> {
+    let json = Json::parse(body).ok()?;
+    if !json.field("accepted").ok()?.as_bool().ok()? {
+        return None;
+    }
+    json.field("id").ok()?.as_u64().ok()
+}
+
+/// Per-state job counts from `GET /jobs`: `(done, leased, terminal,
+/// total)`.
+fn poll_states(addr: &str) -> Option<(usize, usize, usize, usize)> {
+    let (status, body) = http_call(addr, "GET", "/jobs", None).ok()?;
+    if status != 200 {
+        return None;
+    }
+    let json = Json::parse(&body).ok()?;
+    let jobs = json.field("jobs").ok()?.as_arr().ok()?.to_vec();
+    let mut done = 0;
+    let mut leased = 0;
+    let mut terminal = 0;
+    for job in &jobs {
+        match job.field("state").ok()?.as_str().ok()? {
+            "done" => {
+                done += 1;
+                terminal += 1;
+            }
+            "failed" => terminal += 1,
+            "leased" => leased += 1,
+            _ => {}
+        }
+    }
+    Some((done, leased, terminal, jobs.len()))
+}
+
+/// SIGKILLs `child` and reaps it.
+fn kill_hard(child: &mut Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+/// Runs the serve SIGKILL drill. Never panics on daemon misbehavior —
+/// every deviation lands in [`ServeDrillReport::mismatches`].
+#[must_use]
+pub fn run_serve_drill(opts: &ServeDrillOptions) -> ServeDrillReport {
+    let mut report = ServeDrillReport { submitted: opts.specs.len(), ..Default::default() };
+
+    // Phase 1: uninterrupted in-process reference (private in-memory
+    // session — shares nothing with the daemons but the engine).
+    let reference = SimExecutor::new(SessionOptions::default());
+    let mut expected: Vec<(u64, String)> = Vec::new();
+    for spec in &opts.specs {
+        let key = match reference.fingerprint(spec) {
+            Ok(key) => key,
+            Err(e) => {
+                report.mismatches.push(format!("reference rejected spec `{}`: {e}", spec.app));
+                return report;
+            }
+        };
+        match reference.execute(spec) {
+            Ok(stats) => expected.push((key, stats.to_json().render())),
+            Err(e) => {
+                report.mismatches.push(format!("reference run of `{}` failed: {e}", spec.app));
+                return report;
+            }
+        }
+    }
+
+    // Phase 2: daemon A — submit the campaign, then SIGKILL it once at
+    // least one job is done and another is mid-flight.
+    let queue = opts.dir.join("queue");
+    let addr_a = opts.dir.join("addr-a");
+    let mut daemon_a = match spawn_daemon(&opts.exe, &opts.dir, &queue, &addr_a) {
+        Ok(child) => child,
+        Err(e) => {
+            report.mismatches.push(format!("failed to spawn daemon A: {e}"));
+            return report;
+        }
+    };
+    let Some(addr) = read_addr_file(&addr_a, opts.settle) else {
+        report.mismatches.push("daemon A never wrote its address file".to_owned());
+        kill_hard(&mut daemon_a);
+        return report;
+    };
+    let mut ids: Vec<u64> = Vec::new();
+    for spec in &opts.specs {
+        match http_call(&addr, "POST", "/submit", Some(&spec.to_json().render())) {
+            Ok((200, body)) => match submitted_id(&body) {
+                Some(id) => ids.push(id),
+                None => report.mismatches.push(format!("unparsable submit response: {body}")),
+            },
+            Ok((status, body)) => {
+                report
+                    .mismatches
+                    .push(format!("submit of `{}` rejected ({status}): {body}", spec.app));
+            }
+            Err(e) => report.mismatches.push(format!("submit of `{}` failed: {e}", spec.app)),
+        }
+    }
+    if !report.mismatches.is_empty() {
+        kill_hard(&mut daemon_a);
+        return report;
+    }
+    let deadline = Instant::now() + opts.settle;
+    loop {
+        if let Some((done, leased, terminal, _)) = poll_states(&addr) {
+            if done >= 1 && leased >= 1 {
+                report.done_before_kill = done;
+                report.leased_at_kill = leased;
+                break;
+            }
+            if terminal == report.submitted {
+                // The campaign outran the poll — the drill still proves
+                // replay-without-re-execution, just not reclamation.
+                report.done_before_kill = done;
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            report.mismatches.push("kill window never opened (no done+leased overlap)".to_owned());
+            kill_hard(&mut daemon_a);
+            return report;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    kill_hard(&mut daemon_a);
+
+    // Phase 3: daemon B over the same queue — recovery evidence from
+    // /healthz, then let the campaign settle.
+    let addr_b = opts.dir.join("addr-b");
+    let mut daemon_b = match spawn_daemon(&opts.exe, &opts.dir, &queue, &addr_b) {
+        Ok(child) => child,
+        Err(e) => {
+            report.mismatches.push(format!("failed to spawn daemon B: {e}"));
+            return report;
+        }
+    };
+    let Some(addr) = read_addr_file(&addr_b, opts.settle) else {
+        report.mismatches.push("daemon B never wrote its address file".to_owned());
+        kill_hard(&mut daemon_b);
+        return report;
+    };
+    match http_call(&addr, "GET", "/healthz", None).ok().and_then(|(_, b)| Json::parse(&b).ok()) {
+        Some(health) => {
+            let count = |name: &str| {
+                health.field(name).ok().and_then(|v| v.as_u64().ok()).unwrap_or(0) as usize
+            };
+            report.restored = count("restored");
+            report.reclaimed = count("reclaimed");
+            report.replayed = count("replayed");
+        }
+        None => report.mismatches.push("daemon B /healthz unreachable or unparsable".to_owned()),
+    }
+    if report.restored != report.submitted {
+        report.mismatches.push(format!(
+            "lost jobs: {} submitted, {} restored",
+            report.submitted, report.restored
+        ));
+    }
+    if report.replayed < report.done_before_kill {
+        report.mismatches.push(format!(
+            "completed work re-ran: {} done before the kill, only {} replayed",
+            report.done_before_kill, report.replayed
+        ));
+    }
+    let deadline = Instant::now() + opts.settle;
+    loop {
+        match poll_states(&addr) {
+            Some((done, _, terminal, total)) if terminal == total && total > 0 => {
+                report.done_after = done;
+                break;
+            }
+            _ => {}
+        }
+        if Instant::now() >= deadline {
+            report.mismatches.push("campaign never settled after the restart".to_owned());
+            kill_hard(&mut daemon_b);
+            return report;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Phase 4: verdict — every submitted id settled Done exactly once,
+    // with stats bit-exact vs the in-process reference, then a graceful
+    // drain exits 0.
+    if let Some((_, _, _, total)) = poll_states(&addr) {
+        if total != report.submitted {
+            report.mismatches.push(format!(
+                "duplicated jobs: {} submitted, {} records",
+                report.submitted, total
+            ));
+        }
+    }
+    for (&id, (key, want)) in ids.iter().zip(&expected) {
+        let record = http_call(&addr, "GET", &format!("/jobs/{id}"), None)
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .and_then(|(_, body)| Json::parse(&body).ok());
+        let Some(record) = record else {
+            report.mismatches.push(format!("job {id} unreadable after the restart"));
+            continue;
+        };
+        let state = record.field("state").ok().and_then(|s| s.as_str().ok().map(str::to_owned));
+        if state.as_deref() != Some("done") {
+            report.mismatches.push(format!("job {id} settled `{}`", state.unwrap_or_default()));
+            continue;
+        }
+        if record.field("key").ok().and_then(|k| k.as_u64().ok()) != Some(*key) {
+            report.mismatches.push(format!("job {id} fingerprint drifted across the restart"));
+        }
+        let got = record.field("stats").ok().map(Json::render);
+        if got.as_deref() != Some(want.as_str()) {
+            report.mismatches.push(format!("job {id} stats are not bit-exact vs the reference"));
+        }
+    }
+    let _ = http_call(&addr, "POST", "/drain", None);
+    let deadline = Instant::now() + opts.settle;
+    loop {
+        match daemon_b.try_wait() {
+            Ok(Some(status)) => {
+                report.clean_exit = status.success();
+                break;
+            }
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    report.mismatches.push("daemon B never exited after drain".to_owned());
+                    kill_hard(&mut daemon_b);
+                    return report;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                report.mismatches.push(format!("waiting on daemon B failed: {e}"));
+                break;
+            }
+        }
+    }
+    if !report.clean_exit {
+        report.mismatches.push("daemon B exited nonzero after drain".to_owned());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_resolves_fingerprints_and_executes() {
+        let exec = SimExecutor::new(SessionOptions::default());
+        let spec = JobSpec { app: "fma".into(), design: "rba".into(), ..JobSpec::default() };
+        let key = exec.fingerprint(&spec).expect("fma/rba resolves");
+        assert!(exec.predicted_cycles(&spec) > 0);
+        let stats = exec.execute(&spec).expect("fma/rba simulates");
+        assert!(stats.cycles > 0);
+        // Same spec, same fingerprint; different design, different one.
+        assert_eq!(exec.fingerprint(&spec).unwrap(), key);
+        let base = JobSpec { design: "baseline".into(), ..spec.clone() };
+        assert_ne!(exec.fingerprint(&base).unwrap(), key);
+    }
+
+    #[test]
+    fn executor_rejects_unknown_specs_at_admission() {
+        let exec = SimExecutor::new(SessionOptions::default());
+        let bad_app = JobSpec { app: "no-such-app".into(), ..JobSpec::default() };
+        assert_eq!(exec.fingerprint(&bad_app).unwrap_err().kind, "invalid");
+        let bad_design =
+            JobSpec { app: "fma".into(), design: "no-such-design".into(), ..JobSpec::default() };
+        assert_eq!(exec.fingerprint(&bad_design).unwrap_err().kind, "invalid");
+        let zero_sms = JobSpec { app: "fma".into(), sms: 0, ..JobSpec::default() };
+        assert_eq!(exec.fingerprint(&zero_sms).unwrap_err().kind, "invalid");
+        assert_eq!(exec.predicted_cycles(&bad_app), 0);
+    }
+}

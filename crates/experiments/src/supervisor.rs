@@ -94,6 +94,13 @@ pub struct JobTag {
     pub design: String,
     /// The cell's [`crate::session::SimKey`] fingerprint, when known.
     pub key: Option<u64>,
+    /// Per-job watchdog deadline overriding the policy-wide
+    /// [`SupervisorPolicy::job_timeout`] — sweeps derive it from the cost
+    /// model's predicted cycles (see
+    /// [`SupervisorPolicy::predicted_timeout`]). `None` falls back to the
+    /// policy deadline; a zero duration here is ignored (it does not
+    /// disable the watchdog — only an explicit policy zero does).
+    pub timeout: Option<Duration>,
 }
 
 /// A structured record of one failed job.
@@ -216,6 +223,17 @@ impl SupervisorPolicy {
     /// `[120 s, 900 s]`.
     pub fn derived_timeout(max_cycles: u64) -> Duration {
         Duration::from_secs((max_cycles / 250_000).clamp(120, 900))
+    }
+
+    /// Per-job deadline derived from the cost model's *predicted* cycles
+    /// rather than the `max_cycles` upper bound: the prediction tracks the
+    /// actual run length (registry-wide Spearman ≈0.9), so 25 kcycles/s —
+    /// an order of magnitude below the slowest observed simulation rate —
+    /// leaves ~10× slack for estimator error and machine load. Clamped to
+    /// the same `[120 s, 900 s]` band as [`Self::derived_timeout`], so a
+    /// wildly low prediction can never produce a hair-trigger watchdog.
+    pub fn predicted_timeout(predicted_cycles: u64) -> Duration {
+        Duration::from_secs((predicted_cycles / 25_000).clamp(120, 900))
     }
 
     /// The effective deadline for jobs that each run up to `sims_per_job`
@@ -504,8 +522,16 @@ where
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
-            if let Some(deadline) = policy.job_timeout.filter(|d| !d.is_zero()) {
+            // An explicit policy zero (`--job-timeout 0`) disables the
+            // watchdog outright, including per-job budgets.
+            let watchdog_disabled = policy.job_timeout.is_some_and(|d| d.is_zero());
+            if !watchdog_disabled {
                 for i in 0..n {
+                    let Some(deadline) =
+                        tags[i].timeout.filter(|d| !d.is_zero()).or(policy.job_timeout)
+                    else {
+                        continue;
+                    };
                     if settled[i].load(Ordering::Acquire) {
                         continue;
                     }
@@ -617,7 +643,12 @@ mod tests {
 
     fn tags(n: usize) -> Vec<JobTag> {
         (0..n)
-            .map(|i| JobTag { app: format!("app{i}"), design: "d".into(), key: Some(i as u64) })
+            .map(|i| JobTag {
+                app: format!("app{i}"),
+                design: "d".into(),
+                key: Some(i as u64),
+                timeout: None,
+            })
             .collect()
     }
 

@@ -20,6 +20,7 @@ use crate::session::{session, SimSession};
 use crate::supervisor::{policy, supervise_map, JobError, JobFailure, JobTag, SupervisorPolicy};
 use subcore_engine::{GpuConfig, RunStats};
 use subcore_isa::App;
+use subcore_metrics::names as mx;
 use subcore_sched::Design;
 
 // Cost-aware job ordering: sweeps start their longest-predicted cells
@@ -109,14 +110,34 @@ pub fn run_cell_sweep_on(
     if reorder_enabled() {
         let mut order: Vec<usize> = (0..cells.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(predictions[i]));
-        cells = order.into_iter().map(|i| cells[i]).collect();
+        cells = order.iter().map(|&i| cells[i]).collect();
+        predictions = order.iter().map(|&i| predictions[i]).collect();
     }
+    // Per-job watchdog budgets: unless the user pinned an explicit
+    // `--job-timeout`, each cell's deadline comes from its *predicted*
+    // cycles (clamped — see [`SupervisorPolicy::predicted_timeout`])
+    // rather than the flat `max_cycles` bound shared by the whole sweep.
+    // The chosen budget is recorded in the `supervisor.job.budget_ms`
+    // histogram so campaigns can audit what the watchdog was armed with.
+    let explicit_deadline = policy.job_timeout.is_some();
     let tags: Vec<JobTag> = cells
         .iter()
-        .map(|&(ai, design)| JobTag {
-            app: apps[ai].name().to_owned(),
-            design: design.label(),
-            key: Some(sess.key(base, design, &apps[ai]).as_u64()),
+        .zip(&predictions)
+        .map(|(&(ai, design), &predicted)| {
+            let budget = (!explicit_deadline)
+                .then(|| SupervisorPolicy::predicted_timeout(predicted))
+                .inspect(|b| {
+                    subcore_metrics::observe(
+                        mx::SUPERVISOR_JOB_BUDGET_MS,
+                        u64::try_from(b.as_millis()).unwrap_or(u64::MAX),
+                    );
+                });
+            JobTag {
+                app: apps[ai].name().to_owned(),
+                design: design.label(),
+                key: Some(sess.key(base, design, &apps[ai]).as_u64()),
+                timeout: budget,
+            }
         })
         .collect();
     if let Some(j) = journal {
@@ -276,7 +297,7 @@ where
 {
     let tags: Vec<JobTag> = items
         .iter()
-        .map(|item| JobTag { app: label(item), design: String::new(), key: None })
+        .map(|item| JobTag { app: label(item), design: String::new(), key: None, timeout: None })
         .collect();
     let base_policy = policy();
     let row_policy = SupervisorPolicy {

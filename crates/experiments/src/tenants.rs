@@ -206,6 +206,7 @@ pub fn run_tenant_sweep_on(
                 app: mixes[c.mix].name.to_owned(),
                 design: column_label(c.design, c.policy),
                 key: Some(cell_key(base, c, &runs).as_u64()),
+                timeout: None,
             }
         })
         .collect();

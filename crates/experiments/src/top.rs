@@ -155,6 +155,26 @@ pub fn render_frame(snaps: &[MetricsSnapshot]) -> String {
         c(mx::TRACE_EVENTS_DROPPED),
     );
 
+    // The serve row only renders when the stream comes from a daemon —
+    // batch campaigns never touch `serve.*` and shouldn't pay the line.
+    let has_serve = last.counters.iter().any(|(n, _)| n.starts_with("serve."))
+        || last.gauges.iter().any(|(n, _)| n.starts_with("serve."));
+    if has_serve {
+        let depth = last.gauge(mx::SERVE_QUEUE_DEPTH).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  serve    depth {}  submitted {}  coalesced {}  shed {}  lease-expired {}  \
+             done {}  failed {}",
+            depth as u64,
+            c(mx::SERVE_SUBMITTED),
+            c(mx::SERVE_COALESCED),
+            c(mx::SERVE_SHED),
+            c(mx::SERVE_LEASE_EXPIRED),
+            c(mx::SERVE_JOB_DONE),
+            c(mx::SERVE_JOB_FAILED),
+        );
+    }
+
     let _ = writeln!(out, "\nin-flight ({}):", last.open_spans.len());
     if last.open_spans.is_empty() {
         let _ = writeln!(out, "  (idle)");
@@ -271,6 +291,20 @@ mod tests {
         assert!(frame.contains("25.0%"), "10 of 40 runs were cache hits:\n{frame}");
         assert!(frame.contains("20.0 jobs/s"), "20 jobs over 1s:\n{frame}");
         assert!(frame.contains("4.0Mcyc/s"), "4M cycles over 1s:\n{frame}");
+    }
+
+    #[test]
+    fn serve_row_renders_only_for_daemon_streams() {
+        let batch = snap_with(&[(mx::SUPERVISOR_JOB_DONE, 3)], 500_000, 1);
+        assert!(!render_frame(&[batch]).contains("serve"), "batch streams skip the serve row");
+        let reg = Registry::new();
+        reg.counter(mx::SERVE_SUBMITTED).inc_by(7);
+        reg.counter(mx::SERVE_SHED).inc_by(2);
+        reg.gauge(mx::SERVE_QUEUE_DEPTH).set(5.0);
+        let frame = render_frame(&[reg.snapshot()]);
+        assert!(frame.contains("serve    depth 5"), "daemon gauge renders:\n{frame}");
+        assert!(frame.contains("submitted 7"), "daemon counters render:\n{frame}");
+        assert!(frame.contains("shed 2"), "shed counter renders:\n{frame}");
     }
 
     #[test]

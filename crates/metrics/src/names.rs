@@ -2,7 +2,7 @@
 //!
 //! The scheme is `<layer>.<noun>[.<event>]`, lowercase, dot-separated:
 //! the first segment names the emitting layer (`session`, `engine`,
-//! `supervisor`, `pool`, `journal`, `trace`), the rest name the thing
+//! `supervisor`, `pool`, `journal`, `trace`, `tenant`, `serve`), the rest name the thing
 //! counted. Exporters derive the Prometheus name mechanically
 //! (`session.cache.hit` → `subcore_session_cache_hit`), so renaming a
 //! constant here is a breaking change for downstream dashboards — add
@@ -54,6 +54,9 @@ pub const SUPERVISOR_JOB_TIMEOUT: &str = "supervisor.job.timeout";
 pub const SUPERVISOR_JOB_ABORTED: &str = "supervisor.job.aborted";
 /// Histogram: wall time of one settled job, microseconds.
 pub const SUPERVISOR_JOB_WALL_US: &str = "supervisor.job.wall_us";
+/// Histogram: per-job watchdog budget armed for a sweep cell, derived
+/// from the cost model's predicted cycles, in milliseconds.
+pub const SUPERVISOR_JOB_BUDGET_MS: &str = "supervisor.job.budget_ms";
 
 /// Gauge: worker threads of the most recent supervised pool.
 pub const POOL_WORKERS: &str = "pool.workers";
@@ -71,6 +74,25 @@ pub const JOURNAL_WRITE_DROP: &str = "journal.write_drop";
 
 /// Counter: trace events dropped by bounded `JsonlSink`s.
 pub const TRACE_EVENTS_DROPPED: &str = "trace.events.dropped";
+
+/// Gauge: jobs currently admitted but not settled in the serve daemon
+/// (queued + leased).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Counter: submissions admitted as new jobs.
+pub const SERVE_SUBMITTED: &str = "serve.submitted";
+/// Counter: submissions coalesced onto an existing job with the same
+/// content fingerprint.
+pub const SERVE_COALESCED: &str = "serve.coalesced";
+/// Counter: submissions shed by bounded admission (queue full or
+/// draining), answered with a structured retry-after rejection.
+pub const SERVE_SHED: &str = "serve.shed";
+/// Counter: leases that expired (heartbeats stopped) and were reclaimed
+/// back onto the queue or failed out of attempts.
+pub const SERVE_LEASE_EXPIRED: &str = "serve.lease.expired";
+/// Counter: serve jobs settled done.
+pub const SERVE_JOB_DONE: &str = "serve.job.done";
+/// Counter: serve jobs settled failed (structured error to waiters).
+pub const SERVE_JOB_FAILED: &str = "serve.job.failed";
 
 /// Counter: tenants that finished past their deadline in a multi-tenant
 /// co-schedule cell.

@@ -1,0 +1,268 @@
+//! Hand-rolled minimal HTTP/1.1 front for the serve core: request
+//! parsing, routing, and the daemon accept loop — `std::net` only, no
+//! dependencies (the build environment is offline).
+//!
+//! Endpoints:
+//!
+//! | method | path        | body            | response                       |
+//! |--------|-------------|-----------------|--------------------------------|
+//! | POST   | `/submit`   | [`JobSpec`]     | [`SubmitOutcome`] (429 on shed)|
+//! | GET    | `/jobs`     | —               | array of job summaries         |
+//! | GET    | `/jobs/<id>`| —               | full [`JobRecord`] (with stats)|
+//! | GET    | `/healthz`  | —               | liveness + recovery evidence   |
+//! | GET    | `/metrics`  | —               | Prometheus text format         |
+//! | POST   | `/drain`    | —               | ack; daemon exits once drained |
+//!
+//! `POST /drain` is the graceful-shutdown signal: the crate forbids
+//! `unsafe`, so a SIGTERM handler (which needs `libc`) is out of reach —
+//! the drain endpoint is the deliberate stand-in with identical
+//! semantics (stop admitting, finish or persist in-flight work, exit 0).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+use subcore_persist::{Json, JsonCodec};
+
+use crate::proto::{ExecError, JobRecord, JobSpec, SubmitOutcome};
+use crate::server::Server;
+
+/// Cap on header bytes; larger requests are rejected.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on body bytes; larger requests are rejected.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Decoded body (empty without a `Content-Length`).
+    pub body: String,
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-header"));
+        }
+        if head.len() + line.len() > MAX_HEADER_BYTES {
+            return Err(bad("headers exceed the size cap"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let request_line = head.lines().next().ok_or_else(|| bad("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("missing method"))?.to_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let content_length = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .find(|(name, _)| name.trim().eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.trim().parse::<usize>())
+        .transpose()
+        .map_err(|_| bad("unparsable content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body exceeds the size cap"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("body is not utf-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one HTTP/1.1 response (connection close).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(e: &ExecError) -> String {
+    e.to_json().render()
+}
+
+/// Compact job summary for `GET /jobs` (stats reduced to cycles, so a
+/// big queue lists cheaply; fetch `/jobs/<id>` for the full record).
+fn job_summary(rec: &JobRecord) -> Json {
+    Json::obj([
+        ("id", Json::Uint(rec.id)),
+        ("key", Json::Uint(rec.key)),
+        ("app", Json::Str(rec.spec.app.clone())),
+        ("design", Json::Str(rec.spec.design.clone())),
+        ("state", Json::Str(rec.state.tag().to_owned())),
+        ("attempts", Json::Uint(u64::from(rec.attempts))),
+        ("predicted_cycles", Json::Uint(rec.predicted_cycles)),
+        ("budget_ms", Json::Uint(rec.budget_ms)),
+        ("cycles", rec.stats.as_ref().map_or(Json::Null, |s| Json::Uint(s.cycles))),
+        ("error", rec.error.as_ref().map_or(Json::Null, JsonCodec::to_json)),
+    ])
+}
+
+fn handle(server: &Server, stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(e) => {
+            let body = error_body(&ExecError::invalid(e.to_string()));
+            return write_response(stream, 400, "application/json", &body, &[]);
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => {
+            let spec = Json::parse(&req.body).and_then(|j| JobSpec::from_json(&j));
+            let spec = match spec {
+                Ok(spec) => spec,
+                Err(e) => {
+                    let body = error_body(&ExecError::invalid(format!("bad job spec: {e}")));
+                    return write_response(stream, 400, "application/json", &body, &[]);
+                }
+            };
+            match server.submit(spec) {
+                Ok(outcome @ SubmitOutcome::Accepted { .. }) => {
+                    let body = outcome.to_json().render();
+                    write_response(stream, 200, "application/json", &body, &[])
+                }
+                Ok(outcome @ SubmitOutcome::Shed { .. }) => {
+                    let retry_secs = match &outcome {
+                        SubmitOutcome::Shed { retry_after_ms, .. } => retry_after_ms.div_ceil(1000),
+                        SubmitOutcome::Accepted { .. } => unreachable!(),
+                    };
+                    let body = outcome.to_json().render();
+                    let headers = [("Retry-After", retry_secs.to_string())];
+                    write_response(stream, 429, "application/json", &body, &headers)
+                }
+                Err(e) => {
+                    let body = error_body(&e);
+                    write_response(stream, 400, "application/json", &body, &[])
+                }
+            }
+        }
+        ("GET", "/jobs") => {
+            let jobs: Vec<Json> = server.jobs().iter().map(job_summary).collect();
+            let body = Json::obj([("jobs", Json::Arr(jobs))]).render();
+            write_response(stream, 200, "application/json", &body, &[])
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id = path["/jobs/".len()..].parse::<u64>().ok();
+            match id.and_then(|id| server.job(id)) {
+                Some(rec) => {
+                    let body = rec.to_json().render();
+                    write_response(stream, 200, "application/json", &body, &[])
+                }
+                None => {
+                    let body = error_body(&ExecError::new("not-found", "no such job"));
+                    write_response(stream, 404, "application/json", &body, &[])
+                }
+            }
+        }
+        ("GET", "/healthz") => {
+            let recovery = server.recovery();
+            let body = Json::obj([
+                ("ok", Json::Bool(true)),
+                ("draining", Json::Bool(server.draining())),
+                ("depth", Json::Uint(server.depth() as u64)),
+                ("restored", Json::Uint(recovery.restored as u64)),
+                ("reclaimed", Json::Uint(recovery.reclaimed as u64)),
+                ("replayed", Json::Uint(recovery.replayed as u64)),
+                ("skipped", Json::Uint(recovery.skipped as u64)),
+            ])
+            .render();
+            write_response(stream, 200, "application/json", &body, &[])
+        }
+        ("GET", "/metrics") => {
+            let text = subcore_metrics::render_prometheus(&subcore_metrics::snapshot());
+            write_response(stream, 200, "text/plain; version=0.0.4", &text, &[])
+        }
+        ("POST", "/drain") => {
+            server.drain();
+            let body = Json::obj([("draining", Json::Bool(true))]).render();
+            write_response(stream, 200, "application/json", &body, &[])
+        }
+        ("GET" | "POST", _) => {
+            let body = error_body(&ExecError::new("not-found", "no such endpoint"));
+            write_response(stream, 404, "application/json", &body, &[])
+        }
+        _ => {
+            let body = error_body(&ExecError::new("method", "method not allowed"));
+            write_response(stream, 405, "application/json", &body, &[])
+        }
+    }
+}
+
+/// Runs the daemon: spawns the worker pool and lease monitor, accepts
+/// connections until a drain completes, then joins everything. Returns
+/// once the daemon has fully drained.
+pub fn run(server: &Server, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let workers = server.start_workers();
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                let server = server.clone();
+                conns.push(std::thread::spawn(move || {
+                    let _ = handle(&server, &mut stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+        conns.retain(|h| !h.is_finished());
+        if server.drain_complete() {
+            break;
+        }
+    }
+    // Admission is closed and the queue is drained (or persisted for the
+    // next start): join the pool, stop the monitor, and finish any
+    // in-flight responses.
+    server.stop();
+    for h in workers {
+        let _ = h.join();
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    Ok(())
+}

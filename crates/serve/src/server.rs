@@ -1,0 +1,570 @@
+//! The serve core: bounded admission, cross-client coalescing,
+//! lease-based workers with heartbeats, and graceful drain.
+//!
+//! State machine per job (durable at every arrow — see
+//! [`crate::queue`]):
+//!
+//! ```text
+//!   submit ──> Queued ──claim──> Leased ──ok──> Done
+//!                 ^                │ │
+//!                 │   lease expiry │ └──err──> Failed
+//!                 └────(retry)─────┘ (attempts exhausted ──> Failed)
+//! ```
+//!
+//! Coalescing: submissions are keyed by the executor's content
+//! fingerprint (the cell's `SimKey`). A key with a live (queued, leased,
+//! or done) job absorbs new submissions — N clients, one simulation,
+//! identical results. Failure isolation: a failed job answers its
+//! waiters with the structured [`ExecError`] *and leaves the coalescing
+//! map* — a fresh submit of the same cell starts a clean job instead of
+//! replaying the failure forever.
+//!
+//! Leases: a worker owns a claimed job only while its heartbeat keeps
+//! the lease alive. A wedged worker stops heartbeating (it beats only
+//! between progress checks, and abandons past the hard budget), the
+//! monitor reclaims the job back onto the queue, and a healthy worker
+//! retries it — up to `max_attempts`, after which it fails structurally
+//! with kind `lease-expired`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use subcore_engine::RunStats;
+use subcore_metrics::names as mx;
+
+use crate::proto::{ExecError, JobRecord, JobSpec, JobState, SubmitOutcome};
+use crate::queue::{DurableQueue, RecoveryReport};
+
+/// What the daemon runs for each job. Implementations live above this
+/// crate (the `repro` harness injects one wrapping `SimSession` +
+/// `supervise_map`); tests inject mocks.
+pub trait Executor: Send + Sync + 'static {
+    /// Content fingerprint of the cell (`SimKey`), the coalescing key.
+    /// Errors reject the request at admission, before anything queues.
+    fn fingerprint(&self, spec: &JobSpec) -> Result<u64, ExecError>;
+
+    /// Cost-model predicted cycles for the cell (0 if unknown).
+    fn predicted_cycles(&self, spec: &JobSpec) -> u64;
+
+    /// Runs the simulation. Panics are caught by the worker and become
+    /// structured `panic` errors.
+    fn execute(&self, spec: &JobSpec) -> Result<RunStats, ExecError>;
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Durable queue directory.
+    pub dir: std::path::PathBuf,
+    /// Max admitted-but-unsettled jobs (queued + leased); submissions
+    /// beyond it are shed with a structured retry-after.
+    pub capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Lease duration; a lease not heartbeat-extended within this window
+    /// is reclaimed.
+    pub lease: Duration,
+    /// Lease grants per job before it fails as `lease-expired`.
+    pub max_attempts: u32,
+    /// Watchdog-budget clamp floor.
+    pub budget_floor: Duration,
+    /// Watchdog-budget clamp ceiling.
+    pub budget_ceiling: Duration,
+    /// Assumed simulation rate for deriving budgets and retry-after
+    /// hints from predicted cycles.
+    pub budget_cycles_per_sec: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            dir: std::path::PathBuf::from("results/.serve"),
+            capacity: 64,
+            workers: 2,
+            lease: Duration::from_secs(10),
+            max_attempts: 3,
+            budget_floor: Duration::from_secs(120),
+            budget_ceiling: Duration::from_secs(900),
+            budget_cycles_per_sec: 25_000,
+        }
+    }
+}
+
+struct Lease {
+    generation: u64,
+    expires: Instant,
+}
+
+#[derive(Default)]
+struct Core {
+    jobs: BTreeMap<u64, JobRecord>,
+    ready: VecDeque<u64>,
+    by_key: HashMap<u64, u64>,
+    leases: HashMap<u64, Lease>,
+    next_id: u64,
+}
+
+impl Core {
+    fn depth(&self) -> usize {
+        self.ready.len() + self.leases.len()
+    }
+
+    fn note_depth(&self) {
+        subcore_metrics::gauge_set(mx::SERVE_QUEUE_DEPTH, self.depth() as f64);
+    }
+
+    /// Predicted cycles still outstanding (queued + leased jobs).
+    fn backlog_cycles(&self) -> u64 {
+        self.ready
+            .iter()
+            .chain(self.leases.keys())
+            .filter_map(|id| self.jobs.get(id))
+            .fold(0u64, |acc, r| acc.saturating_add(r.predicted_cycles))
+    }
+}
+
+struct Inner {
+    opts: ServeOptions,
+    exec: Arc<dyn Executor>,
+    queue: DurableQueue,
+    state: Mutex<Core>,
+    cv: Condvar,
+    draining: AtomicBool,
+    stopped: AtomicBool,
+    next_gen: AtomicU64,
+    workers_alive: AtomicUsize,
+    recovery: RecoveryReport,
+}
+
+/// Handle to a running (or runnable) serve core. Cheap to clone; all
+/// clones share one queue.
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+/// A claimed job, owned by one worker under a lease.
+struct Claim {
+    id: u64,
+    generation: u64,
+    spec: JobSpec,
+    budget: Duration,
+}
+
+impl Server {
+    /// Opens the durable queue at `opts.dir`, reclaims leases left by a
+    /// dead process, and rebuilds the in-memory state. Nothing executes
+    /// until [`Server::start_workers`] (or [`crate::http::run`] via the HTTP
+    /// front) is called.
+    pub fn open(opts: ServeOptions, exec: Arc<dyn Executor>) -> Server {
+        let queue = DurableQueue::new(&opts.dir);
+        let (records, recovery) = queue.load();
+        let mut core = Core::default();
+        for rec in records {
+            core.next_id = core.next_id.max(rec.id + 1);
+            if rec.state == JobState::Queued {
+                core.ready.push_back(rec.id);
+            }
+            // Failed jobs never coalesce (failure isolation): a fresh
+            // submit of the same cell must start a clean job.
+            if rec.state != JobState::Failed {
+                core.by_key.insert(rec.key, rec.id);
+            }
+            core.jobs.insert(rec.id, rec);
+        }
+        core.note_depth();
+        Server {
+            inner: Arc::new(Inner {
+                opts,
+                exec,
+                queue,
+                state: Mutex::new(core),
+                cv: Condvar::new(),
+                draining: AtomicBool::new(false),
+                stopped: AtomicBool::new(false),
+                next_gen: AtomicU64::new(1),
+                workers_alive: AtomicUsize::new(0),
+                recovery,
+            }),
+        }
+    }
+
+    /// What the durable-queue load found (restart evidence).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.inner.recovery
+    }
+
+    /// The daemon's tuning knobs.
+    pub fn options(&self) -> &ServeOptions {
+        &self.inner.opts
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.inner.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn budget_for(&self, predicted_cycles: u64) -> Duration {
+        let opts = &self.inner.opts;
+        let rate = opts.budget_cycles_per_sec.max(1);
+        let ms = predicted_cycles.saturating_mul(1000) / rate;
+        let floor = u64::try_from(opts.budget_floor.as_millis()).unwrap_or(u64::MAX);
+        let ceiling = u64::try_from(opts.budget_ceiling.as_millis()).unwrap_or(u64::MAX);
+        Duration::from_millis(ms.clamp(floor, ceiling.max(floor)))
+    }
+
+    /// Bounded admission. Invalid specs error before queuing; a full
+    /// (or draining) queue sheds with a structured retry-after derived
+    /// from the predicted backlog; otherwise the request is admitted —
+    /// coalesced onto a live job with the same fingerprint when one
+    /// exists, journaled as a fresh job when not.
+    pub fn submit(&self, spec: JobSpec) -> Result<SubmitOutcome, ExecError> {
+        let key = self.inner.exec.fingerprint(&spec)?;
+        let mut core = self.lock();
+        if let Some(&id) = core.by_key.get(&key) {
+            let rec = &core.jobs[&id];
+            subcore_metrics::inc(mx::SERVE_COALESCED);
+            return Ok(SubmitOutcome::Accepted {
+                id,
+                key,
+                coalesced: true,
+                predicted_cycles: rec.predicted_cycles,
+                budget_ms: rec.budget_ms,
+            });
+        }
+        let draining = self.draining();
+        if draining || core.depth() >= self.inner.opts.capacity {
+            let rate = self.inner.opts.budget_cycles_per_sec.max(1);
+            let backlog_ms = core.backlog_cycles().saturating_mul(1000) / rate;
+            subcore_metrics::inc(mx::SERVE_SHED);
+            return Ok(SubmitOutcome::Shed {
+                retry_after_ms: backlog_ms.clamp(100, 60_000),
+                depth: core.depth() as u64,
+                capacity: self.inner.opts.capacity as u64,
+                reason: if draining { "draining".into() } else { "queue-full".into() },
+            });
+        }
+        let predicted_cycles = self.inner.exec.predicted_cycles(&spec);
+        let budget = self.budget_for(predicted_cycles);
+        let budget_ms = u64::try_from(budget.as_millis()).unwrap_or(u64::MAX);
+        let id = core.next_id;
+        core.next_id += 1;
+        let rec = JobRecord {
+            id,
+            spec,
+            key,
+            predicted_cycles,
+            budget_ms,
+            state: JobState::Queued,
+            attempts: 0,
+            stats: None,
+            error: None,
+        };
+        // Durability before visibility: if the record cannot be
+        // journaled, the job is not accepted (an accepted-then-lost job
+        // would break the no-loss contract).
+        if !self.inner.queue.persist(&rec) {
+            return Err(ExecError::new("io", "failed to journal the job record"));
+        }
+        core.by_key.insert(key, id);
+        core.jobs.insert(id, rec);
+        core.ready.push_back(id);
+        core.note_depth();
+        subcore_metrics::inc(mx::SERVE_SUBMITTED);
+        self.inner.cv.notify_one();
+        Ok(SubmitOutcome::Accepted { id, key, coalesced: false, predicted_cycles, budget_ms })
+    }
+
+    /// A snapshot of one job.
+    pub fn job(&self, id: u64) -> Option<JobRecord> {
+        self.lock().jobs.get(&id).cloned()
+    }
+
+    /// Snapshots of every job, in id order.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        self.lock().jobs.values().cloned().collect()
+    }
+
+    /// Jobs admitted but not yet settled (queued + leased).
+    pub fn depth(&self) -> usize {
+        self.lock().depth()
+    }
+
+    /// Stops admission; workers finish or persist what is in flight.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether [`Server::drain`] was requested.
+    pub fn draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether no job is queued or leased.
+    pub fn idle(&self) -> bool {
+        self.lock().depth() == 0
+    }
+
+    /// Whether a requested drain has finished: the queue is empty, or
+    /// every worker has exited and nothing is leased — any still-queued
+    /// jobs are persisted for the next daemon start ("finish *or
+    /// persist* in-flight work").
+    pub fn drain_complete(&self) -> bool {
+        if !self.draining() {
+            return false;
+        }
+        let core = self.lock();
+        core.depth() == 0
+            || (core.leases.is_empty() && self.inner.workers_alive.load(Ordering::SeqCst) == 0)
+    }
+
+    /// Test/CLI helper: blocks until `id` settles (or `timeout` passes),
+    /// returning the settled record.
+    pub fn wait_settled(&self, id: u64, timeout: Duration) -> Option<JobRecord> {
+        let deadline = Instant::now() + timeout;
+        let mut core = self.lock();
+        loop {
+            match core.jobs.get(&id) {
+                Some(rec) if rec.state.terminal() => return Some(rec.clone()),
+                None => return None,
+                _ => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(core, (deadline - now).min(Duration::from_millis(50)))
+                .unwrap_or_else(|p| p.into_inner());
+            core = guard;
+        }
+    }
+
+    /// Spawns the worker pool and the lease monitor. Threads exit after
+    /// [`Server::drain`] once the queue is empty; join them via the
+    /// returned handles (see [`crate::http::run`] for the full daemon
+    /// loop).
+    pub fn start_workers(&self) -> Vec<std::thread::JoinHandle<()>> {
+        let mut handles = Vec::new();
+        for w in 0..self.inner.opts.workers.max(1) {
+            let server = self.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || server.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        let server = self.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name("serve-lease-monitor".into())
+                .spawn(move || server.monitor_loop())
+                .expect("spawn monitor"),
+        );
+        handles
+    }
+
+    /// Marks the daemon stopped (lets the lease monitor exit). Called by
+    /// the run loop after the workers drained.
+    pub(crate) fn stop(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+    }
+
+    fn worker_loop(&self) {
+        self.inner.workers_alive.fetch_add(1, Ordering::SeqCst);
+        while let Some(claim) = self.claim() {
+            // `None` means the executor outlived its hard budget and was
+            // abandoned: stop heartbeating and let the lease lapse — the
+            // monitor reclaims or fails the job, and whatever the stray
+            // executor thread eventually produces is discarded by the
+            // generation check.
+            if let Some(result) = self.execute_claim(&claim) {
+                self.settle(&claim, result);
+            }
+        }
+        self.inner.workers_alive.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Claims the next queued job under a fresh lease, blocking until
+    /// one is available or the daemon is draining with an empty queue.
+    fn claim(&self) -> Option<Claim> {
+        let mut core = self.lock();
+        loop {
+            if let Some(id) = core.ready.pop_front() {
+                let generation = self.inner.next_gen.fetch_add(1, Ordering::Relaxed);
+                let rec = core.jobs.get_mut(&id).expect("ready ids are live jobs");
+                rec.state = JobState::Leased;
+                rec.attempts += 1;
+                let claim = Claim {
+                    id,
+                    generation,
+                    spec: rec.spec.clone(),
+                    budget: Duration::from_millis(rec.budget_ms),
+                };
+                let expires = Instant::now() + self.inner.opts.lease;
+                let rec = rec.clone();
+                core.leases.insert(id, Lease { generation, expires });
+                core.note_depth();
+                drop(core);
+                self.inner.queue.persist(&rec);
+                return Some(claim);
+            }
+            if self.draining() {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(core, Duration::from_millis(100))
+                .unwrap_or_else(|p| p.into_inner());
+            core = guard;
+        }
+    }
+
+    /// Runs the executor on its own thread, heartbeating the lease while
+    /// waiting. Returns `None` if the executor outlived the hard budget
+    /// (budget + one lease of grace) and was abandoned.
+    fn execute_claim(&self, claim: &Claim) -> Option<Result<RunStats, ExecError>> {
+        let (tx, rx) = mpsc::channel();
+        let exec = Arc::clone(&self.inner.exec);
+        let spec = claim.spec.clone();
+        let spawned =
+            std::thread::Builder::new().name(format!("serve-exec-{}", claim.id)).spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| exec.execute(&spec)));
+                let _ = tx.send(result);
+            });
+        if spawned.is_err() {
+            return Some(Err(ExecError::new("io", "failed to spawn the executor thread")));
+        }
+        let heartbeat = (self.inner.opts.lease / 4).max(Duration::from_millis(10));
+        let hard_deadline = Instant::now() + claim.budget + self.inner.opts.lease;
+        loop {
+            match rx.recv_timeout(heartbeat) {
+                Ok(Ok(result)) => return Some(result),
+                Ok(Err(payload)) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".into());
+                    return Some(Err(ExecError::new("panic", msg)));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= hard_deadline {
+                        return None;
+                    }
+                    self.heartbeat(claim);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Some(Err(ExecError::new("panic", "executor thread vanished")));
+                }
+            }
+        }
+    }
+
+    /// Extends the claim's lease, if this worker still owns it.
+    fn heartbeat(&self, claim: &Claim) {
+        let mut core = self.lock();
+        if let Some(lease) = core.leases.get_mut(&claim.id) {
+            if lease.generation == claim.generation {
+                lease.expires = Instant::now() + self.inner.opts.lease;
+            }
+        }
+    }
+
+    /// Settles a claimed job — unless the lease was reclaimed while the
+    /// worker ran (generation mismatch), in which case the stale result
+    /// is discarded and the reclaimed copy's outcome stands.
+    fn settle(&self, claim: &Claim, result: Result<RunStats, ExecError>) {
+        let mut core = self.lock();
+        let owns =
+            core.leases.get(&claim.id).is_some_and(|lease| lease.generation == claim.generation);
+        if !owns {
+            return;
+        }
+        core.leases.remove(&claim.id);
+        let rec = core.jobs.get_mut(&claim.id).expect("leased ids are live jobs");
+        match result {
+            Ok(stats) => {
+                rec.state = JobState::Done;
+                rec.stats = Some(Box::new(stats));
+                subcore_metrics::inc(mx::SERVE_JOB_DONE);
+            }
+            Err(e) => {
+                rec.state = JobState::Failed;
+                rec.error = Some(e);
+                subcore_metrics::inc(mx::SERVE_JOB_FAILED);
+            }
+        }
+        let rec = rec.clone();
+        if rec.state == JobState::Failed {
+            core.by_key.remove(&rec.key);
+        }
+        core.note_depth();
+        drop(core);
+        self.inner.queue.persist(&rec);
+        self.inner.cv.notify_all();
+    }
+
+    /// Lease monitor: reclaims expired leases back onto the queue (or
+    /// fails the job once its attempts are exhausted).
+    fn monitor_loop(&self) {
+        let tick = (self.inner.opts.lease / 4).max(Duration::from_millis(10));
+        while !self.inner.stopped.load(Ordering::SeqCst) {
+            // A draining daemon whose workers have all exited has nothing
+            // left to reclaim — let the monitor die with them so plain
+            // drain-and-join callers (no HTTP loop) terminate too.
+            if self.draining() && self.inner.workers_alive.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(tick);
+            let now = Instant::now();
+            let mut core = self.lock();
+            let expired: Vec<u64> = core
+                .leases
+                .iter()
+                .filter(|(_, lease)| lease.expires <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            let mut dirty = Vec::new();
+            for id in expired {
+                core.leases.remove(&id);
+                subcore_metrics::inc(mx::SERVE_LEASE_EXPIRED);
+                let max_attempts = self.inner.opts.max_attempts;
+                let rec = core.jobs.get_mut(&id).expect("leased ids are live jobs");
+                if rec.attempts >= max_attempts {
+                    rec.state = JobState::Failed;
+                    rec.error = Some(ExecError::new(
+                        "lease-expired",
+                        format!("lease expired after {} attempt(s); worker wedged", rec.attempts),
+                    ));
+                    subcore_metrics::inc(mx::SERVE_JOB_FAILED);
+                    let rec = rec.clone();
+                    core.by_key.remove(&rec.key);
+                    dirty.push(rec);
+                } else {
+                    rec.state = JobState::Queued;
+                    dirty.push(rec.clone());
+                    core.ready.push_back(id);
+                }
+            }
+            if !dirty.is_empty() {
+                core.note_depth();
+            }
+            drop(core);
+            for rec in &dirty {
+                self.inner.queue.persist(rec);
+            }
+            if !dirty.is_empty() {
+                self.inner.cv.notify_all();
+            }
+        }
+    }
+}

@@ -92,7 +92,7 @@ rm -rf "$TENANTS_TMP"
 # and `repro metrics --prom` must emit validated Prometheus text.
 echo "==> metrics smoke test (repro fig3 + top --once + metrics --prom)"
 METRICS_TMP="$(mktemp -d)"
-trap 'rm -rf "$METRICS_TMP"' EXIT
+trap 'rm -rf "$METRICS_TMP" "${SERVE_TMP:-}"' EXIT
 cargo run --quiet --release -p subcore-experiments --bin repro -- fig3 --out "$METRICS_TMP" \
     > /dev/null
 cargo run --quiet --release -p subcore-experiments --bin repro -- top --once --out "$METRICS_TMP" \
@@ -100,5 +100,25 @@ cargo run --quiet --release -p subcore-experiments --bin repro -- top --once --o
 cargo run --quiet --release -p subcore-experiments --bin repro -- metrics --prom \
     --out "$METRICS_TMP" > "$METRICS_TMP/metrics.prom"
 test -s "$METRICS_TMP/metrics.prom"
+
+# Serve smoke: an ephemeral daemon (port 0, address discovered via the
+# atomic --addr-file) must admit and settle a 2-case sweep, answer the
+# /healthz and validated-Prometheus /metrics probes, and exit 0 on a
+# graceful drain.
+echo "==> serve smoke test (repro serve + submit --wait + jobs + drain)"
+SERVE_TMP="$(mktemp -d)"
+REPRO=./target/release/repro
+"$REPRO" serve --out "$SERVE_TMP" --dir "$SERVE_TMP/queue" --port 0 \
+    --addr-file "$SERVE_TMP/addr" 2> "$SERVE_TMP/serve.log" &
+SERVE_PID=$!
+"$REPRO" submit fma --design baseline --addr-file "$SERVE_TMP/addr" --wait > /dev/null
+"$REPRO" submit fma --design rba --addr-file "$SERVE_TMP/addr" --wait > /dev/null
+"$REPRO" jobs --addr-file "$SERVE_TMP/addr" | grep -q "done"
+"$REPRO" jobs --addr-file "$SERVE_TMP/addr" --healthz | grep -q '"ok":true'
+"$REPRO" jobs --addr-file "$SERVE_TMP/addr" --metrics > "$SERVE_TMP/serve.prom"
+test -s "$SERVE_TMP/serve.prom"
+"$REPRO" jobs --addr-file "$SERVE_TMP/addr" --drain > /dev/null
+wait "$SERVE_PID"
+rm -rf "$SERVE_TMP"
 
 echo "verify: OK"
